@@ -1,0 +1,58 @@
+"""Benchmark fixtures: CI-scale datasets shared across figure benches.
+
+Each ``benchmarks/test_fig*.py`` regenerates one figure of the paper at a
+reduced scale (the full-scale run lives in
+``examples/paper_experiments.py``) and prints the resulting series so the
+bench log doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PatternCounter
+from repro.datasets import load_dataset
+from repro.experiments import Scale
+
+SCALE = Scale.ci()
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bluenile():
+    return load_dataset(
+        "bluenile", n_rows=SCALE.dataset_rows["bluenile"], seed=SCALE.seed
+    )
+
+
+@pytest.fixture(scope="session")
+def compas():
+    return load_dataset(
+        "compas", n_rows=SCALE.dataset_rows["compas"], seed=SCALE.seed
+    )
+
+
+@pytest.fixture(scope="session")
+def creditcard():
+    return load_dataset(
+        "creditcard",
+        n_rows=SCALE.dataset_rows["creditcard"],
+        seed=SCALE.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def bluenile_counter(bluenile) -> PatternCounter:
+    counter = PatternCounter(bluenile)
+    counter.distinct_full_rows()  # warm the P_A cache
+    return counter
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,56 @@
+"""Extension bench: flexible (overlapping-pattern) labels vs subset labels.
+
+Section II-C future work, implemented in :mod:`repro.core.flexlabel`.
+At an equal ``|PC|`` budget the greedy flexible label targets the worst
+patterns directly, while the subset label buys an entire joint.  This
+bench records both accuracies side by side.
+"""
+
+import pytest
+
+from repro import PatternCounter, full_pattern_set, top_down_search
+from repro.core.flexlabel import FlexibleEstimator, greedy_flexible_label
+
+BOUND = 20
+
+
+@pytest.fixture(scope="module")
+def setup(bluenile):
+    counter = PatternCounter(bluenile)
+    pattern_set = full_pattern_set(counter)
+    return counter, pattern_set
+
+
+def test_subset_label_accuracy(benchmark, setup):
+    counter, pattern_set = setup
+
+    result = benchmark.pedantic(
+        top_down_search,
+        args=(counter, BOUND),
+        kwargs={"pattern_set": pattern_set},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nsubset label: |PC|={result.label.size} "
+        f"max={result.summary.max_abs:.1f} mean={result.summary.mean_abs:.2f}"
+    )
+    assert result.label.size <= BOUND
+
+
+def test_flexible_label_accuracy(benchmark, setup):
+    counter, pattern_set = setup
+
+    label = benchmark.pedantic(
+        greedy_flexible_label,
+        args=(counter, BOUND),
+        kwargs={"pattern_set": pattern_set},
+        rounds=1,
+        iterations=1,
+    )
+    summary = FlexibleEstimator(label).evaluate(pattern_set)
+    print(
+        f"\nflexible label: |PC|={label.size} "
+        f"max={summary.max_abs:.1f} mean={summary.mean_abs:.2f}"
+    )
+    assert label.size <= BOUND

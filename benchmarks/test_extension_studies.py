@@ -1,0 +1,46 @@
+"""Extension benches: objectives, estimator shootout, multi-label study."""
+
+import pytest
+
+from repro.experiments import (
+    estimator_shootout,
+    multi_label_study,
+    objective_comparison,
+)
+
+
+def test_objective_comparison(benchmark, bluenile, scale):
+    table = benchmark.pedantic(
+        objective_comparison,
+        args=(bluenile, "bluenile"),
+        kwargs={"bound": 50},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + table.to_text())
+    assert len(table) == 4
+
+
+def test_estimator_shootout(benchmark, bluenile, scale):
+    table = benchmark.pedantic(
+        estimator_shootout,
+        args=(bluenile, "bluenile"),
+        kwargs={"bound": 30, "seed": scale.seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + table.to_text())
+    rows = {row["estimator"]: row for row in table}
+    assert rows["pcbl-subset"]["max_abs"] <= rows["independence"]["max_abs"]
+
+
+def test_multi_label_study(benchmark, compas, scale):
+    table = benchmark.pedantic(
+        multi_label_study,
+        args=(compas, "compas"),
+        kwargs={"bound": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + table.to_text())
+    assert len(table) >= 2

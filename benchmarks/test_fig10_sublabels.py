@@ -1,0 +1,29 @@
+"""Figure 10 bench: optimal label vs leave-one-out sub-labels.
+
+Asserts Section IV-E's claim: removing any attribute from the optimal
+set raises (or at best matches) the maximal error.
+"""
+
+import pytest
+
+from repro.experiments import sublabel_errors
+
+
+@pytest.mark.parametrize("name", ["bluenile", "compas", "creditcard"])
+def test_fig10_sublabels(benchmark, scale, name, request):
+    dataset = request.getfixturevalue(name)
+
+    table = benchmark.pedantic(
+        sublabel_errors,
+        args=(dataset, name),
+        kwargs={"bound": scale.sublabel_bound},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + table.to_text())
+    optimal = table.where(kind="optimal").rows()[0]["max_abs"]
+    sublabels = table.where(kind="sub-label").column("max_abs")
+    assert sublabels, "the optimal label should use >= 2 attributes"
+    for error in sublabels:
+        assert error >= optimal - 1e-9

@@ -1,0 +1,17 @@
+"""Figure 1 bench: regenerate the COMPAS label card."""
+
+from repro.datasets import generate_compas_simplified
+from repro.experiments import figure1_label_card
+
+
+def test_fig1_label_card(benchmark, scale):
+    data = generate_compas_simplified(
+        scale.dataset_rows["compas"], seed=scale.seed
+    )
+
+    label, summary, card = benchmark(figure1_label_card, data)
+
+    # Figure 1 shape: 2 genders x 4 races stored, max error ~5% or less.
+    assert label.size == 8
+    assert summary.max_abs <= 0.05 * data.n_rows
+    print("\n" + card)

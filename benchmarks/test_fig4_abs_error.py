@@ -1,0 +1,35 @@
+"""Figure 4 bench: absolute max error (mean in parens) vs label size.
+
+Runs the Fig 4/5 accuracy sweep per dataset and asserts the paper's
+qualitative shape: PCBL's max error is competitive with (typically below)
+Postgres and clearly below tiny-sample estimation, and the sample's mean
+error is a small multiple of PCBL's.
+"""
+
+import pytest
+
+from repro.experiments import accuracy_vs_label_size
+
+
+@pytest.mark.parametrize("name", ["bluenile", "compas", "creditcard"])
+def test_fig4_absolute_error(benchmark, scale, name, request):
+    dataset = request.getfixturevalue(name)
+
+    table = benchmark.pedantic(
+        accuracy_vs_label_size,
+        args=(dataset, name, scale.bounds),
+        kwargs={"sample_repeats": scale.sample_repeats, "seed": scale.seed},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + table.to_text())
+    rows = table.rows()
+    # PCBL max error decreases (or holds) from the smallest to the
+    # largest bound.
+    assert rows[-1]["pcbl_max_abs"] <= rows[0]["pcbl_max_abs"] * 1.05
+    for row in rows:
+        # Sampling's mean error is the clear loser (paper: x3-x4 PCBL).
+        assert row["sample_mean_abs"] > row["pcbl_mean_abs"]
+    # At the largest bound PCBL is at least competitive with Postgres.
+    assert rows[-1]["pcbl_max_abs"] <= rows[-1]["pg_max_abs"] * 1.6

@@ -1,0 +1,30 @@
+"""Figure 5 bench: mean q-error vs label size.
+
+Shares the sweep with Figure 4 but asserts the q-error shape: PCBL's
+mean q-error beats the sampling baseline everywhere and is competitive
+with Postgres, decreasing (weakly) in the label size.
+"""
+
+import pytest
+
+from repro.experiments import accuracy_vs_label_size
+
+
+@pytest.mark.parametrize("name", ["bluenile", "compas", "creditcard"])
+def test_fig5_q_error(benchmark, scale, name, request):
+    dataset = request.getfixturevalue(name)
+
+    table = benchmark.pedantic(
+        accuracy_vs_label_size,
+        args=(dataset, name, scale.bounds),
+        kwargs={"sample_repeats": scale.sample_repeats, "seed": scale.seed},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + table.to_text())
+    rows = table.rows()
+    for row in rows:
+        assert row["pcbl_mean_q"] < row["sample_mean_q"]
+        assert row["pcbl_mean_q"] <= row["pg_mean_q"] * 1.25
+    assert rows[-1]["pcbl_mean_q"] <= rows[0]["pcbl_mean_q"] * 1.05

@@ -1,0 +1,41 @@
+"""Figure 6 bench: label generation runtime vs size bound.
+
+Benchmarks the optimized heuristic directly (that's the headline system)
+and regenerates the naive-vs-optimized table, asserting the paper's
+shape: the optimized search examines far fewer subsets and is never
+slower in subset work.
+"""
+
+import pytest
+
+from repro import PatternCounter, full_pattern_set, top_down_search
+from repro.experiments import runtime_vs_bound
+
+
+@pytest.mark.parametrize("name", ["bluenile", "compas", "creditcard"])
+def test_fig6_runtime_table(benchmark, scale, name, request):
+    dataset = request.getfixturevalue(name)
+
+    table = benchmark.pedantic(
+        runtime_vs_bound,
+        args=(dataset, name, scale.bounds),
+        kwargs={"naive_time_limit": scale.naive_time_limit},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + table.to_text())
+    for row in table.rows():
+        if not row["naive_timed_out"]:
+            assert row["optimized_subsets"] <= row["naive_subsets"]
+
+
+def test_fig6_optimized_search_hot_loop(benchmark, bluenile_counter, scale):
+    """Microbenchmark of one optimized search at the largest CI bound."""
+    pattern_set = full_pattern_set(bluenile_counter)
+    bound = max(scale.bounds)
+
+    result = benchmark(
+        top_down_search, bluenile_counter, bound, pattern_set=pattern_set
+    )
+    assert result.label.size <= bound

@@ -1,0 +1,35 @@
+"""Figure 7 bench: label generation runtime vs data size.
+
+Grows each dataset with uniform-random tuples and re-times the search at
+a fixed bound.  Asserts the paper's counter-intuitive pruning effect:
+random growth adds patterns, so the searched subset count does not grow.
+"""
+
+import pytest
+
+from repro.experiments import runtime_vs_data_size
+
+
+@pytest.mark.parametrize("name", ["bluenile", "compas", "creditcard"])
+def test_fig7_runtime_vs_data_size(benchmark, scale, name, request):
+    dataset = request.getfixturevalue(name)
+
+    table = benchmark.pedantic(
+        runtime_vs_data_size,
+        args=(dataset, name, scale.growth_factors),
+        kwargs={
+            "bound": 50,
+            "naive_time_limit": scale.naive_time_limit,
+            "seed": scale.seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + table.to_text())
+    rows = table.rows()
+    sizes = [row["x"] for row in rows]
+    assert sizes == sorted(sizes)
+    # Random augmentation inflates label sizes -> the search explores no
+    # more subsets on the grown data than on the original.
+    assert rows[-1]["optimized_subsets"] <= rows[0]["optimized_subsets"]

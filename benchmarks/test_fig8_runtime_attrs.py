@@ -1,0 +1,34 @@
+"""Figure 8 bench: label generation runtime vs number of attributes.
+
+Prefix-projects each dataset from 3 attributes up to the full schema and
+re-times both algorithms at a fixed bound.  Asserts the paper's shape:
+the subset counts (the exponential driver) grow with the attribute count.
+"""
+
+import pytest
+
+from repro.experiments import runtime_vs_attribute_count
+
+
+@pytest.mark.parametrize("name", ["bluenile", "compas", "creditcard"])
+def test_fig8_runtime_vs_attributes(benchmark, scale, name, request):
+    dataset = request.getfixturevalue(name)
+    # Cap the sweep so the naive algorithm stays CI-sized on the
+    # 17/24-attribute datasets (the paper's full sweep lives in
+    # examples/paper_experiments.py).
+    max_attrs = min(dataset.n_attributes, 9)
+    projected = dataset.select(list(dataset.attribute_names[:max_attrs]))
+
+    table = benchmark.pedantic(
+        runtime_vs_attribute_count,
+        args=(projected, name),
+        kwargs={"bound": 50, "naive_time_limit": scale.naive_time_limit},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + table.to_text())
+    counts = table.column("naive_subsets")
+    assert counts == sorted(counts)
+    optimized = table.column("optimized_subsets")
+    assert optimized[-1] >= optimized[0]

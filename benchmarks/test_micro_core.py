@@ -1,0 +1,63 @@
+"""Microbenchmarks for the core primitives the searches are built on."""
+
+import numpy as np
+
+from repro import Pattern, build_label, full_pattern_set
+from repro.baselines.postgres import PostgresEstimator
+from repro.baselines.sampling import SamplingEstimator
+
+
+def test_pattern_count(benchmark, bluenile_counter):
+    pattern = Pattern({"cut": "Ideal", "polish": "Excellent"})
+    count = benchmark(bluenile_counter.count, pattern)
+    assert count > 0
+
+
+def test_joint_table(benchmark, bluenile_counter):
+    combos, counts = benchmark(
+        bluenile_counter.joint_table, ("shape", "cut", "color")
+    )
+    assert counts.sum() == bluenile_counter.total_rows
+
+
+def test_label_size_probe(benchmark, bluenile):
+    """Label sizing is the per-node cost of the lattice search."""
+    from repro import PatternCounter
+
+    def probe():
+        counter = PatternCounter(bluenile)  # no cache: cold probes
+        return counter.label_size(("shape", "cut", "color"))
+
+    size = benchmark(probe)
+    assert size > 0
+
+
+def test_build_label(benchmark, bluenile_counter):
+    label = benchmark(build_label, bluenile_counter, ["cut", "polish"])
+    assert label.size > 0
+
+
+def test_full_pattern_set_materialization(benchmark, bluenile):
+    from repro import PatternCounter
+
+    def materialize():
+        return full_pattern_set(PatternCounter(bluenile))
+
+    pattern_set = benchmark(materialize)
+    assert len(pattern_set) > 0
+
+
+def test_postgres_analyze(benchmark, bluenile):
+    estimator = benchmark(
+        PostgresEstimator, bluenile, np.random.default_rng(0)
+    )
+    assert estimator.n_statistic_entries > 0
+
+
+def test_sampling_estimate_codes(benchmark, bluenile, bluenile_counter):
+    pattern_set = full_pattern_set(bluenile_counter)
+    estimator = SamplingEstimator(bluenile, 500, np.random.default_rng(0))
+    estimates = benchmark(
+        estimator.estimate_codes, pattern_set.attributes, pattern_set.combos
+    )
+    assert estimates.shape[0] == len(pattern_set)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fairness audit of a COMPAS-like dataset using pattern-count labels.
+
+The scenario the paper's introduction motivates: a judge (or an auditing
+data scientist) receives a risk-assessment training set and wants to know
+whether intersectional groups — e.g. Hispanic women — are adequately
+represented before trusting a model trained on it.
+
+The audit runs twice: once against the full data (exact counts), and once
+against only the published *label* (estimated counts) — demonstrating
+that the label alone supports the fitness-for-use checks.
+
+Run:  python examples/compas_fairness_audit.py [n_rows]
+"""
+
+import sys
+
+from repro import (
+    LabelEstimator,
+    Pattern,
+    PatternCounter,
+    find_optimal_label,
+)
+from repro.datasets import generate_compas
+from repro.labeling import (
+    find_correlated_attributes,
+    find_skewed,
+    find_underrepresented,
+)
+
+SENSITIVE = ["Sex", "Race", "Age"]
+
+
+def main() -> None:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    data = generate_compas(n_rows=n_rows, seed=0)
+    counter = PatternCounter(data)
+    print(f"auditing {data.n_rows:,} records, {data.n_attributes} attributes\n")
+
+    # -- exact audit against the data -------------------------------------
+    print("== exact audit (full data access) ==")
+    for warning in find_underrepresented(
+        counter, ["Sex", "Race"], min_share=0.05
+    ):
+        print(" ", warning)
+    for warning in find_skewed(counter, ["Sex"], max_share=0.7):
+        print(" ", warning)
+    correlated = find_correlated_attributes(
+        counter, attributes=SENSITIVE + ["DecileScore"], min_deviation=0.05
+    )
+    for warning in correlated:
+        print(" ", warning)
+
+    # -- the motivating intersection --------------------------------------
+    hispanic_women = Pattern({"Sex": "Female", "Race": "Hispanic"})
+    count = counter.count(hispanic_women)
+    print(
+        f"\nHispanic women: {count:,} of {data.n_rows:,} records "
+        f"({100 * count / data.n_rows:.1f}%) — fewer than independence "
+        f"predicts ({counter.fraction('Sex', 'Female') * counter.fraction('Race', 'Hispanic') * 100:.1f}%)"
+    )
+
+    # -- label-only audit ---------------------------------------------------
+    print("\n== label-only audit (no data access) ==")
+    result = find_optimal_label(data, bound=50)
+    label = result.label
+    print(
+        f"published label: S = {list(label.attributes)}, "
+        f"|PC| = {label.size}, max error "
+        f"{100 * result.objective_value / data.n_rows:.2f}% of data size"
+    )
+    estimator = LabelEstimator(label)
+    estimate = estimator.estimate(hispanic_women)
+    print(
+        f"estimated Hispanic women from label: {estimate:,.0f} "
+        f"(true {count:,})"
+    )
+    for warning in find_underrepresented(
+        label, ["Sex", "Race"], min_share=0.05
+    )[:5]:
+        print(" ", warning)
+
+
+if __name__ == "__main__":
+    main()

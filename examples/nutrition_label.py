@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 1 label card, in three formats.
+
+Builds the simplified COMPAS dataset (the paper's Figures 1–2), computes
+the gender × race label Figure 1 displays, and renders the nutrition
+card as text, Markdown and HTML.  Also writes the Figure 3 label
+lattice as Graphviz DOT with the chosen subset highlighted.
+
+Run:  python examples/nutrition_label.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import LabelLattice, PatternCounter, evaluate_label
+from repro.datasets import generate_compas_simplified
+from repro.experiments import figure1_label_card
+from repro.labeling import render_label_html, render_label_markdown
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    data = generate_compas_simplified(60_843, seed=0)
+    label, summary, card = figure1_label_card(data)
+
+    print(card)
+
+    markdown_path = out_dir / "compas_label.md"
+    markdown_path.write_text(render_label_markdown(label, summary))
+    html_path = out_dir / "compas_label.html"
+    html_path.write_text(render_label_html(label, summary))
+
+    lattice = LabelLattice(data.attribute_names)
+    dot_path = out_dir / "label_lattice.dot"
+    dot_path.write_text(lattice.to_dot(highlight=label.attributes))
+
+    print(
+        f"\nwrote {markdown_path}, {html_path}, {dot_path} "
+        f"(render the lattice with: dot -Tpng {dot_path})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation (Section IV).
+
+Drives the :mod:`repro.experiments` harness over the three synthetic
+datasets and prints one table per figure.  ``--scale ci`` (default)
+finishes in a couple of minutes; ``--scale paper`` uses the full dataset
+sizes and bound sweeps of Section IV (expect a long run — the naive
+algorithm alone is capped at 30 minutes per Credit-Card bound, exactly
+like the paper's testbed cutoff).
+
+Run:
+    python examples/paper_experiments.py                 # CI scale, all
+    python examples/paper_experiments.py --scale paper   # full scale
+    python examples/paper_experiments.py --figures 4 9   # a subset
+"""
+
+import argparse
+
+from repro.datasets import generate_compas_simplified, load_dataset
+from repro.experiments import (
+    Scale,
+    accuracy_vs_label_size,
+    candidates_vs_bound,
+    figure1_label_card,
+    runtime_vs_attribute_count,
+    runtime_vs_bound,
+    runtime_vs_data_size,
+    sublabel_errors,
+)
+
+DATASETS = ("bluenile", "compas", "creditcard")
+
+
+def run_figure_1(scale: Scale) -> None:
+    data = generate_compas_simplified(
+        scale.dataset_rows["compas"], seed=scale.seed
+    )
+    _, _, card = figure1_label_card(data)
+    print("\n===== Figure 1: COMPAS label card =====")
+    print(card)
+
+
+def run_figures_4_5(scale: Scale, datasets: dict) -> None:
+    print("\n===== Figures 4 and 5: accuracy vs label size =====")
+    for name in DATASETS:
+        table = accuracy_vs_label_size(
+            datasets[name],
+            name,
+            scale.bounds,
+            sample_repeats=scale.sample_repeats,
+            seed=scale.seed,
+        )
+        print("\n" + table.to_text())
+
+
+def run_figure_6(scale: Scale, datasets: dict) -> None:
+    print("\n===== Figure 6: runtime vs bound =====")
+    for name in DATASETS:
+        table = runtime_vs_bound(
+            datasets[name],
+            name,
+            scale.bounds,
+            naive_time_limit=scale.naive_time_limit,
+        )
+        print("\n" + table.to_text())
+
+
+def run_figure_7(scale: Scale, datasets: dict) -> None:
+    print("\n===== Figure 7: runtime vs data size =====")
+    for name in DATASETS:
+        table = runtime_vs_data_size(
+            datasets[name],
+            name,
+            scale.growth_factors,
+            bound=50,
+            naive_time_limit=scale.naive_time_limit,
+            seed=scale.seed,
+        )
+        print("\n" + table.to_text())
+
+
+def run_figure_8(scale: Scale, datasets: dict) -> None:
+    print("\n===== Figure 8: runtime vs number of attributes =====")
+    for name in DATASETS:
+        table = runtime_vs_attribute_count(
+            datasets[name],
+            name,
+            bound=50,
+            naive_time_limit=scale.naive_time_limit,
+        )
+        print("\n" + table.to_text())
+
+
+def run_figure_9(scale: Scale, datasets: dict) -> None:
+    print("\n===== Figure 9: candidate subsets examined =====")
+    for name in DATASETS:
+        table = candidates_vs_bound(
+            datasets[name],
+            name,
+            scale.candidate_bounds,
+            naive_time_limit=scale.naive_time_limit,
+        )
+        print("\n" + table.to_text())
+
+
+def run_figure_10(scale: Scale, datasets: dict) -> None:
+    print("\n===== Figure 10: optimal vs sub-label errors =====")
+    for name in DATASETS:
+        table = sublabel_errors(
+            datasets[name], name, bound=scale.sublabel_bound
+        )
+        print("\n" + table.to_text())
+
+
+RUNNERS = {
+    1: run_figure_1,
+    4: run_figures_4_5,
+    5: run_figures_4_5,
+    6: run_figure_6,
+    7: run_figure_7,
+    8: run_figure_8,
+    9: run_figure_9,
+    10: run_figure_10,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("ci", "paper"), default="ci",
+        help="dataset sizes and sweeps (default: ci)",
+    )
+    parser.add_argument(
+        "--figures", type=int, nargs="*", default=sorted(set(RUNNERS)),
+        help="figure numbers to regenerate (default: all)",
+    )
+    args = parser.parse_args()
+    scale = Scale.paper() if args.scale == "paper" else Scale.ci()
+
+    print(f"scale: {args.scale}; dataset rows: {dict(scale.dataset_rows)}")
+    datasets = {
+        name: load_dataset(
+            name, n_rows=scale.dataset_rows[name], seed=scale.seed
+        )
+        for name in DATASETS
+    }
+
+    ran = set()
+    for figure in args.figures:
+        runner = RUNNERS.get(figure)
+        if runner is None:
+            print(f"(no figure {figure}; choices: {sorted(set(RUNNERS))})")
+            continue
+        if runner in ran:
+            continue
+        ran.add(runner)
+        if figure == 1:
+            runner(scale)
+        else:
+            runner(scale, datasets)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: label a small dataset and estimate pattern counts.
+
+Walks the full public-API loop on the paper's own 18-tuple example
+relation (Figure 2 of the paper):
+
+1. build a :class:`repro.Dataset`;
+2. search for the optimal label under a size budget (Algorithm 1);
+3. estimate pattern counts from the label alone;
+4. render the label as a human-readable card.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Dataset,
+    LabelEstimator,
+    Pattern,
+    PatternCounter,
+    evaluate_label,
+    find_optimal_label,
+)
+from repro.labeling import render_label_text
+
+ROWS = [
+    ("Female", "under 20", "African-American", "single"),
+    ("Male", "20-39", "African-American", "divorced"),
+    ("Male", "under 20", "Hispanic", "single"),
+    ("Male", "20-39", "Caucasian", "married"),
+    ("Female", "20-39", "African-American", "divorced"),
+    ("Male", "20-39", "Caucasian", "divorced"),
+    ("Female", "20-39", "African-American", "married"),
+    ("Male", "under 20", "African-American", "single"),
+    ("Female", "20-39", "Caucasian", "divorced"),
+    ("Male", "under 20", "Caucasian", "single"),
+    ("Male", "20-39", "Hispanic", "divorced"),
+    ("Female", "under 20", "Hispanic", "single"),
+    ("Female", "20-39", "Hispanic", "married"),
+    ("Female", "under 20", "Caucasian", "single"),
+    ("Female", "20-39", "Caucasian", "married"),
+    ("Male", "20-39", "Hispanic", "married"),
+    ("Male", "20-39", "African-American", "married"),
+    ("Female", "20-39", "Hispanic", "divorced"),
+]
+
+
+def main() -> None:
+    # 1. A categorical relation (the paper's Figure 2 sample).
+    data = Dataset.from_rows(
+        ["gender", "age group", "race", "marital status"], ROWS
+    )
+    print(f"dataset: {data}\n")
+
+    # 2. Find the optimal label with at most 5 stored pattern counts.
+    result = find_optimal_label(data, bound=5)
+    print(
+        f"optimal label uses S = {list(result.attributes)} "
+        f"(|PC| = {result.label.size}, max error = "
+        f"{result.objective_value:g})\n"
+    )
+
+    # 3. Estimate counts from the label alone — no data access.
+    estimator = LabelEstimator(result.label)
+    counter = PatternCounter(data)
+    queries = [
+        Pattern({"gender": "Female", "age group": "20-39",
+                 "marital status": "married"}),
+        Pattern({"race": "Hispanic", "marital status": "single"}),
+        Pattern({"gender": "Male", "race": "Caucasian"}),
+    ]
+    print(f"{'pattern':<58}{'estimate':>9}{'true':>6}")
+    for pattern in queries:
+        estimate = estimator.estimate(pattern)
+        true_count = counter.count(pattern)
+        description = ", ".join(f"{a}={v}" for a, v in pattern.items())
+        print(f"{description:<58}{estimate:>9.1f}{true_count:>6}")
+
+    # 4. Render the label as a nutrition-label card.
+    summary = evaluate_label(counter, result.label)
+    print("\n" + render_label_text(result.label, summary))
+
+
+if __name__ == "__main__":
+    main()

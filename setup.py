@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and lacks the ``wheel`` package,
+so PEP 517 editable installs (`pip install -e .` with a build-system
+table) cannot build an editable wheel.  This shim lets pip fall back to
+the legacy ``setup.py develop`` code path, which needs only setuptools.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,104 @@
+"""Pattern count-based labels for datasets.
+
+A full reproduction of *Moskovitch & Jagadish, "Patterns Count-Based
+Labels for Datasets", ICDE 2021*: bounded-size dataset labels that store
+value counts plus the joint counts over one well-chosen attribute subset,
+and estimate the count of **any** attribute-value combination from them.
+
+Quickstart
+----------
+>>> from repro import Dataset, find_optimal_label, LabelEstimator, Pattern
+>>> data = Dataset.from_columns({
+...     "gender": ["F", "M", "F", "M", "F", "M"],
+...     "age":    ["<20", "<20", "20+", "20+", "<20", "20+"],
+... })
+>>> result = find_optimal_label(data, bound=10)
+>>> estimator = LabelEstimator(result.label)
+>>> estimator.estimate(Pattern({"gender": "F", "age": "<20"}))
+2.0
+
+See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
+full system inventory.
+"""
+
+from repro.core import (
+    DecisionProblem,
+    ErrorSummary,
+    FlexibleEstimator,
+    FlexibleLabel,
+    arity_pattern_set,
+    greedy_flexible_label,
+    marginals_pattern_set,
+    random_pattern_workload,
+    Label,
+    LabelEstimator,
+    LabelLattice,
+    MultiLabelEstimator,
+    Objective,
+    OptimalLabelProblem,
+    Pattern,
+    PatternCounter,
+    PatternSet,
+    SearchResult,
+    SearchStats,
+    absolute_error,
+    build_label,
+    evaluate_label,
+    find_optimal_label,
+    full_pattern_set,
+    gen_children,
+    label_size,
+    naive_search,
+    patterns_over,
+    q_error,
+    sensitive_pattern_set,
+    top_down_search,
+)
+from repro.dataset import Column, Dataset, Schema, read_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Column",
+    "Schema",
+    "Dataset",
+    "read_csv",
+    "write_csv",
+    # core model
+    "Pattern",
+    "PatternCounter",
+    "Label",
+    "build_label",
+    "label_size",
+    "LabelEstimator",
+    "MultiLabelEstimator",
+    "ErrorSummary",
+    "Objective",
+    "absolute_error",
+    "q_error",
+    "evaluate_label",
+    "PatternSet",
+    "full_pattern_set",
+    "patterns_over",
+    "sensitive_pattern_set",
+    "LabelLattice",
+    "gen_children",
+    # search
+    "SearchResult",
+    "SearchStats",
+    "naive_search",
+    "top_down_search",
+    "find_optimal_label",
+    "OptimalLabelProblem",
+    "DecisionProblem",
+    # extensions (Section II-C future work)
+    "FlexibleLabel",
+    "FlexibleEstimator",
+    "greedy_flexible_label",
+    # workload pattern sets (the flexible P of Definition 2.15)
+    "random_pattern_workload",
+    "arity_pattern_set",
+    "marginals_pattern_set",
+]

@@ -1,0 +1,33 @@
+"""Baseline cardinality estimators the paper compares against.
+
+Section IV-B measures the pattern-count label (PCBL) against:
+
+* :class:`~repro.baselines.postgres.PostgresEstimator` — a faithful
+  re-implementation of PostgreSQL's ``pg_statistic``-based equality
+  selectivity estimation (ANALYZE-style sampling, per-attribute MCV
+  lists, ``n_distinct``, and independence multiplication across clauses);
+* :class:`~repro.baselines.sampling.SamplingEstimator` — uniform random
+  sampling with scale-up, the conventional approach, sized so the sample
+  plus the value counts occupy the same space as a PCBL of the compared
+  bound.
+
+Both implement the :class:`~repro.baselines.base.CardinalityEstimator`
+protocol shared with :class:`~repro.core.estimator.LabelEstimator`.
+"""
+
+from repro.baselines.base import CardinalityEstimator, TabularEstimator
+from repro.baselines.postgres import PostgresEstimator, PgStatistic
+from repro.baselines.sampling import SamplingEstimator, sample_size_for_bound
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.dephist import DependencyTreeEstimator
+
+__all__ = [
+    "DependencyTreeEstimator",
+    "CardinalityEstimator",
+    "TabularEstimator",
+    "PostgresEstimator",
+    "PgStatistic",
+    "SamplingEstimator",
+    "sample_size_for_bound",
+    "IndependenceEstimator",
+]

@@ -1,0 +1,45 @@
+"""Shared estimator protocol.
+
+Every count estimator in the repository — label-based, sample-based, or
+DBMS-statistics-based — answers the same query: *how many tuples of the
+dataset satisfy this pattern?*  The protocol has a per-pattern form
+(:meth:`CardinalityEstimator.estimate`) and a vectorized tabular form
+(:meth:`TabularEstimator.estimate_codes`) used by the experiment harness
+to score an estimator against tens of thousands of full-width patterns at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+
+__all__ = ["CardinalityEstimator", "TabularEstimator"]
+
+
+@runtime_checkable
+class CardinalityEstimator(Protocol):
+    """Anything that can estimate a pattern count."""
+
+    def estimate(self, pattern: Pattern) -> float:
+        """Estimated count of tuples satisfying ``pattern``."""
+        ...
+
+
+@runtime_checkable
+class TabularEstimator(Protocol):
+    """Estimator with a vectorized path over code matrices."""
+
+    def estimate_codes(
+        self, attributes: Sequence[str], combos: np.ndarray
+    ) -> np.ndarray:
+        """Estimates for each row of ``combos`` (codes over ``attributes``).
+
+        ``combos`` is a ``(k, len(attributes))`` integer code matrix in
+        the estimator's dataset schema; the result is a length-``k``
+        float vector.
+        """
+        ...

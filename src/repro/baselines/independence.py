@@ -1,0 +1,64 @@
+"""Independence-only baseline: value counts alone (Example 2.6).
+
+The strawman the paper opens with: store *only* the per-value counts
+(``VC``) and estimate every pattern under full attribute independence —
+
+``Est(p) = |D| * prod_{A in Attr(p)} frac(A = p.A)``
+
+This is exactly the estimate of an empty-``S`` label, packaged as a
+stand-alone estimator so the experiments can show what the ``PC``
+component buys: "However, this defeats the central purpose of profiling —
+we only get information about individual attributes but nothing about
+any correlations" (Section I).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counts import PatternCounter
+from repro.core.pattern import Pattern
+from repro.dataset.table import Dataset
+
+__all__ = ["IndependenceEstimator"]
+
+
+class IndependenceEstimator:
+    """Estimate counts from marginal value counts only.
+
+    Parameters
+    ----------
+    dataset:
+        The relation to profile; only its value counts are retained.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._counter = PatternCounter(dataset)
+        self._total = dataset.n_rows
+
+    @property
+    def size(self) -> int:
+        """Stored value/count pairs (``|VC|``)."""
+        return sum(
+            column.cardinality for column in self._counter.dataset.schema
+        )
+
+    def estimate(self, pattern: Pattern) -> float:
+        """``|D| * prod frac(A = a)`` over the pattern's bindings."""
+        estimate = float(self._total)
+        for attribute, value in pattern.items_sorted:
+            estimate *= self._counter.fraction(attribute, value)
+        return estimate
+
+    def estimate_codes(
+        self, attributes: Sequence[str], combos: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized independence estimates for a code matrix."""
+        combos = np.asarray(combos)
+        estimates = np.full(combos.shape[0], float(self._total))
+        for position, attribute in enumerate(attributes):
+            fractions = self._counter.fractions(attribute)
+            estimates *= fractions[combos[:, position]]
+        return estimates

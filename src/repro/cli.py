@@ -1,0 +1,246 @@
+"""Command-line interface: label CSV files from the shell.
+
+The deployment story of the paper is "metadata that travels with a found
+CSV file"; this module is that workflow as a tool:
+
+* ``python -m repro label data.csv --bound 50 -o label.json`` — find the
+  optimal label and write it as JSON;
+* ``python -m repro card label.json`` — render a stored label as a
+  text/markdown/html nutrition card;
+* ``python -m repro estimate label.json gender=Female race=Hispanic`` —
+  estimate a pattern count from a label, no data needed;
+* ``python -m repro profile data.csv --sensitive gender,race`` — run the
+  fitness-for-use warnings against a CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.errors import evaluate_label
+from repro.core.estimator import LabelEstimator
+from repro.core.label import Label
+from repro.core.pattern import Pattern
+from repro.core.counts import PatternCounter
+from repro.core.search import find_optimal_label
+from repro.dataset.csvio import read_csv
+from repro.labeling.render import (
+    render_label_html,
+    render_label_markdown,
+    render_label_text,
+)
+from repro.labeling.report import generate_report
+from repro.labeling.warnings import profile_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_assignments(tokens: Sequence[str]) -> Pattern:
+    assignments = {}
+    for token in tokens:
+        if "=" not in token:
+            raise SystemExit(
+                f"pattern bindings look like attr=value, got {token!r}"
+            )
+        attribute, _, value = token.partition("=")
+        assignments[attribute] = value
+    if not assignments:
+        raise SystemExit("at least one attr=value binding is required")
+    return Pattern(assignments)
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.csv)
+    result = find_optimal_label(
+        dataset, args.bound, algorithm=args.algorithm
+    )
+    payload = result.label.to_json()
+    if args.output:
+        Path(args.output).write_text(payload)
+    else:
+        print(payload)
+    print(
+        f"S = {list(result.attributes)}  |PC| = {result.label.size}  "
+        f"max error = {result.objective_value:g} "
+        f"({100 * result.objective_value / dataset.n_rows:.2f}% of "
+        f"{dataset.n_rows} rows)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_card(args: argparse.Namespace) -> int:
+    label = Label.from_json(Path(args.label).read_text())
+    renderer = {
+        "text": render_label_text,
+        "markdown": render_label_markdown,
+        "html": render_label_html,
+    }[args.format]
+    summary = None
+    if args.csv:
+        counter = PatternCounter(read_csv(args.csv))
+        summary = evaluate_label(counter, label)
+    print(renderer(label, summary))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    label = Label.from_json(Path(args.label).read_text())
+    pattern = _parse_assignments(args.bindings)
+    estimator = LabelEstimator(label)
+    estimate = estimator.estimate(pattern)
+    exact = " (exact)" if estimator.is_exact_for(pattern) else ""
+    print(f"{estimate:.1f}{exact}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.csv)
+    sensitive = [name.strip() for name in args.sensitive.split(",")]
+    warnings = profile_dataset(
+        dataset,
+        sensitive,
+        min_share=args.min_share,
+        max_share=args.max_share,
+    )
+    if not warnings:
+        print("no findings")
+        return 0
+    for warning in warnings:
+        print(warning)
+    return 1 if args.strict else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.csv)
+    sensitive = (
+        [name.strip() for name in args.sensitive.split(",")]
+        if args.sensitive
+        else None
+    )
+    report = generate_report(
+        dataset,
+        dataset_name=Path(args.csv).name,
+        bound=args.bound,
+        sensitive_attributes=sensitive,
+    )
+    document = report.to_markdown()
+    if args.output:
+        Path(args.output).write_text(document)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(document)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pattern count-based labels for CSV datasets.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    label = commands.add_parser(
+        "label", help="find the optimal label for a CSV file"
+    )
+    label.add_argument("csv", help="input CSV file (header row required)")
+    label.add_argument(
+        "--bound", type=int, default=50, help="size budget Bs (default 50)"
+    )
+    label.add_argument(
+        "--algorithm",
+        choices=("top-down", "naive"),
+        default="top-down",
+        help="search algorithm (default: top-down heuristic)",
+    )
+    label.add_argument(
+        "-o", "--output", help="write the label JSON here (default stdout)"
+    )
+    label.set_defaults(func=_cmd_label)
+
+    card = commands.add_parser(
+        "card", help="render a stored label as a nutrition card"
+    )
+    card.add_argument("label", help="label JSON file")
+    card.add_argument(
+        "--format",
+        choices=("text", "markdown", "html"),
+        default="text",
+        help="output format (default text)",
+    )
+    card.add_argument(
+        "--csv",
+        help="original CSV; when given, the card includes error statistics",
+    )
+    card.set_defaults(func=_cmd_card)
+
+    estimate = commands.add_parser(
+        "estimate", help="estimate a pattern count from a label"
+    )
+    estimate.add_argument("label", help="label JSON file")
+    estimate.add_argument(
+        "bindings", nargs="+", help="pattern bindings, e.g. gender=Female"
+    )
+    estimate.set_defaults(func=_cmd_estimate)
+
+    profile = commands.add_parser(
+        "profile", help="fitness-for-use warnings for a CSV file"
+    )
+    profile.add_argument("csv", help="input CSV file")
+    profile.add_argument(
+        "--sensitive",
+        required=True,
+        help="comma-separated sensitive attributes",
+    )
+    profile.add_argument(
+        "--min-share",
+        type=float,
+        default=0.01,
+        help="under-representation threshold (default 0.01)",
+    )
+    profile.add_argument(
+        "--max-share",
+        type=float,
+        default=0.5,
+        help="skew threshold (default 0.5)",
+    )
+    profile.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit with status 1 when any warning fires",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    report = commands.add_parser(
+        "report",
+        help="full Markdown report: profile + label + warnings",
+    )
+    report.add_argument("csv", help="input CSV file")
+    report.add_argument(
+        "--bound", type=int, default=50, help="label size budget (default 50)"
+    )
+    report.add_argument(
+        "--sensitive",
+        help="comma-separated sensitive attributes "
+        "(default: the optimal label's subset)",
+    )
+    report.add_argument(
+        "-o", "--output", help="write the Markdown here (default stdout)"
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

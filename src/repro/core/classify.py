@@ -1,0 +1,192 @@
+"""Estimate classification and the Proposition 3.2 monotonicity check.
+
+Definition 3.1 classifies the estimate of a pattern under a label as
+*exact*, *over*, or *under*; Proposition 3.2 states that when a pattern's
+restricted estimate errs in the same direction under a subset label
+``l1 = L_{S1}`` and a superset label ``l2 = L_{S2}`` (``S1 ⊆ S2``), the
+superset label's error is no larger.  Section IV-E validates the implied
+heuristic empirically.
+
+This module makes both executable:
+
+* :func:`classify_estimate` — the Definition 3.1 trichotomy;
+* :func:`classification_profile` — the exact/over/under breakdown of a
+  label over a pattern set (a useful diagnostic: more "exact" mass means
+  a better subset);
+* :func:`check_proposition_3_2` — verify the proposition's inequality on
+  every applicable pattern of a pattern set for a concrete ``S1 ⊆ S2``
+  pair, returning the (empirical) violation count for the
+  *unconditional* form — the paper's conditional form is a theorem and
+  must never be violated, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import vectorized_estimates
+from repro.core.patternsets import PatternSet, full_pattern_set
+
+__all__ = [
+    "EstimateKind",
+    "classify_estimate",
+    "ClassificationProfile",
+    "classification_profile",
+    "Proposition32Report",
+    "check_proposition_3_2",
+]
+
+#: Tolerance distinguishing "exact" from rounding noise.
+_EXACT_TOLERANCE = 1e-9
+
+
+class EstimateKind(enum.Enum):
+    """Definition 3.1's trichotomy."""
+
+    EXACT = "exact"
+    OVER = "over"
+    UNDER = "under"
+
+
+def classify_estimate(true_count: float, estimate: float) -> EstimateKind:
+    """Classify one estimate per Definition 3.1."""
+    if abs(estimate - true_count) <= _EXACT_TOLERANCE:
+        return EstimateKind.EXACT
+    if estimate > true_count:
+        return EstimateKind.OVER
+    return EstimateKind.UNDER
+
+
+@dataclass(frozen=True)
+class ClassificationProfile:
+    """Exact/over/under breakdown of a label over a pattern set."""
+
+    n_exact: int
+    n_over: int
+    n_under: int
+
+    @property
+    def total(self) -> int:
+        """Number of classified patterns."""
+        return self.n_exact + self.n_over + self.n_under
+
+    @property
+    def exact_share(self) -> float:
+        """Fraction of patterns estimated exactly."""
+        return self.n_exact / self.total if self.total else 0.0
+
+
+def classification_profile(
+    counter: PatternCounter,
+    label_attributes: Sequence[str],
+    pattern_set: PatternSet | None = None,
+) -> ClassificationProfile:
+    """Classify every pattern of a tabular set under one label."""
+    if pattern_set is None:
+        pattern_set = full_pattern_set(counter)
+    estimates = vectorized_estimates(counter, label_attributes, pattern_set)
+    truths = pattern_set.counts.astype(np.float64)
+    deltas = estimates - truths
+    exact = np.abs(deltas) <= _EXACT_TOLERANCE
+    over = deltas > _EXACT_TOLERANCE
+    return ClassificationProfile(
+        n_exact=int(exact.sum()),
+        n_over=int(over.sum()),
+        n_under=int((~exact & ~over).sum()),
+    )
+
+
+@dataclass(frozen=True)
+class Proposition32Report:
+    """Outcome of a Proposition 3.2 sweep over a pattern set.
+
+    ``n_applicable`` counts patterns satisfying the proposition's
+    precondition — the restricted pattern ``p' = p|_{S2}`` is over-(resp.
+    under-)estimated by ``l1`` *and* ``p`` is over- (resp. under-)
+    estimated by ``l2``; ``n_violations`` counts applicable patterns
+    where the superset label's error exceeded the subset label's —
+    provably zero (the tests assert it).
+    ``n_unconditional_violations`` counts all patterns where the superset
+    label was worse regardless of direction: the empirical quantity
+    Section IV-E measures, expected small but not necessarily zero.
+    """
+
+    n_patterns: int
+    n_applicable: int
+    n_violations: int
+    n_unconditional_violations: int
+
+    @property
+    def holds(self) -> bool:
+        """True when the (conditional) proposition held everywhere."""
+        return self.n_violations == 0
+
+
+def check_proposition_3_2(
+    counter: PatternCounter,
+    subset: Sequence[str],
+    superset: Sequence[str],
+    pattern_set: PatternSet | None = None,
+) -> Proposition32Report:
+    """Verify Proposition 3.2 for one ``S1 ⊆ S2`` pair.
+
+    Both labels estimate every pattern of the (tabular) pattern set; the
+    report breaks down where the proposition applies and whether it held.
+    """
+    if not set(subset) <= set(superset):
+        raise ValueError("subset must be contained in superset")
+    if pattern_set is None:
+        pattern_set = full_pattern_set(counter)
+    if not pattern_set.is_tabular:
+        raise ValueError("the check requires a tabular pattern set")
+    pattern_attrs = pattern_set.attributes
+    combos = pattern_set.combos
+    assert pattern_attrs is not None and combos is not None
+
+    from repro.core.errors import estimates_for_codes
+
+    small = vectorized_estimates(counter, tuple(subset), pattern_set)
+    large = vectorized_estimates(counter, tuple(superset), pattern_set)
+    truths = pattern_set.counts.astype(np.float64)
+
+    # The restricted pattern p' = p|_{S2}: its true count and its
+    # estimate under l1.
+    restricted_attrs = [a for a in pattern_attrs if a in set(superset)]
+    restricted_positions = [
+        pattern_attrs.index(a) for a in restricted_attrs
+    ]
+    restricted_combos = combos[:, restricted_positions]
+    restricted_truths = estimates_for_codes(
+        counter, tuple(superset), restricted_attrs, restricted_combos
+    )  # Attr(p') ⊆ S2, so this is the exact count c_D(p').
+    restricted_small = estimates_for_codes(
+        counter, tuple(subset), restricted_attrs, restricted_combos
+    )
+
+    small_restricted_delta = restricted_small - restricted_truths
+    large_delta = large - truths
+    same_direction = (
+        (
+            (small_restricted_delta > _EXACT_TOLERANCE)
+            & (large_delta > _EXACT_TOLERANCE)
+        )
+        | (
+            (small_restricted_delta < -_EXACT_TOLERANCE)
+            & (large_delta < -_EXACT_TOLERANCE)
+        )
+    )
+    small_error = np.abs(small - truths)
+    large_error = np.abs(large_delta)
+    worse = large_error > small_error + _EXACT_TOLERANCE
+
+    return Proposition32Report(
+        n_patterns=int(truths.size),
+        n_applicable=int(same_direction.sum()),
+        n_violations=int((same_direction & worse).sum()),
+        n_unconditional_violations=int(worse.sum()),
+    )

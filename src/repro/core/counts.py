@@ -1,0 +1,178 @@
+"""The counting kernel: ``c_D(p)`` and joint count tables.
+
+:class:`PatternCounter` wraps a :class:`~repro.dataset.table.Dataset` and
+answers the three count queries the labeling machinery needs:
+
+* :meth:`PatternCounter.count` — the exact count ``c_D(p)`` of one pattern
+  (Definition 2.3), by vectorized mask intersection;
+* :meth:`PatternCounter.joint_table` — the joint count table over an
+  attribute set ``S`` (exactly the ``PC`` content of ``L_S(D)``);
+* :meth:`PatternCounter.label_size` — ``|P_S|``, the number of distinct
+  combinations over ``S`` with positive count, i.e. the size charged
+  against the label budget ``Bs``.
+
+Value counts and value-count *fractions* (the independence factors of the
+estimation function) are cached per attribute, and label sizes are cached
+per attribute set, because both are re-requested heavily during lattice
+search.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.dataset.schema import MISSING_CODE
+from repro.dataset.table import Dataset
+
+__all__ = ["PatternCounter"]
+
+
+class PatternCounter:
+    """Count oracle over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The relation to profile.  The counter holds a reference (datasets
+        are immutable) and builds caches lazily.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        self._value_counts: dict[str, dict[Hashable, int]] = {}
+        self._fractions: dict[str, np.ndarray] = {}
+        self._label_sizes: dict[tuple[str, ...], int] = {}
+        self._full_rows: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def dataset(self) -> Dataset:
+        """The profiled dataset."""
+        return self._dataset
+
+    @property
+    def total_rows(self) -> int:
+        """``|D|``."""
+        return self._dataset.n_rows
+
+    # -- single-pattern counting ----------------------------------------------
+
+    def count(self, pattern: Pattern) -> int:
+        """Exact count ``c_D(p)`` by vectorized mask intersection."""
+        schema = self._dataset.schema
+        mask: np.ndarray | None = None
+        for attribute, value in pattern.items_sorted:
+            code = schema[attribute].code_of(value)
+            column_mask = self._dataset.codes(attribute) == code
+            mask = column_mask if mask is None else (mask & column_mask)
+            if not mask.any():
+                return 0
+        assert mask is not None  # patterns are non-empty
+        return int(mask.sum())
+
+    # -- per-attribute statistics -----------------------------------------------
+
+    def value_counts(self, attribute: str) -> dict[Hashable, int]:
+        """Counts of every domain value of ``attribute`` (cached)."""
+        if attribute not in self._value_counts:
+            self._value_counts[attribute] = self._dataset.value_counts(
+                attribute
+            )
+        return self._value_counts[attribute]
+
+    def value_count(self, attribute: str, value: Hashable) -> int:
+        """Count ``c_D({A = a})`` of one attribute value."""
+        return self.value_counts(attribute)[value]
+
+    def fractions(self, attribute: str) -> np.ndarray:
+        """Independence factors per code of ``attribute``.
+
+        Entry ``code`` holds ``c_D({A=a}) / sum_a' c_D({A=a'})``, the
+        factor the estimation function multiplies in for an attribute
+        outside the label's set (Definition 2.11).  The denominator is the
+        number of non-missing entries of the attribute, which equals
+        ``|D|`` for datasets without missing values.
+        """
+        if attribute not in self._fractions:
+            column = self._dataset.schema[attribute]
+            counts = np.array(
+                [
+                    self.value_counts(attribute)[category]
+                    for category in column.categories
+                ],
+                dtype=np.float64,
+            )
+            denominator = counts.sum()
+            if denominator == 0:
+                fractions = np.zeros_like(counts)
+            else:
+                fractions = counts / denominator
+            self._fractions[attribute] = fractions
+        return self._fractions[attribute]
+
+    def fraction(self, attribute: str, value: Hashable) -> float:
+        """Single independence factor for ``attribute = value``."""
+        code = self._dataset.schema[attribute].code_of(value)
+        return float(self.fractions(attribute)[code])
+
+    # -- attribute-set statistics -------------------------------------------------
+
+    def joint_table(
+        self, attributes: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Joint count table (``PC`` content) over ``attributes``.
+
+        Returns the ``(combos, counts)`` pair produced by
+        :meth:`repro.dataset.table.Dataset.joint_counts`.
+        """
+        return self._dataset.joint_counts(list(attributes))
+
+    def label_size(self, attributes: Sequence[str]) -> int:
+        """``|P_S|``: distinct positive-count combinations over ``S``.
+
+        Cached per attribute set — the search algorithms probe the same
+        sets repeatedly while walking the lattice.
+        """
+        key = tuple(attributes)
+        if key not in self._label_sizes:
+            self._label_sizes[key] = self._dataset.n_distinct(list(key))
+        return self._label_sizes[key]
+
+    def distinct_full_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct fully-present rows and their counts.
+
+        This is the default pattern set ``P_A`` of the experiments: every
+        full-width pattern present in the data, with its true count.
+        Cached — the search evaluates every candidate against it.
+        """
+        if self._full_rows is None:
+            self._full_rows = self._dataset.joint_counts(
+                list(self._dataset.attribute_names)
+            )
+        return self._full_rows
+
+    # -- conversions ---------------------------------------------------------------
+
+    def pattern_from_codes(
+        self, attributes: Sequence[str], codes: Sequence[int]
+    ) -> Pattern:
+        """Decode a code vector over ``attributes`` into a :class:`Pattern`."""
+        schema = self._dataset.schema
+        assignments: dict[str, Hashable] = {}
+        for attribute, code in zip(attributes, codes):
+            if code == MISSING_CODE:
+                raise ValueError("cannot build a pattern from a missing value")
+            assignments[attribute] = schema[attribute].category_of(int(code))
+        return Pattern(assignments)
+
+    def codes_from_pattern(
+        self, pattern: Pattern
+    ) -> Mapping[str, int]:
+        """Encode a pattern as attribute → code."""
+        schema = self._dataset.schema
+        return {
+            attribute: schema[attribute].code_of(value)
+            for attribute, value in pattern.items_sorted
+        }

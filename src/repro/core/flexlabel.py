@@ -1,0 +1,252 @@
+"""Flexible labels: overlapping pattern counts (future-work extension).
+
+Section II-C of the paper: *"More complex approaches could consider
+overlapping combinations of patterns, derive best estimates from multiple
+labels, use partial patterns, and so on.  Such complex approaches are
+left to future work."*
+
+This module implements the first of those: a :class:`FlexibleLabel`
+stores an *arbitrary* set of pattern/count pairs — not the full joint
+over one attribute subset — plus the usual ``VC``.  Estimation picks,
+for each queried pattern ``p``, the stored pattern ``q ⊆ p`` with the
+largest attribute overlap (ties broken toward the smaller count, i.e.
+the more selective base) and scales by independence factors for the
+attributes ``q`` leaves unbound:
+
+``Est(p) = c_D(q) * prod_{A in Attr(p) \\ Attr(q)} frac(A = p.A)``
+
+:func:`greedy_flexible_label` builds such a label under the same
+``|PC| <= Bs`` budget by greedy error correction: repeatedly evaluate the
+current label over the target pattern set, take the worst-estimated
+pattern, and store the sub-pattern that fixes the largest share of its
+error.  The extension experiment (``benchmarks/test_extension_flexible.py``)
+compares it against the paper's subset labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import ErrorSummary
+from repro.core.pattern import Pattern
+from repro.core.patternsets import PatternSet, full_pattern_set
+
+__all__ = ["FlexibleLabel", "FlexibleEstimator", "greedy_flexible_label"]
+
+
+@dataclass(frozen=True)
+class FlexibleLabel:
+    """A label storing arbitrary (possibly overlapping) pattern counts."""
+
+    pc: Mapping[Pattern, int]
+    vc: Mapping[str, Mapping[Hashable, int]]
+    total: int
+    attribute_order: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for pattern, count in self.pc.items():
+            if count <= 0:
+                raise ValueError(
+                    f"stored counts must be positive, got {count} for "
+                    f"{pattern!r}"
+                )
+            unknown = set(pattern.attributes) - set(self.attribute_order)
+            if unknown:
+                raise ValueError(
+                    f"pattern binds unknown attributes {sorted(unknown)}"
+                )
+
+    @property
+    def size(self) -> int:
+        """``|PC|`` — the stored pattern/count pairs."""
+        return len(self.pc)
+
+    def value_fraction(self, attribute: str, value: Hashable) -> float:
+        """Independence factor from ``VC``."""
+        counts = self.vc[attribute]
+        denominator = float(sum(counts.values()))
+        if denominator == 0:
+            return 0.0
+        return counts[value] / denominator
+
+
+class FlexibleEstimator:
+    """Estimate pattern counts from a :class:`FlexibleLabel`."""
+
+    def __init__(self, label: FlexibleLabel) -> None:
+        self._label = label
+        # Index stored patterns by their attribute set for fast
+        # subset-compatibility scans (|PC| is small by construction).
+        self._stored = list(label.pc.items())
+
+    @property
+    def label(self) -> FlexibleLabel:
+        """The label backing this estimator."""
+        return self._label
+
+    def best_base(self, pattern: Pattern) -> tuple[Pattern | None, float]:
+        """The stored sub-pattern used as the estimation base.
+
+        Returns ``(None, |D|)`` when nothing applies (pure independence).
+        Preference: maximal attribute overlap, then the smaller stored
+        count (a more selective base leaves less mass to mis-spread).
+        """
+        best: Pattern | None = None
+        best_key = (-1, float("inf"))
+        for stored, count in self._stored:
+            if not stored.is_subpattern_of(pattern):
+                continue
+            if len(stored) > best_key[0] or (
+                len(stored) == best_key[0] and count < best_key[1]
+            ):
+                best = stored
+                best_key = (len(stored), count)
+        if best is None:
+            return None, float(self._label.total)
+        return best, float(self._label.pc[best])
+
+    def estimate(self, pattern: Pattern) -> float:
+        """``Est(p)`` with the maximal-overlap stored base."""
+        base_pattern, base = self.best_base(pattern)
+        covered = (
+            set(base_pattern.attributes) if base_pattern is not None else set()
+        )
+        estimate = base
+        for attribute, value in pattern.items_sorted:
+            if attribute in covered:
+                continue
+            estimate *= self._label.value_fraction(attribute, value)
+        return estimate
+
+    def evaluate(self, pattern_set: PatternSet) -> ErrorSummary:
+        """Error summary over a pattern set (per-pattern loop)."""
+        estimates = np.array(
+            [
+                self.estimate(pattern)
+                for pattern, _ in pattern_set.iter_with_counts()
+            ],
+            dtype=np.float64,
+        )
+        return ErrorSummary.from_arrays(pattern_set.counts, estimates)
+
+
+def greedy_flexible_label(
+    counter: PatternCounter,
+    bound: int,
+    *,
+    pattern_set: PatternSet | None = None,
+    max_arity: int | None = None,
+) -> FlexibleLabel:
+    """Greedy error-correcting construction of a flexible label.
+
+    Each round evaluates the current label over ``pattern_set`` (default
+    ``P_A``), finds the worst-estimated pattern, and stores the
+    restriction of that pattern that best corrects it: the full pattern
+    when arity allows, otherwise the sub-pattern extending the current
+    base by the attribute whose addition reduces the error most.
+
+    Parameters
+    ----------
+    counter:
+        Count oracle of the labeled dataset.
+    bound:
+        The ``|PC|`` budget.
+    pattern_set:
+        Target patterns (default: all full-width patterns).
+    max_arity:
+        Optional cap on stored-pattern width; ``None`` allows storing
+        full patterns (which pin their count exactly).
+    """
+    if bound < 1:
+        raise ValueError("bound must be positive")
+    if pattern_set is None:
+        pattern_set = full_pattern_set(counter)
+
+    dataset = counter.dataset
+    vc = {
+        column.name: counter.value_counts(column.name)
+        for column in dataset.schema
+    }
+    pc: dict[Pattern, int] = {}
+    patterns = [p for p, _ in pattern_set.iter_with_counts()]
+    truths = pattern_set.counts.astype(np.float64)
+
+    for _ in range(bound):
+        estimator = FlexibleEstimator(
+            FlexibleLabel(
+                pc=dict(pc),
+                vc=vc,
+                total=dataset.n_rows,
+                attribute_order=dataset.attribute_names,
+            )
+        )
+        estimates = np.array(
+            [estimator.estimate(p) for p in patterns], dtype=np.float64
+        )
+        errors = np.abs(estimates - truths)
+        worst = int(errors.argmax())
+        if errors[worst] <= 0:
+            break
+        target = patterns[worst]
+
+        candidate: Pattern | None
+        if max_arity is None or len(target) <= max_arity:
+            candidate = target
+        else:
+            # Extend the current base by the single attribute that
+            # reduces this pattern's error the most.
+            base_pattern, _ = estimator.best_base(target)
+            bound_attrs = (
+                set(base_pattern.attributes)
+                if base_pattern is not None
+                else set()
+            )
+            candidate = None
+            best_error = errors[worst]
+            for attribute in target.attributes:
+                if attribute in bound_attrs:
+                    continue
+                if base_pattern is None:
+                    extended = Pattern({attribute: target[attribute]})
+                else:
+                    extended = base_pattern.extend(
+                        attribute, target[attribute]
+                    )
+                if len(extended) > max_arity or extended in pc:
+                    continue
+                trial_pc = dict(pc)
+                trial_pc[extended] = counter.count(extended)
+                if trial_pc[extended] == 0:
+                    continue
+                trial = FlexibleEstimator(
+                    FlexibleLabel(
+                        pc=trial_pc,
+                        vc=vc,
+                        total=dataset.n_rows,
+                        attribute_order=dataset.attribute_names,
+                    )
+                )
+                trial_error = abs(
+                    trial.estimate(target) - truths[worst]
+                )
+                if trial_error < best_error:
+                    best_error = trial_error
+                    candidate = extended
+            if candidate is None:
+                break  # no admissible refinement improves the worst case
+
+        count = counter.count(candidate)
+        if count <= 0 or candidate in pc:
+            break
+        pc[candidate] = count
+
+    return FlexibleLabel(
+        pc=pc,
+        vc=vc,
+        total=dataset.n_rows,
+        attribute_order=dataset.attribute_names,
+    )

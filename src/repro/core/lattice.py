@@ -1,0 +1,178 @@
+"""The label lattice and the ``gen`` operator (Definitions 3.4, 3.5).
+
+The lattice's nodes are attribute subsets; ``S1`` is a parent of ``S2``
+when ``S2 = S1 ∪ {A}`` for a single attribute ``A``.  The top-down search
+never materializes the (exponential) lattice: children are produced on
+demand by ``gen(S)``, which extends ``S`` only with attributes whose index
+exceeds ``idx(S)`` (the largest attribute index in ``S``), so each node is
+generated exactly once (Proposition 3.8).
+
+:class:`LabelLattice` binds the operator to a fixed attribute order and
+adds the relational helpers (parents, children, level enumeration) plus an
+optional ``networkx`` export used for documentation figures like Fig. 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+__all__ = ["gen_children", "LabelLattice"]
+
+
+def gen_children(
+    order: Sequence[str], subset: Sequence[str]
+) -> list[tuple[str, ...]]:
+    """``gen(S)``: duplicate-free child generator (Definition 3.5).
+
+    Parameters
+    ----------
+    order:
+        The fixed attribute order ``A_1, ..., A_n`` of the dataset.
+    subset:
+        The node ``S``, given in attribute-order (may be empty; then all
+        singletons are produced).
+
+    Returns
+    -------
+    list of tuples
+        ``S ∪ {A_j}`` for every ``j > idx(S)``, each in attribute order.
+    """
+    positions = {name: i for i, name in enumerate(order)}
+    subset = tuple(subset)
+    for name in subset:
+        if name not in positions:
+            raise KeyError(f"attribute {name!r} not in the order")
+    max_index = max((positions[name] for name in subset), default=-1)
+    return [
+        subset + (order[j],) for j in range(max_index + 1, len(order))
+    ]
+
+
+class LabelLattice:
+    """The lattice of attribute subsets over a fixed attribute order."""
+
+    def __init__(self, order: Sequence[str]) -> None:
+        if len(set(order)) != len(order):
+            raise ValueError("attribute order contains duplicates")
+        self._order = tuple(order)
+        self._positions = {name: i for i, name in enumerate(self._order)}
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """The attribute order the lattice is built over."""
+        return self._order
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes ``n``; the lattice has ``2^n`` nodes."""
+        return len(self._order)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count ``2^n`` (including the empty set)."""
+        return 1 << len(self._order)
+
+    def normalize(self, subset: Sequence[str]) -> tuple[str, ...]:
+        """Sort a subset into attribute order (validating membership)."""
+        unique = dict.fromkeys(subset)
+        if len(unique) != len(tuple(subset)):
+            raise ValueError("subset contains duplicates")
+        for name in unique:
+            if name not in self._positions:
+                raise KeyError(f"attribute {name!r} not in the order")
+        return tuple(sorted(unique, key=self._positions.__getitem__))
+
+    def gen(self, subset: Sequence[str]) -> list[tuple[str, ...]]:
+        """``gen(S)`` bound to this lattice's order."""
+        return gen_children(self._order, self.normalize(subset))
+
+    def children(self, subset: Sequence[str]) -> list[tuple[str, ...]]:
+        """All lattice children (supersets by one attribute)."""
+        subset = self.normalize(subset)
+        present = set(subset)
+        out = []
+        for name in self._order:
+            if name not in present:
+                out.append(self.normalize(subset + (name,)))
+        return out
+
+    def parents(self, subset: Sequence[str]) -> list[tuple[str, ...]]:
+        """All lattice parents (subsets by one attribute)."""
+        subset = self.normalize(subset)
+        return [
+            tuple(a for a in subset if a != removed) for removed in subset
+        ]
+
+    def level(self, size: int) -> Iterator[tuple[str, ...]]:
+        """All subsets of a given size, in lexicographic attribute order."""
+        if size < 0 or size > len(self._order):
+            return iter(())
+        return (
+            tuple(combo)
+            for combo in itertools.combinations(self._order, size)
+        )
+
+    def iter_top_down(self) -> Iterator[tuple[str, ...]]:
+        """Every node exactly once via repeated ``gen`` (BFS order).
+
+        Starts from the singletons (``gen({})``); the empty set itself is
+        not yielded, matching Algorithm 1's traversal.
+        """
+        queue: list[tuple[str, ...]] = list(self.gen(()))
+        index = 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            yield node
+            queue.extend(gen_children(self._order, node))
+
+    def to_dot(self, *, highlight: Sequence[str] | None = None) -> str:
+        """Graphviz DOT rendering of the lattice (the paper's Figure 3).
+
+        Nodes are attribute subsets laid out by level; ``highlight``
+        (e.g. the optimal label's subset) is drawn filled.  Only sensible
+        for small attribute counts.
+        """
+        highlighted = (
+            self.normalize(highlight) if highlight is not None else None
+        )
+
+        def node_id(subset: tuple[str, ...]) -> str:
+            return '"{' + ", ".join(subset) + '}"'
+
+        lines = [
+            "digraph label_lattice {",
+            "  rankdir=TB;",
+            "  node [shape=ellipse, fontsize=10];",
+        ]
+        all_nodes: list[tuple[str, ...]] = [()]
+        for size in range(1, len(self._order) + 1):
+            all_nodes.extend(self.level(size))
+        for node in all_nodes:
+            attributes = ""
+            if highlighted is not None and node == highlighted:
+                attributes = ' [style=filled, fillcolor=lightblue]'
+            lines.append(f"  {node_id(node)}{attributes};")
+        for node in all_nodes:
+            for child in self.children(node):
+                lines.append(f"  {node_id(node)} -> {node_id(child)};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_networkx(self):
+        """Materialize the lattice as a ``networkx.DiGraph`` (edges point
+        from parents to children).  Only sensible for small ``n``; used to
+        draw figures like the paper's Fig. 3.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        all_nodes = [()]
+        for size in range(1, len(self._order) + 1):
+            all_nodes.extend(self.level(size))
+        graph.add_nodes_from(all_nodes)
+        for node in all_nodes:
+            for child in self.children(node):
+                graph.add_edge(node, child)
+        return graph

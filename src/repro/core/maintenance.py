@@ -1,0 +1,231 @@
+"""Incremental label maintenance under data updates.
+
+A published label describes a snapshot; real datasets grow.  Recomputing
+the optimal label on every append is wasteful (the search is the
+expensive part), so this module maintains an existing label *in place*:
+
+* :func:`apply_inserts` / :func:`apply_deletes` — update ``PC``, ``VC``
+  and ``total`` exactly for a batch of inserted/deleted tuples.  The
+  updated label is exactly ``L_S(D')`` for the new data ``D'``: counts
+  are additive, so no approximation is involved — only the *choice* of
+  ``S`` may go stale.
+* :class:`LabelMaintainer` — wraps a label with drift tracking: it
+  applies updates, re-evaluates the label's error periodically, and
+  reports when the error degrades past a configurable factor of the
+  error measured at (re)build time, signalling that a fresh search is
+  worthwhile.
+
+This addresses the operational gap the paper leaves open between
+"generate the label once" and "datasets are living artifacts".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import ErrorSummary, evaluate_label
+from repro.core.label import Label
+from repro.core.patternsets import full_pattern_set
+from repro.core.search import top_down_search
+from repro.dataset.table import Dataset
+
+__all__ = ["apply_inserts", "apply_deletes", "LabelMaintainer"]
+
+
+def _delta_counts(
+    label: Label, rows: Dataset
+) -> tuple[dict[tuple[Hashable, ...], int], dict[str, dict[Hashable, int]]]:
+    """Per-combination and per-value counts of an update batch."""
+    if set(rows.attribute_names) != set(label.attribute_order):
+        raise ValueError(
+            "update rows must carry exactly the labeled attributes; "
+            f"got {rows.attribute_names}, expected {label.attribute_order}"
+        )
+    counter = PatternCounter(rows)
+    pc_delta: dict[tuple[Hashable, ...], int] = {}
+    if label.attributes:
+        combos, counts = counter.joint_table(label.attributes)
+        schema = rows.schema
+        for combo, count in zip(combos, counts):
+            key = tuple(
+                schema[a].category_of(int(code))
+                for a, code in zip(label.attributes, combo)
+            )
+            pc_delta[key] = int(count)
+    vc_delta = {
+        attribute: counter.value_counts(attribute)
+        for attribute in label.attribute_order
+    }
+    return pc_delta, vc_delta
+
+
+def _merge_vc(
+    label: Label,
+    vc_delta: dict[str, dict[Hashable, int]],
+    sign: int,
+) -> dict[str, dict[Hashable, int]]:
+    merged: dict[str, dict[Hashable, int]] = {}
+    for attribute in label.attribute_order:
+        counts = dict(label.vc.get(attribute, {}))
+        for value, count in vc_delta.get(attribute, {}).items():
+            updated = counts.get(value, 0) + sign * count
+            if updated < 0:
+                raise ValueError(
+                    f"delete would drive {attribute}={value!r} below zero"
+                )
+            counts[value] = updated
+        merged[attribute] = counts
+    return merged
+
+
+def apply_inserts(label: Label, rows: Dataset) -> Label:
+    """Return ``L_S(D ∪ rows)`` computed from ``L_S(D)`` and the batch.
+
+    Exact: pattern counts and value counts are additive under union (bag
+    semantics).  ``rows`` must carry the same attributes as the labeled
+    data (any column order).
+    """
+    pc_delta, vc_delta = _delta_counts(label, rows)
+    pc = dict(label.pc)
+    for key, count in pc_delta.items():
+        pc[key] = pc.get(key, 0) + count
+    return Label(
+        attributes=label.attributes,
+        pc=pc,
+        vc=_merge_vc(label, vc_delta, +1),
+        total=label.total + rows.n_rows,
+        attribute_order=label.attribute_order,
+    )
+
+
+def apply_deletes(label: Label, rows: Dataset) -> Label:
+    """Return ``L_S(D \\ rows)`` computed from ``L_S(D)`` and the batch.
+
+    The caller asserts that every deleted tuple exists in the labeled
+    data; a batch that would drive any stored count negative is rejected
+    (the label would no longer describe any relation).
+    """
+    pc_delta, vc_delta = _delta_counts(label, rows)
+    pc = dict(label.pc)
+    for key, count in pc_delta.items():
+        remaining = pc.get(key, 0) - count
+        if remaining < 0:
+            raise ValueError(
+                f"delete would drive combination {key!r} below zero"
+            )
+        if remaining == 0:
+            pc.pop(key, None)
+        else:
+            pc[key] = remaining
+    if rows.n_rows > label.total:
+        raise ValueError("cannot delete more tuples than the label covers")
+    return Label(
+        attributes=label.attributes,
+        pc=pc,
+        vc=_merge_vc(label, vc_delta, -1),
+        total=label.total - rows.n_rows,
+        attribute_order=label.attribute_order,
+    )
+
+
+@dataclass
+class MaintenanceStatus:
+    """Outcome of one maintenance step."""
+
+    label: Label
+    summary: ErrorSummary | None
+    stale: bool
+    rebuilt: bool
+
+
+class LabelMaintainer:
+    """Keep a label current as its dataset evolves.
+
+    Parameters
+    ----------
+    dataset:
+        The current relation.
+    bound:
+        Size budget used for (re)searches.
+    drift_factor:
+        The label is flagged stale when its max error exceeds
+        ``drift_factor`` × the error measured at the last (re)build, or
+        when its ``|PC|`` outgrows ``bound``.
+    check_every:
+        Error re-evaluation cadence, counted in update batches (error
+        evaluation touches the data; updates themselves do not).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        bound: int,
+        *,
+        drift_factor: float = 2.0,
+        check_every: int = 4,
+    ) -> None:
+        if drift_factor < 1.0:
+            raise ValueError("drift_factor must be >= 1")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self._dataset = dataset
+        self._bound = bound
+        self._drift_factor = drift_factor
+        self._check_every = check_every
+        self._batches_since_check = 0
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        counter = PatternCounter(self._dataset)
+        result = top_down_search(
+            counter, self._bound, pattern_set=full_pattern_set(counter)
+        )
+        self._label = result.label
+        self._baseline_error = max(result.summary.max_abs, 1.0)
+
+    @property
+    def label(self) -> Label:
+        """The currently maintained label."""
+        return self._label
+
+    @property
+    def dataset(self) -> Dataset:
+        """The current relation (immutable snapshots)."""
+        return self._dataset
+
+    def insert(self, rows: Dataset) -> MaintenanceStatus:
+        """Apply an insert batch; periodically re-check drift.
+
+        Returns the updated label plus staleness/rebuild flags.  A stale
+        check that trips triggers an automatic re-search under the same
+        budget.
+        """
+        self._dataset = self._dataset.concat(
+            rows.select(list(self._dataset.attribute_names))
+        )
+        self._label = apply_inserts(self._label, rows)
+        self._batches_since_check += 1
+
+        summary = None
+        stale = self._label.size > self._bound
+        if stale or self._batches_since_check >= self._check_every:
+            self._batches_since_check = 0
+            counter = PatternCounter(self._dataset)
+            summary = evaluate_label(
+                counter, self._label, full_pattern_set(counter)
+            )
+            stale = stale or (
+                summary.max_abs > self._drift_factor * self._baseline_error
+            )
+        rebuilt = False
+        if stale:
+            self._rebuild()
+            rebuilt = True
+        return MaintenanceStatus(
+            label=self._label,
+            summary=summary,
+            stale=stale,
+            rebuilt=rebuilt,
+        )

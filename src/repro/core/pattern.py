@@ -1,0 +1,127 @@
+"""Patterns: attribute-value combinations (Definition 2.1).
+
+A :class:`Pattern` is an immutable mapping from attribute names to domain
+values, e.g. ``Pattern({"age group": "under 20", "marital status":
+"single"})``.  A tuple *satisfies* a pattern when it carries exactly the
+pattern's value on every pattern attribute (Definition 2.3); the *count*
+``c_D(p)`` is the number of satisfying tuples.
+
+Patterns are hashable and order-insensitive: two patterns with the same
+attribute-value pairs are equal regardless of construction order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+__all__ = ["Pattern"]
+
+
+class Pattern(Mapping[str, Hashable]):
+    """An immutable attribute → value mapping.
+
+    Parameters
+    ----------
+    assignments:
+        Mapping (or iterable of pairs) from attribute name to domain value.
+        Must be non-empty; an empty pattern would be satisfied by every
+        tuple and is not a pattern under Definition 2.1.
+    """
+
+    __slots__ = ("_items", "_lookup", "_hash")
+
+    def __init__(
+        self, assignments: Mapping[str, Hashable] | Iterator[tuple[str, Hashable]]
+    ) -> None:
+        items = tuple(sorted(dict(assignments).items(), key=lambda kv: kv[0]))
+        if not items:
+            raise ValueError("a pattern must bind at least one attribute")
+        for attribute, value in items:
+            if not isinstance(attribute, str) or not attribute:
+                raise TypeError(
+                    f"attribute names must be non-empty strings, got "
+                    f"{attribute!r}"
+                )
+            if value is None:
+                raise ValueError(
+                    f"attribute {attribute!r}: None is not a domain value "
+                    "(missing values never satisfy a pattern)"
+                )
+        self._items = items
+        self._lookup = dict(items)
+        self._hash = hash(items)
+
+    # -- mapping protocol ---------------------------------------------------------
+
+    def __getitem__(self, attribute: str) -> Hashable:
+        return self._lookup[attribute]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lookup)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Pattern):
+            return self._items == other._items
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{a}={v!r}" for a, v in self._items)
+        return f"Pattern({body})"
+
+    # -- paper notation -----------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """``Attr(p)``: the attributes bound by this pattern (sorted)."""
+        return tuple(a for a, _ in self._items)
+
+    @property
+    def items_sorted(self) -> tuple[tuple[str, Hashable], ...]:
+        """Canonical (attribute-sorted) item tuple."""
+        return self._items
+
+    def restrict(self, attributes) -> "Pattern | None":
+        """``p|_S``: the pattern restricted to the given attribute set.
+
+        Returns ``None`` when the restriction is empty (the paper's
+        formulas then fall back to the full data size ``|D|``).
+        """
+        keep = set(attributes)
+        items = {a: v for a, v in self._items if a in keep}
+        if not items:
+            return None
+        return Pattern(items)
+
+    def extend(self, attribute: str, value: Hashable) -> "Pattern":
+        """Return a new pattern additionally binding ``attribute=value``."""
+        if attribute in self._lookup:
+            raise ValueError(f"attribute {attribute!r} is already bound")
+        items = dict(self._items)
+        items[attribute] = value
+        return Pattern(items)
+
+    def drop(self, attribute: str) -> "Pattern | None":
+        """Return the pattern without ``attribute`` (``None`` if emptied)."""
+        if attribute not in self._lookup:
+            raise KeyError(f"attribute {attribute!r} is not bound")
+        items = {a: v for a, v in self._items if a != attribute}
+        return Pattern(items) if items else None
+
+    def is_subpattern_of(self, other: "Pattern") -> bool:
+        """True when every binding of ``self`` also appears in ``other``."""
+        return all(
+            other.get(attribute) == value
+            for attribute, value in self._items
+        )
+
+    def matches_row(self, row: Mapping[str, Hashable]) -> bool:
+        """Tuple satisfaction (Definition 2.3) against a row dict."""
+        return all(
+            row.get(attribute) == value for attribute, value in self._items
+        )

@@ -1,0 +1,121 @@
+"""Problem objects (Definitions 2.15 and 2.16).
+
+:class:`OptimalLabelProblem` packages a dataset, a pattern set, a size
+budget and an objective, and solves via either search algorithm.
+:class:`DecisionProblem` is the NP-hard decision variant — *does a label
+of size at most ``Bs`` with error at most ``Be`` exist?* — decided here by
+exhaustive level-wise enumeration (sound and complete thanks to the
+monotonicity of label size), which is what the hardness tests in
+:mod:`repro.hardness` exercise on reduction instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import Objective
+from repro.core.patternsets import PatternSet, full_pattern_set
+from repro.core.search import (
+    NoFeasibleLabelError,
+    SearchResult,
+    naive_search,
+    top_down_search,
+)
+from repro.dataset.table import Dataset
+
+__all__ = ["OptimalLabelProblem", "DecisionProblem"]
+
+
+@dataclass
+class OptimalLabelProblem:
+    """The optimal label problem (Definition 2.15).
+
+    ``argmin_{S ⊆ A} Err(L_S(D), P)`` subject to ``|P_S| <= Bs``.
+    """
+
+    dataset: Dataset
+    bound: int
+    pattern_set: PatternSet | None = None
+    objective: Objective = Objective.MAX_ABS
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError("the size bound Bs must be positive")
+
+    def solve(self, *, algorithm: str = "top-down") -> SearchResult:
+        """Solve with Algorithm 1 (default) or the naive baseline."""
+        counter = PatternCounter(self.dataset)
+        pattern_set = self.pattern_set or full_pattern_set(counter)
+        if algorithm == "top-down":
+            return top_down_search(
+                counter,
+                self.bound,
+                pattern_set=pattern_set,
+                objective=self.objective,
+            )
+        if algorithm == "naive":
+            return naive_search(
+                counter,
+                self.bound,
+                pattern_set=pattern_set,
+                objective=self.objective,
+            )
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+@dataclass
+class DecisionProblem:
+    """The decision problem (Definition 2.16).
+
+    Given ``D``, ``Bs``, ``P`` and an error bound ``Be``: does a label
+    ``L_S(D)`` exist with ``|P_S| <= Bs`` and ``Err(L_S(D), P) <= Be``?
+    """
+
+    dataset: Dataset
+    size_bound: int
+    error_bound: float
+    pattern_set: PatternSet | None = None
+    objective: Objective = Objective.MAX_ABS
+
+    def decide(self) -> bool:
+        """Exhaustively decide the instance.
+
+        Enumerates subsets of every size starting at 1 (the decision
+        problem quantifies over *all* subsets, unlike the heuristic
+        searches that skip pointless singletons).  Sound and complete:
+        label size is monotone, so the level-wise cutoff of
+        :func:`~repro.core.search.naive_search` never misses a feasible
+        subset.
+        """
+        counter = PatternCounter(self.dataset)
+        pattern_set = self.pattern_set or full_pattern_set(counter)
+        try:
+            result = naive_search(
+                counter,
+                self.size_bound,
+                pattern_set=pattern_set,
+                objective=self.objective,
+                min_size=1,
+            )
+        except NoFeasibleLabelError:
+            return False
+        return result.objective_value <= self.error_bound
+
+    def witness(self) -> SearchResult | None:
+        """Return a satisfying label's search result, or ``None``."""
+        counter = PatternCounter(self.dataset)
+        pattern_set = self.pattern_set or full_pattern_set(counter)
+        try:
+            result = naive_search(
+                counter,
+                self.size_bound,
+                pattern_set=pattern_set,
+                objective=self.objective,
+                min_size=1,
+            )
+        except NoFeasibleLabelError:
+            return None
+        if result.objective_value <= self.error_bound:
+            return result
+        return None

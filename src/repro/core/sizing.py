@@ -1,0 +1,100 @@
+"""Byte-level label size accounting.
+
+Definition 2.9 charges a label by ``|PC|`` — a proxy for "the space
+required for the count information".  When the budget is an actual byte
+limit (a metadata field, an HTTP header, a catalog column), the proxy is
+too coarse: combinations over long category names cost more to store.
+This module provides
+
+* :func:`pc_bytes` — the serialized size of the ``PC`` component for an
+  attribute subset, computed directly from the joint table (UTF-8 value
+  strings + a fixed per-count cost), without building the label;
+* :func:`label_bytes` — the full label's serialized JSON size;
+* :func:`find_optimal_label_bytes` — the optimal-label search under a
+  *byte* budget, reusing Algorithm 1 unchanged: ``pc_bytes`` is monotone
+  under attribute addition (refining a partition only adds rows and
+  every row only gets longer), which is the only property the top-down
+  pruning needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import Objective
+from repro.core.label import Label
+from repro.core.patternsets import PatternSet
+from repro.core.search import SearchResult, top_down_search
+from repro.dataset.table import Dataset
+
+__all__ = ["pc_bytes", "label_bytes", "find_optimal_label_bytes"]
+
+#: Bytes charged per stored count (a 64-bit integer).
+COUNT_BYTES = 8
+
+
+def pc_bytes(
+    source: Dataset | PatternCounter, attributes: Sequence[str]
+) -> int:
+    """Serialized size (bytes) of the ``PC`` over ``attributes``.
+
+    Each stored combination costs the UTF-8 length of its value strings
+    plus :data:`COUNT_BYTES` for the count.  Computed straight from the
+    joint table so the search never materializes labels.
+    """
+    counter = (
+        source if isinstance(source, PatternCounter) else PatternCounter(source)
+    )
+    if not attributes:
+        return 0
+    schema = counter.dataset.schema
+    combos, _counts = counter.joint_table(tuple(attributes))
+    value_bytes = {
+        attribute: [
+            len(str(category).encode("utf-8"))
+            for category in schema[attribute].categories
+        ]
+        for attribute in attributes
+    }
+    total = 0
+    for row in combos:
+        total += COUNT_BYTES
+        for attribute, code in zip(attributes, row):
+            total += value_bytes[attribute][int(code)]
+    return total
+
+
+def label_bytes(label: Label) -> int:
+    """Exact serialized size of a label (compact JSON, UTF-8)."""
+    return len(label.to_json(indent=None).encode("utf-8"))
+
+
+def find_optimal_label_bytes(
+    source: Dataset | PatternCounter,
+    byte_budget: int,
+    *,
+    pattern_set: PatternSet | None = None,
+    objective: Objective = Objective.MAX_ABS,
+) -> SearchResult:
+    """Algorithm 1 under a byte budget on the ``PC`` component.
+
+    Parameters
+    ----------
+    byte_budget:
+        Maximum serialized ``PC`` size in bytes (``VC`` is the same for
+        every label of a dataset, so it is excluded from the budget just
+        as ``Bs`` excludes it).
+    """
+    if byte_budget < 1:
+        raise ValueError("byte_budget must be positive")
+    counter = (
+        source if isinstance(source, PatternCounter) else PatternCounter(source)
+    )
+    return top_down_search(
+        counter,
+        byte_budget,
+        pattern_set=pattern_set,
+        objective=objective,
+        size_fn=lambda subset: pc_bytes(counter, subset),
+    )

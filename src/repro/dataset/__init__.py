@@ -1,0 +1,44 @@
+"""Columnar categorical table engine.
+
+This subpackage is the storage substrate for the reproduction: a small,
+numpy-backed, in-memory relational table with *categorical* columns, the
+only kind of relation the paper's algorithms consume (Section II of the
+paper assumes categorical attributes; continuous attributes are bucketized
+first, which :mod:`repro.dataset.bucketize` implements).
+
+The environment provides no pandas, so the engine is self-contained:
+
+* :class:`~repro.dataset.schema.Column` / :class:`~repro.dataset.schema.Schema`
+  describe attributes and their active domains;
+* :class:`~repro.dataset.table.Dataset` stores each column as an integer
+  *code* array (``-1`` encodes a missing value) plus the list of category
+  labels, and offers the group-by counting primitives the labeling
+  algorithms are built on;
+* :mod:`~repro.dataset.csvio` reads/writes CSV files;
+* :mod:`~repro.dataset.bucketize` renders numeric columns categorical.
+"""
+
+from repro.dataset.schema import Column, Schema
+from repro.dataset.table import Dataset
+from repro.dataset.bucketize import (
+    bucketize_equal_width,
+    bucketize_quantile,
+    bucketize_explicit,
+    group_rare_categories,
+)
+from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.stats import AttributeStats, profile_attributes
+
+__all__ = [
+    "AttributeStats",
+    "profile_attributes",
+    "Column",
+    "Schema",
+    "Dataset",
+    "bucketize_equal_width",
+    "bucketize_quantile",
+    "bucketize_explicit",
+    "group_rare_categories",
+    "read_csv",
+    "write_csv",
+]

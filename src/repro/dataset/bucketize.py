@@ -1,0 +1,160 @@
+"""Rendering continuous attributes categorical.
+
+Section II of the paper: *"Where attribute values are drawn from a
+continuous domain, we render them categorical by bucketizing them into
+ranges ... In fact, we may even group categorical attributes into fewer
+buckets where the number of individual categories is very large."*
+
+This module provides the three bucketization strategies used by the
+shipped dataset generators plus rare-category grouping:
+
+* :func:`bucketize_equal_width` — fixed number of equal-width ranges
+  (the Credit-Card generator's 5-bin policy);
+* :func:`bucketize_quantile` — equal-frequency ranges;
+* :func:`bucketize_explicit` — caller-provided breakpoints with readable
+  labels (the COMPAS ``age`` ranges);
+* :func:`group_rare_categories` — collapse infrequent categories into an
+  ``"other"`` bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "bucketize_equal_width",
+    "bucketize_quantile",
+    "bucketize_explicit",
+    "group_rare_categories",
+]
+
+
+def _range_label(low: float, high: float, *, last: bool) -> str:
+    """Human-readable half-open range label, e.g. ``"[10.0, 20.0)"``."""
+    closer = "]" if last else ")"
+    return f"[{low:g}, {high:g}{closer}"
+
+
+def _assign(
+    values: np.ndarray, edges: np.ndarray, labels: list[str]
+) -> list[str | None]:
+    """Map each value to its bucket label (``None`` for NaN)."""
+    n_buckets = len(labels)
+    out: list[str | None] = []
+    for value in values:
+        if np.isnan(value):
+            out.append(None)
+            continue
+        # searchsorted over interior edges; the final bucket is closed.
+        bucket = int(np.searchsorted(edges[1:-1], value, side="right"))
+        bucket = min(bucket, n_buckets - 1)
+        out.append(labels[bucket])
+    return out
+
+
+def bucketize_equal_width(
+    values: Sequence[float], n_buckets: int
+) -> tuple[list[str | None], list[str]]:
+    """Bucketize into ``n_buckets`` equal-width ranges.
+
+    Returns
+    -------
+    (bucketized, labels):
+        Per-row bucket labels (``None`` where the input was NaN) and the
+        ordered bucket label list (the categorical domain).
+    """
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be positive")
+    arr = np.asarray(values, dtype=float)
+    finite = arr[~np.isnan(arr)]
+    if finite.size == 0:
+        raise ValueError("cannot bucketize an all-missing column")
+    low, high = float(finite.min()), float(finite.max())
+    if low == high:
+        # Degenerate constant column: one bucket.
+        label = _range_label(low, high, last=True)
+        return [None if np.isnan(v) else label for v in arr], [label]
+    edges = np.linspace(low, high, n_buckets + 1)
+    labels = [
+        _range_label(edges[i], edges[i + 1], last=(i == n_buckets - 1))
+        for i in range(n_buckets)
+    ]
+    return _assign(arr, edges, labels), labels
+
+
+def bucketize_quantile(
+    values: Sequence[float], n_buckets: int
+) -> tuple[list[str | None], list[str]]:
+    """Bucketize into (up to) ``n_buckets`` equal-frequency ranges.
+
+    Duplicate quantile edges (heavy ties) are merged, so fewer than
+    ``n_buckets`` buckets may be produced.
+    """
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be positive")
+    arr = np.asarray(values, dtype=float)
+    finite = arr[~np.isnan(arr)]
+    if finite.size == 0:
+        raise ValueError("cannot bucketize an all-missing column")
+    quantiles = np.linspace(0.0, 1.0, n_buckets + 1)
+    edges = np.unique(np.quantile(finite, quantiles))
+    if edges.size == 1:
+        label = _range_label(edges[0], edges[0], last=True)
+        return [None if np.isnan(v) else label for v in arr], [label]
+    n_real = edges.size - 1
+    labels = [
+        _range_label(edges[i], edges[i + 1], last=(i == n_real - 1))
+        for i in range(n_real)
+    ]
+    return _assign(arr, edges, labels), labels
+
+
+def bucketize_explicit(
+    values: Sequence[float],
+    edges: Sequence[float],
+    labels: Sequence[str],
+) -> tuple[list[str | None], list[str]]:
+    """Bucketize with caller-provided ``edges`` and bucket ``labels``.
+
+    ``edges`` must be strictly increasing and one element longer than
+    ``labels``.  Values outside ``[edges[0], edges[-1]]`` are clamped into
+    the first/last bucket, which matches how published range labels such
+    as ``"under 20"`` / ``"over 60"`` behave.
+    """
+    edges_arr = np.asarray(edges, dtype=float)
+    if edges_arr.ndim != 1 or edges_arr.size < 2:
+        raise ValueError("need at least two edges")
+    if not np.all(np.diff(edges_arr) > 0):
+        raise ValueError("edges must be strictly increasing")
+    if len(labels) != edges_arr.size - 1:
+        raise ValueError("labels must be one element shorter than edges")
+    arr = np.asarray(values, dtype=float)
+    return _assign(arr, edges_arr, list(labels)), list(labels)
+
+
+def group_rare_categories(
+    values: Sequence[Hashable],
+    *,
+    min_count: int,
+    other_label: Hashable = "other",
+) -> list[Hashable]:
+    """Replace categories occurring fewer than ``min_count`` times.
+
+    Useful for the paper's attribute-cleaning step ("attributes with ...
+    over 100 values" are dropped or compacted).  ``None`` (missing) values
+    are preserved as-is and do not count toward any category.
+    """
+    if min_count < 0:
+        raise ValueError("min_count must be non-negative")
+    counts: dict[Hashable, int] = {}
+    for value in values:
+        if value is None:
+            continue
+        counts[value] = counts.get(value, 0) + 1
+    keep = {value for value, count in counts.items() if count >= min_count}
+    return [
+        value if value is None or value in keep else other_label
+        for value in values
+    ]

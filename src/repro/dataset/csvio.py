@@ -1,0 +1,85 @@
+"""CSV input/output for :class:`~repro.dataset.table.Dataset`.
+
+Real deployments attach pattern-count labels to found CSV files, so the
+substrate ships a small reader/writer built on the standard library's
+:mod:`csv` module.  All values are read as strings; empty cells become
+missing values.  Callers bucketize numeric columns afterwards via
+:mod:`repro.dataset.bucketize`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Hashable, Mapping, Sequence
+
+from repro.dataset.table import Dataset
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    usecols: Sequence[str] | None = None,
+    missing_tokens: Sequence[str] = ("", "NA", "N/A", "null", "NULL"),
+    domains: Mapping[str, Sequence[Hashable]] | None = None,
+) -> Dataset:
+    """Load a CSV file with a header row into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    usecols:
+        Optional subset (and order) of columns to keep.
+    missing_tokens:
+        Cell contents interpreted as missing values.
+    domains:
+        Optional explicit active domain per attribute; unlisted attributes
+        get the sorted set of observed values.
+    """
+    path = Path(path)
+    missing = set(missing_tokens)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file, no header row") from None
+        rows = list(reader)
+
+    if usecols is not None:
+        unknown = [c for c in usecols if c not in header]
+        if unknown:
+            raise KeyError(f"{path}: no such columns {unknown}")
+        positions = [header.index(c) for c in usecols]
+        names = list(usecols)
+    else:
+        positions = list(range(len(header)))
+        names = header
+
+    columns: dict[str, list[Hashable]] = {name: [] for name in names}
+    for line_number, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise ValueError(
+                f"{path}:{line_number}: expected {len(header)} cells, "
+                f"got {len(row)}"
+            )
+        for name, position in zip(names, positions):
+            cell = row[position]
+            columns[name].append(None if cell in missing else cell)
+    return Dataset.from_columns(columns, domains=domains)
+
+
+def write_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to CSV (missing values become empty cells)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(dataset.attribute_names)
+        for row in dataset.iter_rows():
+            writer.writerow(
+                "" if row[name] is None else row[name]
+                for name in dataset.attribute_names
+            )

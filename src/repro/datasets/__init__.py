@@ -1,0 +1,80 @@
+"""Synthetic stand-ins for the paper's three evaluation datasets.
+
+The paper evaluates on BlueNile (116,300 diamonds × 7 attributes), the
+ProPublica COMPAS export (60,843 records × 17 attributes after cleaning)
+and the UCI Default-of-Credit-Card data (30,000 × 24, numerics bucketized
+to 5 bins).  None of the three can be downloaded in this offline
+environment, so this package generates synthetic equivalents that match
+each dataset's *shape*: attribute count, domain cardinalities, skewed
+marginals (COMPAS demographics follow the published counts of the paper's
+Figure 1), and — crucially for the label-selection problem — injected
+inter-attribute correlations, including the strongly dependent COMPAS
+score cluster that the paper's Section IV-E finds in the optimal label.
+
+See DESIGN.md §3 for the substitution rationale.
+
+The generators are deterministic given a seed, scale to any row count,
+and are reachable uniformly through :func:`load_dataset`.
+"""
+
+from repro.datasets.synthetic import (
+    ConditionalAttribute,
+    DerivedAttribute,
+    MarginalAttribute,
+    SyntheticSpec,
+)
+from repro.datasets.bluenile import generate_bluenile
+from repro.datasets.compas import generate_compas, generate_compas_simplified
+from repro.datasets.creditcard import generate_creditcard
+from repro.datasets.augment import append_random_tuples
+
+__all__ = [
+    "MarginalAttribute",
+    "ConditionalAttribute",
+    "DerivedAttribute",
+    "SyntheticSpec",
+    "generate_bluenile",
+    "generate_compas",
+    "generate_compas_simplified",
+    "generate_creditcard",
+    "append_random_tuples",
+    "load_dataset",
+    "DATASET_SIZES",
+]
+
+#: Paper-scale row counts per dataset (Section IV-A).
+DATASET_SIZES = {
+    "bluenile": 116_300,
+    "compas": 60_843,
+    "creditcard": 30_000,
+}
+
+_GENERATORS = {
+    "bluenile": generate_bluenile,
+    "compas": generate_compas,
+    "creditcard": generate_creditcard,
+}
+
+
+def load_dataset(name: str, *, n_rows: int | None = None, seed: int = 0):
+    """Generate one of the three evaluation datasets by name.
+
+    Parameters
+    ----------
+    name:
+        ``"bluenile"``, ``"compas"`` or ``"creditcard"``.
+    n_rows:
+        Row count; defaults to the paper-scale size in
+        :data:`DATASET_SIZES`.
+    seed:
+        RNG seed (generation is fully deterministic given the seed).
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}"
+        ) from None
+    if n_rows is None:
+        n_rows = DATASET_SIZES[name]
+    return generator(n_rows=n_rows, seed=seed)

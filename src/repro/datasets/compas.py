@@ -1,0 +1,308 @@
+"""Synthetic COMPAS dataset (paper Sections I, IV-A and Figure 1).
+
+The ProPublica COMPAS export has 60,843 records; after the paper's
+cleaning (dropping ids, names, dates, and degenerate attributes, plus
+adding a 4-range ``age`` attribute) 17 categorical attributes remain.
+This generator reproduces that shape:
+
+* demographic marginals follow the published counts of the paper's
+  Figure 1 exactly (78/22 gender split, 3/66/27/4 age ranges, 45/36/14/5
+  race, the 7-value marital-status distribution);
+* race is sampled *conditionally on gender* with the joint proportions of
+  Figure 1's gender × race block — the intersectional deviation from
+  independence (few Hispanic women) that motivates the whole paper;
+* the assessment-score cluster — ``Scale_ID``, ``DisplayText``,
+  ``DecileScore``, ``ScoreText``, ``RecSupervisionLevel``,
+  ``RecSupervisionLevelText`` — is generated with strong functional
+  dependencies (display text is a function of the scale, score bands are
+  functions of the decile), mirroring the real export.  Section IV-E of
+  the paper finds that exact 6-attribute cluster in the optimal label, so
+  reproducing its dependency structure is what makes the sub-label
+  experiment (Figure 10) meaningful;
+* ``DecileScore`` is biased by race and age, reproducing the
+  disparate-score pattern ProPublica reported.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.dataset.table import Dataset
+from repro.datasets.synthetic import (
+    ConditionalAttribute,
+    DerivedAttribute,
+    MarginalAttribute,
+    SyntheticSpec,
+)
+
+__all__ = [
+    "generate_compas",
+    "generate_compas_simplified",
+    "COMPAS_ATTRIBUTES",
+    "COMPAS_SIMPLIFIED_ATTRIBUTES",
+]
+
+_GENDERS = ("Male", "Female")
+_AGES = ("under 20", "20-39", "40-59", "over 60")
+_RACES = ("African-American", "Caucasian", "Hispanic", "Other")
+_MARITAL = (
+    "Single",
+    "Married",
+    "Divorced",
+    "Separated",
+    "Significant Other",
+    "Widowed",
+    "Unknown",
+)
+_SCALES = ("7", "8", "18")
+_DISPLAY = ("Risk of Violence", "Risk of Recidivism", "Risk of Failure to Appear")
+_DECILES = tuple(str(i) for i in range(1, 11))
+_SCORE_TEXT = ("Low", "Medium", "High")
+_SUPERVISION = ("1", "2", "3", "4")
+_SUPERVISION_TEXT = ("Low", "Medium", "Medium with Override", "High")
+
+#: The 17 attributes of the cleaned COMPAS dataset, in schema order.
+COMPAS_ATTRIBUTES = (
+    "Sex",
+    "Age",
+    "Race",
+    "MaritalStatus",
+    "Agency",
+    "AssessmentReason",
+    "Language",
+    "LegalStatus",
+    "CustodyStatus",
+    "AssessmentType",
+    "ChargeDegree",
+    "Scale_ID",
+    "DisplayText",
+    "DecileScore",
+    "ScoreText",
+    "RecSupervisionLevel",
+    "RecSupervisionLevelText",
+)
+
+#: Attributes of the simplified version shown in the paper's Figures 1–2.
+COMPAS_SIMPLIFIED_ATTRIBUTES = (
+    "gender",
+    "age group",
+    "race",
+    "marital status",
+)
+
+# Figure 1 marginals.
+_GENDER_PROBS = (0.78, 0.22)
+_AGE_PROBS = (0.03, 0.66, 0.27, 0.04)
+_MARITAL_PROBS = (0.75, 0.13, 0.06, 0.03, 0.02, 0.006, 0.004)
+
+# Figure 1's gender × race block, normalized per gender:
+#   Male:   AA 35%, C 27%, H 12%, Other  4%  (of the 78% male share)
+#   Female: AA  9%, C  9%, H  3%, Other  1%  (of the 22% female share)
+_RACE_GIVEN_MALE = (35 / 78, 27 / 78, 12 / 78, 4 / 78)
+_RACE_GIVEN_FEMALE = (9 / 22, 9 / 22, 3 / 22, 1 / 22)
+
+
+def _decile_cpt() -> dict[tuple[Hashable, ...], tuple[float, ...]]:
+    """Race × age → decile-score distribution with the reported skews."""
+    base = {
+        "African-American": np.linspace(0.8, 1.3, 10),
+        "Caucasian": np.linspace(1.3, 0.7, 10),
+        "Hispanic": np.linspace(1.2, 0.8, 10),
+        "Other": np.linspace(1.25, 0.75, 10),
+    }
+    age_tilt = {
+        "under 20": np.linspace(0.8, 1.25, 10),
+        "20-39": np.linspace(0.95, 1.05, 10),
+        "40-59": np.linspace(1.15, 0.85, 10),
+        "over 60": np.linspace(1.3, 0.7, 10),
+    }
+    cpt: dict[tuple[Hashable, ...], tuple[float, ...]] = {}
+    for race, race_weights in base.items():
+        for age, age_weights in age_tilt.items():
+            weights = race_weights * age_weights
+            cpt[(race, age)] = tuple(weights / weights.sum())
+    return cpt
+
+
+def _score_band(decile: str) -> str:
+    value = int(decile)
+    if value <= 4:
+        return "Low"
+    if value <= 7:
+        return "Medium"
+    return "High"
+
+
+def _supervision_level(decile: str) -> str:
+    value = int(decile)
+    if value <= 3:
+        return "1"
+    if value <= 6:
+        return "2"
+    if value <= 8:
+        return "3"
+    return "4"
+
+
+def _supervision_text(level: str) -> str:
+    return _SUPERVISION_TEXT[int(level) - 1]
+
+
+def _display_text(scale: str) -> str:
+    return dict(zip(_SCALES, _DISPLAY))[scale]
+
+
+def _demographics(names: tuple[str, str, str, str]) -> list:
+    """The four demographic attributes under configurable names."""
+    sex, age, race, marital = names
+    return [
+        MarginalAttribute(sex, _GENDERS, _GENDER_PROBS),
+        MarginalAttribute(age, _AGES, _AGE_PROBS),
+        ConditionalAttribute(
+            name=race,
+            categories=_RACES,
+            parents=(sex,),
+            cpt={
+                ("Male",): _RACE_GIVEN_MALE,
+                ("Female",): _RACE_GIVEN_FEMALE,
+            },
+        ),
+        ConditionalAttribute(
+            name=marital,
+            categories=_MARITAL,
+            parents=(age,),
+            # Young defendants are overwhelmingly single; widowhood only
+            # appears in the older ranges — the age ↔ marital-status
+            # dependence the introduction uses as its motivating example.
+            cpt={
+                ("under 20",): (0.97, 0.01, 0.003, 0.003, 0.013, 0.0005, 0.0005),
+                ("20-39",): (0.80, 0.11, 0.04, 0.025, 0.02, 0.001, 0.004),
+                ("40-59",): (0.58, 0.20, 0.13, 0.045, 0.02, 0.017, 0.008),
+                ("over 60",): (0.38, 0.27, 0.18, 0.04, 0.01, 0.11, 0.01),
+            },
+        ),
+    ]
+
+
+def _spec() -> SyntheticSpec:
+    attributes = _demographics(("Sex", "Age", "Race", "MaritalStatus"))
+    attributes += [
+        MarginalAttribute(
+            "Agency",
+            ("PRETRIAL", "Probation", "DRRD", "Broward County"),
+            (0.55, 0.30, 0.10, 0.05),
+        ),
+        ConditionalAttribute(
+            name="AssessmentReason",
+            categories=("Intake", "Pretrial Release", "Violation", "Review"),
+            parents=("Agency",),
+            cpt={
+                ("PRETRIAL",): (0.55, 0.40, 0.02, 0.03),
+                ("Probation",): (0.45, 0.05, 0.35, 0.15),
+            },
+            default=(0.60, 0.15, 0.10, 0.15),
+            noise=0.02,
+        ),
+        MarginalAttribute(
+            "Language", ("English", "Spanish"), (0.93, 0.07)
+        ),
+        ConditionalAttribute(
+            name="LegalStatus",
+            categories=("Pretrial", "Post Sentence", "Probation Violator", "Other"),
+            parents=("Agency",),
+            cpt={
+                ("PRETRIAL",): (0.85, 0.05, 0.05, 0.05),
+                ("Probation",): (0.10, 0.55, 0.30, 0.05),
+            },
+            default=(0.40, 0.35, 0.15, 0.10),
+            noise=0.02,
+        ),
+        ConditionalAttribute(
+            name="CustodyStatus",
+            categories=(
+                "Jail Inmate",
+                "Pretrial Defendant",
+                "Probation",
+                "Released",
+            ),
+            parents=("LegalStatus",),
+            cpt={
+                ("Pretrial",): (0.35, 0.50, 0.03, 0.12),
+                ("Post Sentence",): (0.45, 0.05, 0.35, 0.15),
+                ("Probation Violator",): (0.30, 0.05, 0.55, 0.10),
+            },
+            default=(0.25, 0.25, 0.25, 0.25),
+            noise=0.02,
+        ),
+        MarginalAttribute(
+            "AssessmentType", ("New", "Reassessment"), (0.82, 0.18)
+        ),
+        ConditionalAttribute(
+            name="ChargeDegree",
+            categories=("Felony", "Misdemeanor"),
+            parents=("Age",),
+            cpt={
+                ("under 20",): (0.68, 0.32),
+                ("20-39",): (0.64, 0.36),
+            },
+            default=(0.55, 0.45),
+            noise=0.02,
+        ),
+        MarginalAttribute("Scale_ID", _SCALES, (0.33, 0.34, 0.33)),
+        DerivedAttribute(
+            name="DisplayText",
+            categories=_DISPLAY,
+            parents=("Scale_ID",),
+            func=_display_text,
+        ),
+        ConditionalAttribute(
+            name="DecileScore",
+            categories=_DECILES,
+            parents=("Race", "Age"),
+            cpt=_decile_cpt(),
+            noise=0.02,
+        ),
+        DerivedAttribute(
+            name="ScoreText",
+            categories=_SCORE_TEXT,
+            parents=("DecileScore",),
+            func=_score_band,
+        ),
+        DerivedAttribute(
+            name="RecSupervisionLevel",
+            categories=_SUPERVISION,
+            parents=("DecileScore",),
+            func=_supervision_level,
+            noise=0.05,
+        ),
+        DerivedAttribute(
+            name="RecSupervisionLevelText",
+            categories=_SUPERVISION_TEXT,
+            parents=("RecSupervisionLevel",),
+            func=_supervision_text,
+        ),
+    ]
+    return SyntheticSpec(attributes)
+
+
+def generate_compas(n_rows: int = 60_843, *, seed: int = 0) -> Dataset:
+    """Generate the 17-attribute synthetic COMPAS dataset."""
+    rng = np.random.default_rng(seed)
+    return _spec().generate(n_rows, rng)
+
+
+def generate_compas_simplified(
+    n_rows: int = 60_843, *, seed: int = 0
+) -> Dataset:
+    """The 4-attribute simplified COMPAS of the paper's Figures 1 and 2.
+
+    Attributes ``gender``, ``age group``, ``race`` and ``marital status``,
+    with the exact Figure 1 marginals and the gender × race joint.
+    """
+    rng = np.random.default_rng(seed)
+    spec = SyntheticSpec(
+        _demographics(("gender", "age group", "race", "marital status"))
+    )
+    return spec.generate(n_rows, rng)

@@ -1,0 +1,312 @@
+"""A small Bayesian-network-style generator for categorical relations.
+
+The evaluation datasets need *controlled correlation structure*: the whole
+point of pattern-count labels is capturing deviations from independence,
+so independent columns would make every experiment trivially easy.  The
+generator composes three attribute kinds, sampled column-by-column in
+declaration order (parents must precede children):
+
+* :class:`MarginalAttribute` — i.i.d. draws from a fixed distribution;
+* :class:`ConditionalAttribute` — per-row distribution selected by the
+  values of one or more parent attributes (a conditional probability
+  table), with optional uniform noise blending;
+* :class:`DerivedAttribute` — a deterministic (optionally noisy) function
+  of parent values, for functional dependencies like COMPAS's
+  ``ScoreText = band(DecileScore)``.
+
+Everything is vectorized over rows: conditional sampling uses the
+inverse-CDF trick on a per-row row-of-CPT basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.schema import Column, Schema
+from repro.dataset.table import Dataset
+
+__all__ = [
+    "MarginalAttribute",
+    "ConditionalAttribute",
+    "DerivedAttribute",
+    "SyntheticSpec",
+]
+
+
+def _normalize(probabilities: Sequence[float], what: str) -> np.ndarray:
+    arr = np.asarray(probabilities, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{what}: probabilities must be a non-empty vector")
+    if (arr < 0).any():
+        raise ValueError(f"{what}: probabilities must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise ValueError(f"{what}: probabilities sum to zero")
+    return arr / total
+
+
+def _sample_rows(
+    cdf_rows: np.ndarray, row_selector: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Inverse-CDF sample: row ``i`` draws from ``cdf_rows[row_selector[i]]``."""
+    uniforms = rng.random(row_selector.size)
+    # For each row, count how many CDF entries the uniform exceeds.
+    return (
+        (uniforms[:, None] > cdf_rows[row_selector]).sum(axis=1)
+    ).astype(np.int32)
+
+
+@dataclass(frozen=True)
+class MarginalAttribute:
+    """An attribute drawn i.i.d. from a fixed categorical distribution."""
+
+    name: str
+    categories: tuple[Hashable, ...]
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.categories) != len(self.probabilities):
+            raise ValueError(
+                f"{self.name}: {len(self.categories)} categories but "
+                f"{len(self.probabilities)} probabilities"
+            )
+        _normalize(self.probabilities, self.name)
+
+    @property
+    def parents(self) -> tuple[str, ...]:
+        """Marginal attributes have no parents."""
+        return ()
+
+    def sample(
+        self,
+        n_rows: int,
+        parent_codes: Mapping[str, np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw ``n_rows`` codes."""
+        probs = _normalize(self.probabilities, self.name)
+        cdf = np.cumsum(probs)[None, :]
+        return _sample_rows(cdf, np.zeros(n_rows, dtype=np.int64), rng)
+
+
+@dataclass(frozen=True)
+class ConditionalAttribute:
+    """An attribute whose distribution depends on parent attribute values.
+
+    Parameters
+    ----------
+    name, categories:
+        As usual.
+    parents:
+        Names of previously declared attributes conditioning this one.
+    cpt:
+        Mapping from a tuple of parent *category labels* to a probability
+        vector over ``categories``.  Parent combinations absent from the
+        table fall back to ``default`` (uniform when ``default`` is None).
+    noise:
+        Fraction in ``[0, 1]`` blended with the uniform distribution —
+        keeps every value combination reachable so pattern sets stay rich.
+    """
+
+    name: str
+    categories: tuple[Hashable, ...]
+    parents: tuple[str, ...]
+    cpt: Mapping[tuple[Hashable, ...], Sequence[float]]
+    default: tuple[float, ...] | None = None
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.parents:
+            raise ValueError(f"{self.name}: conditional needs >= 1 parent")
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError(f"{self.name}: noise must be within [0, 1]")
+        for combo, probs in self.cpt.items():
+            if len(combo) != len(self.parents):
+                raise ValueError(
+                    f"{self.name}: CPT key {combo!r} arity != parents"
+                )
+            if len(probs) != len(self.categories):
+                raise ValueError(
+                    f"{self.name}: CPT row {combo!r} has wrong width"
+                )
+            _normalize(probs, f"{self.name}[{combo!r}]")
+        if self.default is not None and len(self.default) != len(
+            self.categories
+        ):
+            raise ValueError(f"{self.name}: default row has wrong width")
+
+    # Sampling lives in SyntheticSpec._sample_conditional, which has access
+    # to the category lists of every parent attribute.
+
+
+@dataclass(frozen=True)
+class DerivedAttribute:
+    """A deterministic function of parent values, with optional noise.
+
+    ``func`` maps a tuple of parent category labels to a category label of
+    this attribute.  With probability ``noise`` a row is replaced by a
+    uniform random category instead, modelling imperfect functional
+    dependencies.
+    """
+
+    name: str
+    categories: tuple[Hashable, ...]
+    parents: tuple[str, ...]
+    func: Callable[..., Hashable]
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.parents:
+            raise ValueError(f"{self.name}: derived needs >= 1 parent")
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError(f"{self.name}: noise must be within [0, 1]")
+
+
+AnyAttribute = MarginalAttribute | ConditionalAttribute | DerivedAttribute
+
+
+@dataclass
+class SyntheticSpec:
+    """Declarative specification of a synthetic categorical relation."""
+
+    attributes: list[AnyAttribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if attribute.name in seen:
+                raise ValueError(f"duplicate attribute {attribute.name!r}")
+            for parent in attribute.parents:
+                if parent not in seen:
+                    raise ValueError(
+                        f"{attribute.name}: parent {parent!r} must be "
+                        "declared earlier"
+                    )
+            seen.add(attribute.name)
+
+    @property
+    def names(self) -> list[str]:
+        """Attribute names in declaration order."""
+        return [a.name for a in self.attributes]
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Dataset:
+        """Sample ``n_rows`` tuples into a :class:`Dataset`."""
+        if n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        categories: dict[str, tuple[Hashable, ...]] = {
+            a.name: a.categories for a in self.attributes
+        }
+        codes: dict[str, np.ndarray] = {}
+        for attribute in self.attributes:
+            if isinstance(attribute, MarginalAttribute):
+                codes[attribute.name] = attribute.sample(n_rows, codes, rng)
+            elif isinstance(attribute, ConditionalAttribute):
+                codes[attribute.name] = self._sample_conditional(
+                    attribute, n_rows, codes, categories, rng
+                )
+            elif isinstance(attribute, DerivedAttribute):
+                codes[attribute.name] = self._sample_derived(
+                    attribute, n_rows, codes, categories, rng
+                )
+            else:  # pragma: no cover - dataclass union is closed
+                raise TypeError(f"unknown attribute kind {type(attribute)}")
+
+        schema = Schema(
+            Column(a.name, tuple(a.categories)) for a in self.attributes
+        )
+        matrix = (
+            np.column_stack([codes[name] for name in self.names])
+            if self.attributes
+            else np.empty((n_rows, 0), dtype=np.int32)
+        )
+        return Dataset(schema, matrix, copy=False)
+
+    # -- sampling helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _sample_conditional(
+        attribute: ConditionalAttribute,
+        n_rows: int,
+        codes: Mapping[str, np.ndarray],
+        categories: Mapping[str, tuple[Hashable, ...]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        parent_cards = [len(categories[p]) for p in attribute.parents]
+        parent_index = {p: {c: i for i, c in enumerate(categories[p])}
+                        for p in attribute.parents}
+
+        # Mixed-radix index of each parent combination, per row.
+        selector = np.zeros(n_rows, dtype=np.int64)
+        for parent, card in zip(attribute.parents, parent_cards):
+            selector = selector * card + codes[parent].astype(np.int64)
+
+        n_combos = int(np.prod(parent_cards))
+        width = len(attribute.categories)
+        if attribute.default is not None:
+            default = _normalize(attribute.default, attribute.name)
+        else:
+            default = np.full(width, 1.0 / width)
+
+        table = np.tile(default, (n_combos, 1))
+        for combo, probs in attribute.cpt.items():
+            index = 0
+            for parent, value, card in zip(
+                attribute.parents, combo, parent_cards
+            ):
+                index = index * card + parent_index[parent][value]
+            table[index] = _normalize(probs, attribute.name)
+
+        if attribute.noise:
+            uniform = np.full(width, 1.0 / width)
+            table = (1.0 - attribute.noise) * table + attribute.noise * uniform
+        cdf_rows = np.cumsum(table, axis=1)
+        return _sample_rows(cdf_rows, selector, rng)
+
+    @staticmethod
+    def _sample_derived(
+        attribute: DerivedAttribute,
+        n_rows: int,
+        codes: Mapping[str, np.ndarray],
+        categories: Mapping[str, tuple[Hashable, ...]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        own_index = {c: i for i, c in enumerate(attribute.categories)}
+        parent_cards = [len(categories[p]) for p in attribute.parents]
+
+        # Tabulate the function over all parent combinations once, then
+        # gather per row — the function runs |combos| times, not n_rows.
+        n_combos = int(np.prod(parent_cards))
+        lookup = np.empty(n_combos, dtype=np.int32)
+        for flat in range(n_combos):
+            remainder = flat
+            labels = []
+            for card, parent in zip(
+                reversed(parent_cards), reversed(attribute.parents)
+            ):
+                remainder, code = divmod(remainder, card)
+                labels.append(categories[parent][code])
+            labels.reverse()
+            result = attribute.func(*labels)
+            try:
+                lookup[flat] = own_index[result]
+            except KeyError:
+                raise ValueError(
+                    f"{attribute.name}: func returned {result!r}, not a "
+                    "declared category"
+                ) from None
+
+        selector = np.zeros(n_rows, dtype=np.int64)
+        for parent, card in zip(attribute.parents, parent_cards):
+            selector = selector * card + codes[parent].astype(np.int64)
+        out = lookup[selector]
+
+        if attribute.noise:
+            flip = rng.random(n_rows) < attribute.noise
+            out = out.copy()
+            out[flip] = rng.integers(
+                0, len(attribute.categories), size=int(flip.sum())
+            ).astype(np.int32)
+        return out.astype(np.int32, copy=False)

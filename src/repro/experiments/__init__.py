@@ -1,0 +1,53 @@
+"""Experiment harness: regenerate every figure of the paper's Section IV.
+
+One module per experiment family; every function returns a
+:class:`~repro.experiments.harness.ResultTable` whose rows mirror the
+series the paper plots:
+
+========  ============================================  =======================
+Figure    What it shows                                 Function
+========  ============================================  =======================
+Fig. 1    COMPAS label card                             :func:`labelcard.figure1_label_card`
+Fig. 4    absolute max (mean) error vs label size       :func:`accuracy.accuracy_vs_label_size`
+Fig. 5    mean q-error vs label size                    :func:`accuracy.accuracy_vs_label_size`
+Fig. 6    generation runtime vs size bound              :func:`runtime.runtime_vs_bound`
+Fig. 7    generation runtime vs data size               :func:`runtime.runtime_vs_data_size`
+Fig. 8    generation runtime vs attribute count         :func:`runtime.runtime_vs_attribute_count`
+Fig. 9    candidate subsets examined vs bound           :func:`candidates.candidates_vs_bound`
+Fig. 10   optimal label vs leave-one-out sub-labels     :func:`sublabels.sublabel_errors`
+========  ============================================  =======================
+
+``examples/paper_experiments.py`` drives all of them at paper scale;
+``benchmarks/`` runs the same code at CI scale under pytest-benchmark.
+"""
+
+from repro.experiments.harness import ResultTable, Scale
+from repro.experiments.accuracy import accuracy_vs_label_size
+from repro.experiments.runtime import (
+    runtime_vs_bound,
+    runtime_vs_data_size,
+    runtime_vs_attribute_count,
+)
+from repro.experiments.candidates import candidates_vs_bound
+from repro.experiments.sublabels import sublabel_errors
+from repro.experiments.labelcard import figure1_label_card
+from repro.experiments.extensions import (
+    objective_comparison,
+    estimator_shootout,
+    multi_label_study,
+)
+
+__all__ = [
+    "objective_comparison",
+    "estimator_shootout",
+    "multi_label_study",
+    "ResultTable",
+    "Scale",
+    "accuracy_vs_label_size",
+    "runtime_vs_bound",
+    "runtime_vs_data_size",
+    "runtime_vs_attribute_count",
+    "candidates_vs_bound",
+    "sublabel_errors",
+    "figure1_label_card",
+]

@@ -1,0 +1,92 @@
+"""Figure 9: candidate attribute subsets examined, naive vs optimized.
+
+The paper quantifies the heuristic's pruning by counting the attribute
+subsets each algorithm sizes during the search: gains of 54–86% on
+BlueNile and 96–99% on COMPAS / Credit Card.  The counts come straight
+from :class:`~repro.core.search.SearchStats.subsets_examined`; the table
+additionally reports each count as a share of the full lattice
+(``2^n - n - 1`` non-trivial subsets), matching the running text's
+"the naive algorithm generated 71% of all possible attribute subsets,
+the optimized heuristic only 33%".
+"""
+
+from __future__ import annotations
+
+from repro.core.counts import PatternCounter
+from repro.core.patternsets import full_pattern_set
+from repro.core.search import (
+    NoFeasibleLabelError,
+    SearchTimeout,
+    naive_search,
+    top_down_search,
+)
+from repro.dataset.table import Dataset
+from repro.experiments.harness import ResultTable
+
+__all__ = ["candidates_vs_bound", "CANDIDATE_COLUMNS"]
+
+CANDIDATE_COLUMNS = (
+    "dataset",
+    "bound",
+    "naive_subsets",
+    "optimized_subsets",
+    "gain_pct",
+    "naive_share_of_lattice_pct",
+    "optimized_share_of_lattice_pct",
+    "naive_timed_out",
+)
+
+
+def candidates_vs_bound(
+    dataset: Dataset,
+    dataset_name: str,
+    bounds: tuple[int, ...],
+    *,
+    naive_time_limit: float | None = None,
+) -> ResultTable:
+    """Count subsets examined by both algorithms per bound."""
+    counter = PatternCounter(dataset)
+    pattern_set = full_pattern_set(counter)
+    n = dataset.n_attributes
+    # Subsets of size >= 2 — the populations both algorithms draw from.
+    lattice_size = (1 << n) - n - 1
+
+    table = ResultTable(
+        f"Fig 9 candidates vs bound — {dataset_name}", CANDIDATE_COLUMNS
+    )
+    for bound in bounds:
+        timed_out = False
+        try:
+            naive = naive_search(
+                counter,
+                bound,
+                pattern_set=pattern_set,
+                time_limit_seconds=naive_time_limit,
+            )
+            naive_subsets = naive.stats.subsets_examined
+        except SearchTimeout as timeout:
+            timed_out = True
+            naive_subsets = timeout.stats.subsets_examined
+        except NoFeasibleLabelError:
+            naive_subsets = 0
+
+        optimized = top_down_search(counter, bound, pattern_set=pattern_set)
+        optimized_subsets = optimized.stats.subsets_examined
+        gain = (
+            100.0 * (naive_subsets - optimized_subsets) / naive_subsets
+            if naive_subsets
+            else float("nan")
+        )
+        table.add(
+            dataset=dataset_name,
+            bound=bound,
+            naive_subsets=naive_subsets,
+            optimized_subsets=optimized_subsets,
+            gain_pct=gain,
+            naive_share_of_lattice_pct=100.0 * naive_subsets / lattice_size,
+            optimized_share_of_lattice_pct=(
+                100.0 * optimized_subsets / lattice_size
+            ),
+            naive_timed_out=timed_out,
+        )
+    return table

@@ -1,0 +1,234 @@
+"""Extension experiments: beyond the paper's evaluation.
+
+Three studies of design points the paper names but does not evaluate:
+
+* :func:`objective_comparison` — optimize the label under each
+  :class:`~repro.core.errors.Objective` (the paper notes the problem "holds
+  also when using q-error", Section II-B) and cross-score all optima;
+* :func:`estimator_shootout` — PCBL vs every baseline *including* the
+  independence strawman of Example 2.6 and the flexible/greedy label of
+  Section II-C, all at one budget;
+* :func:`multi_label_study` — does shipping two complementary labels
+  (Section II-C "derive best estimates from multiple labels") beat one
+  label of double the budget?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.postgres import PostgresEstimator
+from repro.baselines.sampling import SamplingEstimator, sample_size_for_bound
+from repro.core.counts import PatternCounter
+from repro.core.errors import (
+    ErrorSummary,
+    Objective,
+    evaluate_label,
+)
+from repro.core.estimator import MultiLabelEstimator
+from repro.core.flexlabel import FlexibleEstimator, greedy_flexible_label
+from repro.core.patternsets import full_pattern_set
+from repro.core.search import top_down_search
+from repro.dataset.table import Dataset
+from repro.experiments.harness import ResultTable
+
+__all__ = [
+    "objective_comparison",
+    "estimator_shootout",
+    "multi_label_study",
+]
+
+
+def objective_comparison(
+    dataset: Dataset, dataset_name: str, *, bound: int = 50
+) -> ResultTable:
+    """Optimize under each objective; cross-evaluate every optimum."""
+    counter = PatternCounter(dataset)
+    pattern_set = full_pattern_set(counter)
+    table = ResultTable(
+        f"Extension: objective comparison — {dataset_name}",
+        (
+            "dataset",
+            "optimized_for",
+            "attributes",
+            "max_abs",
+            "mean_abs",
+            "max_q",
+            "mean_q",
+        ),
+    )
+    for objective in Objective:
+        result = top_down_search(
+            counter, bound, pattern_set=pattern_set, objective=objective
+        )
+        table.add(
+            dataset=dataset_name,
+            optimized_for=objective.value,
+            attributes="|".join(result.attributes),
+            max_abs=result.summary.max_abs,
+            mean_abs=result.summary.mean_abs,
+            max_q=result.summary.max_q,
+            mean_q=result.summary.mean_q,
+        )
+    return table
+
+
+def estimator_shootout(
+    dataset: Dataset,
+    dataset_name: str,
+    *,
+    bound: int = 50,
+    seed: int = 0,
+) -> ResultTable:
+    """Every estimator in the repository on one dataset at one budget."""
+    counter = PatternCounter(dataset)
+    pattern_set = full_pattern_set(counter)
+    rng = np.random.default_rng(seed)
+    table = ResultTable(
+        f"Extension: estimator shootout — {dataset_name}",
+        ("dataset", "estimator", "space", "max_abs", "mean_abs", "mean_q"),
+    )
+
+    def add(name: str, space: int, summary: ErrorSummary) -> None:
+        table.add(
+            dataset=dataset_name,
+            estimator=name,
+            space=space,
+            max_abs=summary.max_abs,
+            mean_abs=summary.mean_abs,
+            mean_q=summary.mean_q,
+        )
+
+    subset = top_down_search(counter, bound, pattern_set=pattern_set)
+    add("pcbl-subset", subset.label.size, subset.summary)
+
+    flexible = greedy_flexible_label(
+        counter, bound, pattern_set=pattern_set
+    )
+    add(
+        "pcbl-flexible",
+        flexible.size,
+        FlexibleEstimator(flexible).evaluate(pattern_set),
+    )
+
+    independence = IndependenceEstimator(dataset)
+    add(
+        "independence",
+        independence.size,
+        ErrorSummary.from_arrays(
+            pattern_set.counts,
+            independence.estimate_codes(
+                pattern_set.attributes, pattern_set.combos
+            ),
+        ),
+    )
+
+    from repro.baselines.dephist import DependencyTreeEstimator
+
+    tree = DependencyTreeEstimator(dataset)
+    add(
+        "dependency-tree",
+        tree.size,
+        ErrorSummary.from_arrays(
+            pattern_set.counts,
+            tree.estimate_codes(
+                pattern_set.attributes, pattern_set.combos
+            ),
+        ),
+    )
+
+    postgres = PostgresEstimator(dataset, rng)
+    add(
+        "postgres",
+        postgres.n_statistic_entries,
+        ErrorSummary.from_arrays(
+            pattern_set.counts,
+            postgres.estimate_codes(
+                pattern_set.attributes, pattern_set.combos
+            ),
+        ),
+    )
+
+    sampler = SamplingEstimator(
+        dataset, sample_size_for_bound(dataset, bound), rng
+    )
+    add(
+        "sampling",
+        sampler.size,
+        ErrorSummary.from_arrays(
+            pattern_set.counts,
+            sampler.estimate_codes(
+                pattern_set.attributes, pattern_set.combos
+            ),
+        ),
+    )
+    return table
+
+
+def multi_label_study(
+    dataset: Dataset,
+    dataset_name: str,
+    *,
+    bound: int = 30,
+) -> ResultTable:
+    """Two labels at budget ``b`` each vs one label at ``2b``.
+
+    The two labels are the best candidate and the best *disjoint*
+    candidate (no shared attributes) from one search — the natural way to
+    pick complementary labels from Algorithm 1's candidate list.
+    """
+    counter = PatternCounter(dataset)
+    pattern_set = full_pattern_set(counter)
+    table = ResultTable(
+        f"Extension: multi-label study — {dataset_name}",
+        ("dataset", "configuration", "total_space", "max_abs", "mean_abs"),
+    )
+
+    single = top_down_search(counter, bound, pattern_set=pattern_set)
+    double = top_down_search(counter, 2 * bound, pattern_set=pattern_set)
+    table.add(
+        dataset=dataset_name,
+        configuration=f"one label, budget {bound}",
+        total_space=single.label.size,
+        max_abs=single.summary.max_abs,
+        mean_abs=single.summary.mean_abs,
+    )
+    table.add(
+        dataset=dataset_name,
+        configuration=f"one label, budget {2 * bound}",
+        total_space=double.label.size,
+        max_abs=double.summary.max_abs,
+        mean_abs=double.summary.mean_abs,
+    )
+
+    primary_attrs = set(single.attributes)
+    partner = None
+    for candidate in single.candidates:
+        if not set(candidate) & primary_attrs:
+            partner_summary = evaluate_label(counter, candidate, pattern_set)
+            if partner is None or partner_summary.max_abs < partner[1].max_abs:
+                partner = (candidate, partner_summary)
+    if partner is not None:
+        from repro.core.label import build_label
+
+        labels = [single.label, build_label(counter, partner[0])]
+        multi = MultiLabelEstimator(labels)
+        patterns = [
+            pattern_set.pattern(i) for i in range(len(pattern_set))
+        ]
+        estimates = np.array(
+            [multi.estimate(p) for p in patterns], dtype=np.float64
+        )
+        summary = ErrorSummary.from_arrays(pattern_set.counts, estimates)
+        table.add(
+            dataset=dataset_name,
+            configuration=(
+                f"two labels, budget {bound} each "
+                f"({'|'.join(single.attributes)} + {'|'.join(partner[0])})"
+            ),
+            total_space=labels[0].size + labels[1].size,
+            max_abs=summary.max_abs,
+            mean_abs=summary.mean_abs,
+        )
+    return table

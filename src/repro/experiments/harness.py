@@ -1,0 +1,176 @@
+"""Shared experiment plumbing: result tables and scale presets.
+
+Experiments return :class:`ResultTable` — an ordered list of dict rows
+with fixed column names — which renders as aligned text (what the
+examples print) or CSV (for re-plotting), and supports simple slicing so
+tests and benchmarks can assert on the paper's qualitative shapes.
+
+:class:`Scale` packages the dataset sizes and bound lists of one run.
+``Scale.paper()`` matches Section IV; ``Scale.ci()`` shrinks everything
+so the full suite regenerates in seconds inside pytest.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["ResultTable", "Scale"]
+
+
+class ResultTable:
+    """An ordered collection of result rows with fixed columns."""
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a result table needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self._rows: list[dict[str, Any]] = []
+
+    def add(self, **values: Any) -> None:
+        """Append one row; all declared columns must be present."""
+        missing = set(self.columns) - set(values)
+        extra = set(values) - set(self.columns)
+        if missing or extra:
+            raise ValueError(
+                f"{self.name}: row mismatch (missing {sorted(missing)}, "
+                f"extra {sorted(extra)})"
+            )
+        self._rows.append(dict(values))
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All rows (copies are not made; treat as read-only)."""
+        return list(self._rows)
+
+    def column(self, name: str) -> list[Any]:
+        """One column's values in row order."""
+        if name not in self.columns:
+            raise KeyError(f"{self.name}: no column {name!r}")
+        return [row[name] for row in self._rows]
+
+    def where(self, **conditions: Any) -> "ResultTable":
+        """Rows matching all equality ``conditions``, as a new table."""
+        out = ResultTable(self.name, self.columns)
+        for row in self._rows:
+            if all(row.get(k) == v for k, v in conditions.items()):
+                out.add(**row)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._rows)
+
+    # -- rendering ---------------------------------------------------------------
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def to_text(self) -> str:
+        """Aligned plain-text rendering with a title line."""
+        cells = [
+            [self._format(row[column]) for column in self.columns]
+            for row in self._rows
+        ]
+        widths = [
+            max(len(column), *(len(row[i]) for row in cells), 1)
+            if cells
+            else len(column)
+            for i, column in enumerate(self.columns)
+        ]
+        lines = [self.name]
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + rows)."""
+        import csv
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self._rows:
+            writer.writerow([row[column] for column in self.columns])
+        return buffer.getvalue()
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Dataset sizes and sweep parameters for one experiment run.
+
+    Attributes
+    ----------
+    dataset_rows:
+        Rows to generate per dataset name.
+    bounds:
+        Label-size bounds swept in the accuracy/runtime experiments
+        (paper: 10..100).
+    candidate_bounds:
+        Bounds for the Figure 9 sweep (paper: 10, 30, 50, 70, 100).
+    growth_factors:
+        Data-size multipliers for Figure 7 (paper: up to ×10).
+    sublabel_bound:
+        Bound for the Figure 10 optimal label (paper: 100).
+    naive_time_limit:
+        Wall-clock cap per naive run, reproducing the paper's 30-minute
+        cutoff behaviour at a scale-appropriate value.
+    sample_repeats:
+        Sampling-estimator repetitions averaged (paper: 5).
+    """
+
+    dataset_rows: Mapping[str, int]
+    bounds: tuple[int, ...]
+    candidate_bounds: tuple[int, ...]
+    growth_factors: tuple[float, ...]
+    sublabel_bound: int
+    naive_time_limit: float
+    sample_repeats: int = 5
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """Section IV's full-scale configuration."""
+        return cls(
+            dataset_rows={
+                "bluenile": 116_300,
+                "compas": 60_843,
+                "creditcard": 30_000,
+            },
+            bounds=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+            candidate_bounds=(10, 30, 50, 70, 100),
+            growth_factors=(1, 2, 4, 6, 8, 10),
+            sublabel_bound=100,
+            naive_time_limit=1800.0,
+        )
+
+    @classmethod
+    def ci(cls) -> "Scale":
+        """Shrunk configuration for tests and pytest benchmarks."""
+        return cls(
+            dataset_rows={
+                "bluenile": 8_000,
+                "compas": 6_000,
+                "creditcard": 4_000,
+            },
+            bounds=(10, 30, 50),
+            candidate_bounds=(10, 30, 50),
+            growth_factors=(1, 2, 4),
+            sublabel_bound=50,
+            naive_time_limit=60.0,
+            sample_repeats=3,
+        )

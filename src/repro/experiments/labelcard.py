@@ -1,0 +1,37 @@
+"""Figure 1: the label card for the (simplified) COMPAS dataset.
+
+Figure 1 of the paper shows, for a simplified COMPAS: the total size,
+value counts of the four demographic attributes, the stored gender × race
+combination counts, and the label's error statistics (average / maximal
+error, standard deviation).  This module regenerates that card from the
+synthetic simplified COMPAS and the fixed attribute set
+``{gender, race}`` the figure uses.
+"""
+
+from __future__ import annotations
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import ErrorSummary, evaluate_label
+from repro.core.label import Label, build_label
+from repro.core.patternsets import full_pattern_set
+from repro.dataset.table import Dataset
+from repro.labeling.render import render_label_text
+
+__all__ = ["figure1_label_card"]
+
+
+def figure1_label_card(
+    dataset: Dataset,
+    *,
+    attributes: tuple[str, ...] = ("gender", "race"),
+) -> tuple[Label, ErrorSummary, str]:
+    """Build Figure 1's label and render its card.
+
+    Returns the label, its error summary over ``P_A``, and the rendered
+    plain-text card.
+    """
+    counter = PatternCounter(dataset)
+    label = build_label(counter, list(attributes))
+    summary = evaluate_label(counter, label, full_pattern_set(counter))
+    card = render_label_text(label, summary)
+    return label, summary, card

@@ -1,0 +1,43 @@
+"""User-facing nutrition-label widgets.
+
+The paper frames pattern-count labels as one *widget* of a dataset
+nutrition label (Section V): succinct, automatically generated, and
+"immediately comprehensible to a potential user of the dataset".  This
+package provides that presentation layer:
+
+* :mod:`~repro.labeling.render` — text / Markdown / HTML label cards in
+  the style of the paper's Figure 1 (value counts, the stored pattern
+  counts, and the label's error statistics);
+* :mod:`~repro.labeling.warnings` — the fitness-for-use checks the
+  introduction motivates: under-represented groups, data skew, and
+  correlated attribute pairs.
+"""
+
+from repro.labeling.render import (
+    render_label_text,
+    render_label_markdown,
+    render_label_html,
+)
+from repro.labeling.warnings import (
+    DatasetWarning,
+    WarningKind,
+    find_underrepresented,
+    find_skewed,
+    find_correlated_attributes,
+    profile_dataset,
+)
+from repro.labeling.report import DatasetReport, generate_report
+
+__all__ = [
+    "render_label_text",
+    "render_label_markdown",
+    "render_label_html",
+    "DatasetWarning",
+    "WarningKind",
+    "find_underrepresented",
+    "find_skewed",
+    "find_correlated_attributes",
+    "profile_dataset",
+    "DatasetReport",
+    "generate_report",
+]

@@ -1,0 +1,170 @@
+"""Label cards: render a label the way the paper's Figure 1 presents one.
+
+Figure 1 shows, for the simplified COMPAS dataset: the total size, a
+``VC`` block (every attribute's values with counts and percentages), a
+``PC`` block (the stored gender × race combination counts), and the
+label's error statistics (average / maximal error and standard
+deviation).  The renderers below produce that layout as plain text (for
+terminals), Markdown (for READMEs and data cards) and minimal HTML (for
+dataset landing pages).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.errors import ErrorSummary
+from repro.core.label import Label
+
+__all__ = ["render_label_text", "render_label_markdown", "render_label_html"]
+
+
+def _percent(count: int, total: int) -> str:
+    if total <= 0:
+        return "n/a"
+    share = 100.0 * count / total
+    if 0 < share < 1:
+        return f"{share:.1f}%"
+    return f"{share:.0f}%"
+
+
+def _vc_rows(label: Label) -> Iterable[tuple[str, Hashable, int]]:
+    for attribute in label.attribute_order:
+        counts = label.vc.get(attribute, {})
+        ordered = sorted(counts.items(), key=lambda kv: -kv[1])
+        for value, count in ordered:
+            yield attribute, value, count
+
+
+def _pc_rows(label: Label) -> Iterable[tuple[tuple[Hashable, ...], int]]:
+    yield from sorted(label.pc.items(), key=lambda kv: -kv[1])
+
+
+def _error_rows(summary: ErrorSummary, total: int) -> list[tuple[str, str]]:
+    return [
+        ("Average error", f"{summary.mean_abs:.0f} ({_percent(round(summary.mean_abs), total)})"),
+        ("Maximal error", f"{summary.max_abs:.0f} ({_percent(round(summary.max_abs), total)})"),
+        ("Standard deviation", f"{summary.std_abs:.0f}"),
+    ]
+
+
+def render_label_text(
+    label: Label, summary: ErrorSummary | None = None
+) -> str:
+    """Plain-text label card in the Figure 1 layout."""
+    lines: list[str] = [f"Total size: {label.total:,}", ""]
+    lines.append(f"{'Attribute':<24}{'Value':<28}{'Count':>10}  {'%':>5}")
+    lines.append("-" * 70)
+    previous_attribute = None
+    for attribute, value, count in _vc_rows(label):
+        shown = attribute if attribute != previous_attribute else ""
+        lines.append(
+            f"{shown:<24}{str(value):<28}{count:>10,}  "
+            f"{_percent(count, label.total):>5}"
+        )
+        previous_attribute = attribute
+    if label.attributes:
+        lines.append("")
+        header = " / ".join(label.attributes)
+        lines.append(f"Stored combinations over: {header}")
+        lines.append("-" * 70)
+        for combo, count in _pc_rows(label):
+            rendered = ", ".join(str(v) for v in combo)
+            lines.append(
+                f"{rendered:<52}{count:>10,}  "
+                f"{_percent(count, label.total):>5}"
+            )
+    if summary is not None:
+        lines.append("")
+        for name, value in _error_rows(summary, label.total):
+            lines.append(f"{name:<24}{value}")
+    return "\n".join(lines)
+
+
+def render_label_markdown(
+    label: Label, summary: ErrorSummary | None = None
+) -> str:
+    """Markdown label card (tables per block)."""
+    parts: list[str] = [
+        f"**Total size: {label.total:,}**",
+        "",
+        "| Attribute | Value | Count | % |",
+        "|---|---|---:|---:|",
+    ]
+    previous_attribute = None
+    for attribute, value, count in _vc_rows(label):
+        shown = attribute if attribute != previous_attribute else ""
+        parts.append(
+            f"| {shown} | {value} | {count:,} | "
+            f"{_percent(count, label.total)} |"
+        )
+        previous_attribute = attribute
+    if label.attributes:
+        header = " × ".join(label.attributes)
+        parts += [
+            "",
+            f"**Stored combinations ({header})**",
+            "",
+            "| " + " | ".join(label.attributes) + " | Count | % |",
+            "|" + "---|" * len(label.attributes) + "---:|---:|",
+        ]
+        for combo, count in _pc_rows(label):
+            cells = " | ".join(str(v) for v in combo)
+            parts.append(
+                f"| {cells} | {count:,} | {_percent(count, label.total)} |"
+            )
+    if summary is not None:
+        parts += ["", "| Error statistic | Value |", "|---|---|"]
+        for name, value in _error_rows(summary, label.total):
+            parts.append(f"| {name} | {value} |")
+    return "\n".join(parts)
+
+
+def render_label_html(
+    label: Label, summary: ErrorSummary | None = None
+) -> str:
+    """Minimal self-contained HTML label card."""
+
+    def table(headers: list[str], rows: list[list[str]]) -> str:
+        head = "".join(f"<th>{h}</th>" for h in headers)
+        body = "".join(
+            "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+            for row in rows
+        )
+        return (
+            f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>"
+        )
+
+    vc_rows = [
+        [attribute, str(value), f"{count:,}", _percent(count, label.total)]
+        for attribute, value, count in _vc_rows(label)
+    ]
+    blocks = [
+        "<div class='pcbl-label'>",
+        f"<h3>Total size: {label.total:,}</h3>",
+        table(["Attribute", "Value", "Count", "%"], vc_rows),
+    ]
+    if label.attributes:
+        pc_rows = [
+            [
+                *(str(v) for v in combo),
+                f"{count:,}",
+                _percent(count, label.total),
+            ]
+            for combo, count in _pc_rows(label)
+        ]
+        blocks += [
+            f"<h4>Stored combinations ({' × '.join(label.attributes)})</h4>",
+            table([*label.attributes, "Count", "%"], pc_rows),
+        ]
+    if summary is not None:
+        error_rows = [
+            [name, value] for name, value in _error_rows(summary, label.total)
+        ]
+        blocks += [
+            "<h4>Estimation error</h4>",
+            table(["Statistic", "Value"], error_rows),
+        ]
+    blocks.append("</div>")
+    return "\n".join(blocks)

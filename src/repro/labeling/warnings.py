@@ -1,0 +1,259 @@
+"""Fitness-for-use warnings derived from count information.
+
+The introduction of the paper motivates pattern counts with three
+use-case-specific checks an analyst would run before trusting found data:
+
+* **inadequate representation** of a group ("the error rate for Hispanic
+  women is very high because there aren't many Hispanic women in the
+  data set");
+* **data skew** — a pattern holding an outsized share of the data;
+* **dependent / correlated attributes** ("if all tuples representing
+  individuals under 20 years old are also single...").
+
+Each check can run against the *dataset* (exact counts) or against a
+*label* (estimated counts via :class:`~repro.core.estimator.LabelEstimator`)
+— the latter is the deployed scenario where only the label travels with
+the data.  Estimated warnings are marked as such.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counts import PatternCounter
+from repro.core.estimator import LabelEstimator
+from repro.core.label import Label
+from repro.core.pattern import Pattern
+from repro.core.patternsets import patterns_over
+from repro.dataset.table import Dataset
+
+__all__ = [
+    "WarningKind",
+    "DatasetWarning",
+    "find_underrepresented",
+    "find_skewed",
+    "find_correlated_attributes",
+    "profile_dataset",
+]
+
+
+class WarningKind(enum.Enum):
+    """Category of a fitness-for-use warning."""
+
+    UNDERREPRESENTED = "underrepresented"
+    SKEWED = "skewed"
+    CORRELATED = "correlated"
+
+
+@dataclass(frozen=True)
+class DatasetWarning:
+    """One fitness-for-use finding.
+
+    ``estimated`` is True when the count came from a label rather than
+    the data itself.
+    """
+
+    kind: WarningKind
+    message: str
+    pattern: Pattern | None
+    count: float
+    share: float
+    estimated: bool
+
+    def __str__(self) -> str:
+        prefix = "~" if self.estimated else ""
+        return f"[{self.kind.value}] {self.message} ({prefix}{self.count:.0f} rows, {100 * self.share:.2f}%)"
+
+
+def _counts_for(
+    source: Dataset | PatternCounter | Label,
+    patterns: Sequence[Pattern],
+) -> tuple[list[float], int, bool]:
+    """Counts of ``patterns`` from a dataset (exact) or label (estimated)."""
+    if isinstance(source, Label):
+        estimator = LabelEstimator(source)
+        return (
+            [estimator.estimate(p) for p in patterns],
+            source.total,
+            True,
+        )
+    counter = (
+        source if isinstance(source, PatternCounter) else PatternCounter(source)
+    )
+    return (
+        [float(counter.count(p)) for p in patterns],
+        counter.total_rows,
+        False,
+    )
+
+
+def _group_patterns(
+    source: Dataset | PatternCounter | Label,
+    attributes: Sequence[str],
+) -> list[Pattern]:
+    """All value combinations over ``attributes`` worth checking."""
+    if isinstance(source, Label):
+        domains = {
+            attribute: list(source.vc[attribute]) for attribute in attributes
+        }
+        combos = itertools.product(
+            *(domains[attribute] for attribute in attributes)
+        )
+        return [
+            Pattern(dict(zip(attributes, combo))) for combo in combos
+        ]
+    counter = (
+        source if isinstance(source, PatternCounter) else PatternCounter(source)
+    )
+    pattern_set = patterns_over(counter, attributes)
+    return [p for p, _ in pattern_set.iter_with_counts()]
+
+
+def find_underrepresented(
+    source: Dataset | PatternCounter | Label,
+    attributes: Sequence[str],
+    *,
+    min_share: float = 0.01,
+    min_count: int | None = None,
+) -> list[DatasetWarning]:
+    """Groups over ``attributes`` below a representation threshold.
+
+    A group is flagged when its (possibly estimated) count falls below
+    ``min_count`` or its share below ``min_share``.  When reading from a
+    label, all domain combinations are checked (including unseen ones,
+    which estimate near 0 — exactly the "inadequate representation" case).
+    """
+    patterns = _group_patterns(source, attributes)
+    counts, total, estimated = _counts_for(source, patterns)
+    threshold = max(
+        min_count if min_count is not None else 0, min_share * total
+    )
+    warnings = []
+    for pattern, count in zip(patterns, counts):
+        if count < threshold:
+            description = ", ".join(
+                f"{a}={v}" for a, v in pattern.items_sorted
+            )
+            warnings.append(
+                DatasetWarning(
+                    kind=WarningKind.UNDERREPRESENTED,
+                    message=f"group [{description}] is under-represented",
+                    pattern=pattern,
+                    count=count,
+                    share=count / total if total else 0.0,
+                    estimated=estimated,
+                )
+            )
+    return sorted(warnings, key=lambda w: w.count)
+
+
+def find_skewed(
+    source: Dataset | PatternCounter | Label,
+    attributes: Sequence[str],
+    *,
+    max_share: float = 0.5,
+) -> list[DatasetWarning]:
+    """Groups over ``attributes`` holding more than ``max_share`` of the data."""
+    patterns = _group_patterns(source, attributes)
+    counts, total, estimated = _counts_for(source, patterns)
+    warnings = []
+    for pattern, count in zip(patterns, counts):
+        share = count / total if total else 0.0
+        if share > max_share:
+            description = ", ".join(
+                f"{a}={v}" for a, v in pattern.items_sorted
+            )
+            warnings.append(
+                DatasetWarning(
+                    kind=WarningKind.SKEWED,
+                    message=f"group [{description}] dominates the data",
+                    pattern=pattern,
+                    count=count,
+                    share=share,
+                    estimated=estimated,
+                )
+            )
+    return sorted(warnings, key=lambda w: -w.share)
+
+
+def find_correlated_attributes(
+    source: Dataset | PatternCounter,
+    *,
+    attributes: Sequence[str] | None = None,
+    min_deviation: float = 0.05,
+) -> list[DatasetWarning]:
+    """Attribute pairs deviating from independence.
+
+    For each pair, compares the observed joint distribution against the
+    product of the marginals and reports the total variation distance
+    ``0.5 * sum |joint - marginal_product|``.  Pairs above
+    ``min_deviation`` are flagged — the "potential dependent or
+    correlated attributes" signal from the paper's introduction.
+
+    Runs on the dataset only (a label stores one joint, not all pairs).
+    """
+    counter = (
+        source if isinstance(source, PatternCounter) else PatternCounter(source)
+    )
+    names = (
+        list(attributes)
+        if attributes is not None
+        else list(counter.dataset.attribute_names)
+    )
+    total = counter.total_rows
+    warnings = []
+    for left, right in itertools.combinations(names, 2):
+        combos, counts = counter.joint_table([left, right])
+        joint = counts.astype(np.float64) / total
+        left_fracs = counter.fractions(left)
+        right_fracs = counter.fractions(right)
+        expected = left_fracs[combos[:, 0]] * right_fracs[combos[:, 1]]
+        # Unseen combinations contribute their expected mass fully.
+        deviation = 0.5 * (
+            np.abs(joint - expected).sum() + (1.0 - expected.sum())
+        )
+        if deviation > min_deviation:
+            warnings.append(
+                DatasetWarning(
+                    kind=WarningKind.CORRELATED,
+                    message=(
+                        f"attributes {left!r} and {right!r} deviate from "
+                        f"independence (TV distance {deviation:.3f})"
+                    ),
+                    pattern=None,
+                    count=float(total),
+                    share=deviation,
+                    estimated=False,
+                )
+            )
+    return sorted(warnings, key=lambda w: -w.share)
+
+
+def profile_dataset(
+    source: Dataset | PatternCounter,
+    sensitive_attributes: Sequence[str],
+    *,
+    min_share: float = 0.01,
+    max_share: float = 0.5,
+    min_deviation: float = 0.1,
+) -> list[DatasetWarning]:
+    """Run all three checks over the sensitive attributes.
+
+    The one-call profiling pass a data custodian would run before
+    publishing: under-representation and skew over the sensitive
+    attribute combinations, plus pairwise correlation among them.
+    """
+    warnings: list[DatasetWarning] = []
+    warnings += find_underrepresented(
+        source, sensitive_attributes, min_share=min_share
+    )
+    warnings += find_skewed(source, sensitive_attributes, max_share=max_share)
+    warnings += find_correlated_attributes(
+        source, attributes=sensitive_attributes, min_deviation=min_deviation
+    )
+    return warnings

@@ -1,0 +1,107 @@
+"""Tests for the dependency-tree (Chow–Liu) histogram baseline."""
+
+import numpy as np
+import pytest
+
+from repro import ErrorSummary, Pattern, PatternCounter, full_pattern_set
+from repro.baselines.dephist import DependencyTreeEstimator
+from repro.baselines.independence import IndependenceEstimator
+from repro.dataset.table import Dataset
+
+
+class TestTreeStructure:
+    def test_n_minus_one_edges(self, figure2):
+        estimator = DependencyTreeEstimator(figure2)
+        assert len(estimator.edges) == figure2.n_attributes - 1
+
+    def test_strong_dependencies_selected(self, compas_small):
+        """The score cluster's functional dependencies carry maximal MI,
+        so the tree must include e.g. DecileScore—ScoreText."""
+        estimator = DependencyTreeEstimator(compas_small)
+        edge_sets = {frozenset(edge) for edge in estimator.edges}
+        assert frozenset({"DecileScore", "ScoreText"}) in edge_sets
+        assert frozenset({"Scale_ID", "DisplayText"}) in edge_sets
+
+    def test_size_counts_edge_entries(self, figure2):
+        estimator = DependencyTreeEstimator(figure2)
+        assert estimator.size > 0
+        # At most the sum of pairwise domain products.
+        maximum = sum(
+            figure2.schema[u].cardinality * figure2.schema[v].cardinality
+            for u, v in estimator.edges
+        )
+        assert estimator.size <= maximum
+
+
+class TestEstimates:
+    def test_exact_on_marginals(self, figure2):
+        estimator = DependencyTreeEstimator(figure2)
+        counter = PatternCounter(figure2)
+        for value in ("Female", "Male"):
+            pattern = Pattern({"gender": value})
+            assert estimator.estimate(pattern) == pytest.approx(
+                counter.count(pattern)
+            )
+
+    def test_exact_on_tree_edges(self, figure2):
+        """A pattern binding exactly one tree edge factorizes exactly."""
+        estimator = DependencyTreeEstimator(figure2)
+        counter = PatternCounter(figure2)
+        left, right = estimator.edges[0]
+        for row in figure2.head(6).iter_rows():
+            pattern = Pattern({left: row[left], right: row[right]})
+            assert estimator.estimate(pattern) == pytest.approx(
+                counter.count(pattern), abs=1e-9
+            )
+
+    def test_estimate_codes_matches_estimate(self, bluenile_small):
+        estimator = DependencyTreeEstimator(bluenile_small)
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        vectorized = estimator.estimate_codes(
+            pattern_set.attributes, pattern_set.combos
+        )
+        for index in range(0, len(pattern_set), 211):
+            assert vectorized[index] == pytest.approx(
+                estimator.estimate(pattern_set.pattern(index)), rel=1e-9
+            )
+
+    def test_beats_independence_on_correlated_data(self, bluenile_small):
+        """The whole point of dependency histograms: capturing the
+        strongest pairwise dependencies must help."""
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        tree = DependencyTreeEstimator(bluenile_small)
+        plain = IndependenceEstimator(bluenile_small)
+        tree_summary = ErrorSummary.from_arrays(
+            pattern_set.counts,
+            tree.estimate_codes(pattern_set.attributes, pattern_set.combos),
+        )
+        plain_summary = ErrorSummary.from_arrays(
+            pattern_set.counts,
+            plain.estimate_codes(pattern_set.attributes, pattern_set.combos),
+        )
+        assert tree_summary.mean_abs < plain_summary.mean_abs
+
+    def test_functional_dependency_chain_exact(self):
+        """On a pure chain A -> B -> C the tree estimate is exact."""
+        rows = []
+        for i in range(60):
+            a = str(i % 3)
+            rows.append((a, f"b{a}", f"c{a}"))
+        data = Dataset.from_rows(["A", "B", "C"], rows)
+        estimator = DependencyTreeEstimator(data)
+        counter = PatternCounter(data)
+        pattern = Pattern({"A": "0", "B": "b0", "C": "c0"})
+        assert estimator.estimate(pattern) == pytest.approx(
+            counter.count(pattern)
+        )
+
+    def test_zero_probability_pattern(self, figure2):
+        estimator = DependencyTreeEstimator(figure2)
+        # under 20 + married never co-occur in Figure 2; if that pair is
+        # a tree edge the estimate is exactly 0, otherwise >= 0.
+        pattern = Pattern(
+            {"age group": "under 20", "marital status": "married"}
+        )
+        assert estimator.estimate(pattern) >= 0.0

@@ -1,0 +1,92 @@
+"""Tests for the independence-only (VC-only) baseline."""
+
+import pytest
+
+from repro import (
+    ErrorSummary,
+    LabelEstimator,
+    Pattern,
+    PatternCounter,
+    build_label,
+    full_pattern_set,
+)
+from repro.baselines.independence import IndependenceEstimator
+
+
+class TestIndependenceEstimator:
+    def test_matches_empty_label(self, figure2):
+        """The baseline is definitionally the empty-S label's estimate."""
+        baseline = IndependenceEstimator(figure2)
+        empty = LabelEstimator(build_label(figure2, []))
+        patterns = [
+            Pattern({"gender": "Female"}),
+            Pattern({"gender": "Male", "race": "Hispanic"}),
+            Pattern(
+                {
+                    "gender": "Female",
+                    "age group": "20-39",
+                    "marital status": "married",
+                }
+            ),
+        ]
+        for pattern in patterns:
+            assert baseline.estimate(pattern) == pytest.approx(
+                empty.estimate(pattern)
+            )
+
+    def test_exact_on_marginals(self, figure2):
+        baseline = IndependenceEstimator(figure2)
+        counter = PatternCounter(figure2)
+        for value in ("Female", "Male"):
+            pattern = Pattern({"gender": value})
+            assert baseline.estimate(pattern) == counter.count(pattern)
+
+    def test_example_2_7_miss(self):
+        """Correlated attributes defeat independence (Example 2.7)."""
+        from repro.dataset.table import Dataset
+
+        rows = []
+        for b2 in (0, 1):
+            for b3 in (0, 1):
+                rows.append((str(b2), str(b2), str(b3)))
+        data = Dataset.from_rows(["A1", "A2", "A3"], rows)
+        baseline = IndependenceEstimator(data)
+        counter = PatternCounter(data)
+        target = Pattern({"A1": "0", "A2": "0", "A3": "0"})
+        assert counter.count(target) == 1
+        assert baseline.estimate(target) == pytest.approx(0.5)  # 2x off
+
+    def test_estimate_codes_matches_estimate(self, bluenile_small):
+        baseline = IndependenceEstimator(bluenile_small)
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        vectorized = baseline.estimate_codes(
+            pattern_set.attributes, pattern_set.combos
+        )
+        for index in range(0, len(pattern_set), 173):
+            assert vectorized[index] == pytest.approx(
+                baseline.estimate(pattern_set.pattern(index))
+            )
+
+    def test_any_pc_label_beats_independence_on_correlated_data(
+        self, bluenile_small
+    ):
+        """What PC buys: even a tiny subset label beats VC-only."""
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        baseline = IndependenceEstimator(bluenile_small)
+        independence = ErrorSummary.from_arrays(
+            pattern_set.counts,
+            baseline.estimate_codes(
+                pattern_set.attributes, pattern_set.combos
+            ),
+        )
+        from repro import evaluate_label
+
+        labeled = evaluate_label(
+            counter, ("cut", "polish"), pattern_set
+        )
+        assert labeled.max_abs < independence.max_abs
+
+    def test_size_is_vc_size(self, figure2):
+        assert IndependenceEstimator(figure2).size == 10

@@ -1,0 +1,64 @@
+"""Protocol conformance: every estimator satisfies the shared interface."""
+
+import numpy as np
+import pytest
+
+from repro import LabelEstimator, MultiLabelEstimator, build_label
+from repro.baselines.base import CardinalityEstimator, TabularEstimator
+from repro.baselines.dephist import DependencyTreeEstimator
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.postgres import PostgresEstimator
+from repro.baselines.sampling import SamplingEstimator
+from repro.core.flexlabel import FlexibleEstimator, greedy_flexible_label
+
+
+@pytest.fixture
+def estimators(figure2, rng):
+    from repro import PatternCounter
+
+    counter = PatternCounter(figure2)
+    label = build_label(counter, ["gender", "race"])
+    return {
+        "label": LabelEstimator(label),
+        "multi": MultiLabelEstimator([label]),
+        "flexible": FlexibleEstimator(
+            greedy_flexible_label(counter, 4)
+        ),
+        "independence": IndependenceEstimator(figure2),
+        "dephist": DependencyTreeEstimator(figure2),
+        "postgres": PostgresEstimator(figure2, rng),
+        "sampling": SamplingEstimator(figure2, 10, rng),
+    }
+
+
+class TestCardinalityProtocol:
+    def test_all_satisfy_estimate_protocol(self, estimators):
+        for name, estimator in estimators.items():
+            assert isinstance(estimator, CardinalityEstimator), name
+
+    def test_estimates_are_floats(self, estimators):
+        from repro import Pattern
+
+        pattern = Pattern({"gender": "Female"})
+        for name, estimator in estimators.items():
+            value = estimator.estimate(pattern)
+            assert isinstance(value, float), name
+            assert value >= 0.0, name
+
+
+class TestTabularProtocol:
+    TABULAR = ("independence", "dephist", "postgres", "sampling")
+
+    def test_tabular_estimators_satisfy_protocol(self, estimators):
+        for name in self.TABULAR:
+            assert isinstance(estimators[name], TabularEstimator), name
+
+    def test_tabular_output_shape(self, estimators, figure2):
+        combos = figure2.codes_matrix(["gender", "race"])[:5]
+        for name in self.TABULAR:
+            out = estimators[name].estimate_codes(
+                ["gender", "race"], combos
+            )
+            assert isinstance(out, np.ndarray), name
+            assert out.shape == (5,), name
+            assert (out >= 0).all(), name

@@ -1,0 +1,90 @@
+"""Unit tests for the sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro import Pattern, PatternCounter, full_pattern_set
+from repro.baselines.sampling import SamplingEstimator, sample_size_for_bound
+
+
+class TestSampleSize:
+    def test_bound_plus_vc(self, figure2):
+        # |VC| = 2 + 2 + 3 + 3 = 10.
+        assert sample_size_for_bound(figure2, 30) == 40
+
+    def test_bluenile_vc(self, bluenile_small):
+        vc = sum(c.cardinality for c in bluenile_small.schema)
+        assert sample_size_for_bound(bluenile_small, 10) == 10 + vc
+
+
+class TestSamplingEstimator:
+    def test_full_sample_is_exact(self, figure2, rng):
+        estimator = SamplingEstimator(figure2, 18, rng)
+        counter = PatternCounter(figure2)
+        pattern = Pattern({"gender": "Female"})
+        assert estimator.estimate(pattern) == counter.count(pattern)
+        assert estimator.scale == 1.0
+
+    def test_scale_factor(self, figure2, rng):
+        estimator = SamplingEstimator(figure2, 6, rng)
+        assert estimator.scale == pytest.approx(3.0)
+        assert estimator.size == 6
+
+    def test_sample_size_clamped_to_data(self, figure2, rng):
+        estimator = SamplingEstimator(figure2, 500, rng)
+        assert estimator.size == 18
+
+    def test_invalid_size_rejected(self, figure2, rng):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingEstimator(figure2, 0, rng)
+
+    def test_unsampled_pattern_estimates_zero(self, bluenile_small, rng):
+        estimator = SamplingEstimator(bluenile_small, 20, rng)
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        estimates = estimator.estimate_codes(
+            pattern_set.attributes, pattern_set.combos
+        )
+        # A 20-row sample cannot cover thousands of patterns.
+        assert (estimates == 0).sum() > len(pattern_set) / 2
+
+    def test_estimate_codes_matches_estimate(self, figure2, rng):
+        estimator = SamplingEstimator(figure2, 9, rng)
+        counter = PatternCounter(figure2)
+        pattern_set = full_pattern_set(counter)
+        vectorized = estimator.estimate_codes(
+            pattern_set.attributes, pattern_set.combos
+        )
+        for index in range(len(pattern_set)):
+            single = estimator.estimate(pattern_set.pattern(index))
+            assert vectorized[index] == pytest.approx(single)
+
+    def test_estimates_scale_with_overall_mass(self, bluenile_small, rng):
+        """Summed estimates over all full patterns ≈ |D| in expectation."""
+        estimator = SamplingEstimator(bluenile_small, 400, rng)
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        estimates = estimator.estimate_codes(
+            pattern_set.attributes, pattern_set.combos
+        )
+        assert estimates.sum() == pytest.approx(
+            bluenile_small.n_rows, rel=0.05
+        )
+
+    def test_larger_samples_reduce_mean_error(self, bluenile_small):
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+
+        def mean_error(size: int) -> float:
+            errors = []
+            for seed in range(5):
+                rng = np.random.default_rng(seed)
+                est = SamplingEstimator(
+                    bluenile_small, size, rng
+                ).estimate_codes(pattern_set.attributes, pattern_set.combos)
+                errors.append(
+                    float(np.abs(est - pattern_set.counts).mean())
+                )
+            return float(np.mean(errors))
+
+        assert mean_error(2000) < mean_error(50)

@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+``figure2`` is the paper's Figure 2 sample relation (18 tuples of a
+simplified COMPAS), used by the worked-example tests; the ``*_small``
+fixtures are session-scoped shrunk versions of the three evaluation
+datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, PatternCounter
+from repro.datasets import load_dataset
+
+FIGURE2_ROWS = [
+    ("Female", "under 20", "African-American", "single"),
+    ("Male", "20-39", "African-American", "divorced"),
+    ("Male", "under 20", "Hispanic", "single"),
+    ("Male", "20-39", "Caucasian", "married"),
+    ("Female", "20-39", "African-American", "divorced"),
+    ("Male", "20-39", "Caucasian", "divorced"),
+    ("Female", "20-39", "African-American", "married"),
+    ("Male", "under 20", "African-American", "single"),
+    ("Female", "20-39", "Caucasian", "divorced"),
+    ("Male", "under 20", "Caucasian", "single"),
+    ("Male", "20-39", "Hispanic", "divorced"),
+    ("Female", "under 20", "Hispanic", "single"),
+    ("Female", "20-39", "Hispanic", "married"),
+    ("Female", "under 20", "Caucasian", "single"),
+    ("Female", "20-39", "Caucasian", "married"),
+    ("Male", "20-39", "Hispanic", "married"),
+    ("Male", "20-39", "African-American", "married"),
+    ("Female", "20-39", "Hispanic", "divorced"),
+]
+
+FIGURE2_ATTRIBUTES = ["gender", "age group", "race", "marital status"]
+
+
+@pytest.fixture
+def figure2() -> Dataset:
+    """The 18-tuple sample of the paper's Figure 2."""
+    return Dataset.from_rows(FIGURE2_ATTRIBUTES, FIGURE2_ROWS)
+
+
+@pytest.fixture
+def figure2_counter(figure2: Dataset) -> PatternCounter:
+    return PatternCounter(figure2)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def bluenile_small() -> Dataset:
+    return load_dataset("bluenile", n_rows=4000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def compas_small() -> Dataset:
+    return load_dataset("compas", n_rows=3000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def creditcard_small() -> Dataset:
+    return load_dataset("creditcard", n_rows=2000, seed=1)

@@ -1,0 +1,102 @@
+"""Tests for Definition 3.1 classification and Proposition 3.2 checking."""
+
+import itertools
+
+import pytest
+
+from repro import PatternCounter
+from repro.core.classify import (
+    EstimateKind,
+    check_proposition_3_2,
+    classification_profile,
+    classify_estimate,
+)
+
+
+class TestClassifyEstimate:
+    def test_trichotomy(self):
+        assert classify_estimate(10, 10.0) is EstimateKind.EXACT
+        assert classify_estimate(10, 12.0) is EstimateKind.OVER
+        assert classify_estimate(10, 8.0) is EstimateKind.UNDER
+
+    def test_tolerance(self):
+        assert classify_estimate(10, 10.0 + 1e-12) is EstimateKind.EXACT
+
+
+class TestClassificationProfile:
+    def test_full_label_all_exact(self, figure2):
+        counter = PatternCounter(figure2)
+        profile = classification_profile(
+            counter, figure2.attribute_names
+        )
+        assert profile.n_exact == profile.total
+        assert profile.exact_share == 1.0
+
+    def test_counts_sum_to_total(self, figure2):
+        counter = PatternCounter(figure2)
+        profile = classification_profile(counter, ("gender",))
+        assert (
+            profile.n_exact + profile.n_over + profile.n_under
+            == profile.total
+        )
+        assert profile.total == 18
+
+    def test_larger_subset_more_exact_mass(self, bluenile_small):
+        counter = PatternCounter(bluenile_small)
+        small = classification_profile(counter, ("cut",))
+        large = classification_profile(counter, ("cut", "polish"))
+        assert large.exact_share >= small.exact_share - 0.05
+
+
+class TestProposition32:
+    def test_theorem_never_violated_on_figure2(self, figure2):
+        counter = PatternCounter(figure2)
+        names = figure2.attribute_names
+        for k in (1, 2, 3):
+            for subset in itertools.combinations(names, k):
+                for extra in names:
+                    if extra in subset:
+                        continue
+                    superset = tuple(
+                        sorted(subset + (extra,), key=names.index)
+                    )
+                    report = check_proposition_3_2(
+                        counter, subset, superset
+                    )
+                    assert report.holds, (subset, superset)
+
+    def test_theorem_never_violated_on_real_data(self, bluenile_small):
+        counter = PatternCounter(bluenile_small)
+        pairs = [
+            (("cut",), ("cut", "polish")),
+            (("polish",), ("polish", "symmetry")),
+            (("cut", "polish"), ("cut", "polish", "symmetry")),
+            (("shape",), ("shape", "color", "clarity")),
+        ]
+        for subset, superset in pairs:
+            report = check_proposition_3_2(counter, subset, superset)
+            assert report.holds, (subset, superset)
+            assert report.n_applicable > 0
+
+    def test_unconditional_violations_are_a_minority(self, bluenile_small):
+        """Per-pattern, the superset label may lose on some patterns
+        (only the conditional form is a theorem), but it must win on the
+        majority — and on the *max* error, which is what Section IV-E
+        actually measures."""
+        counter = PatternCounter(bluenile_small)
+        report = check_proposition_3_2(
+            counter, ("cut", "polish"), ("cut", "polish", "symmetry")
+        )
+        assert (
+            report.n_unconditional_violations < 0.5 * report.n_patterns
+        )
+        from repro import evaluate_label
+
+        small = evaluate_label(counter, ("cut", "polish"))
+        large = evaluate_label(counter, ("cut", "polish", "symmetry"))
+        assert large.max_abs <= small.max_abs + 1e-9
+
+    def test_subset_containment_enforced(self, figure2):
+        counter = PatternCounter(figure2)
+        with pytest.raises(ValueError, match="contained"):
+            check_proposition_3_2(counter, ("gender",), ("race",))

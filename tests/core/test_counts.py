@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.core.counts` against the paper's Figure 2."""
+
+import pytest
+
+from repro.core.counts import PatternCounter
+from repro.core.pattern import Pattern
+from repro.dataset.table import Dataset
+
+
+class TestCount:
+    def test_example_2_4(self, figure2_counter):
+        """Example 2.4: c_D({age=under 20, marital=single}) = 6."""
+        pattern = Pattern(
+            {"age group": "under 20", "marital status": "single"}
+        )
+        assert figure2_counter.count(pattern) == 6
+
+    def test_single_attribute_counts_match_figure2(self, figure2_counter):
+        assert figure2_counter.count(Pattern({"gender": "Female"})) == 9
+        assert figure2_counter.count(Pattern({"gender": "Male"})) == 9
+        assert figure2_counter.count(Pattern({"age group": "under 20"})) == 6
+        assert figure2_counter.count(Pattern({"age group": "20-39"})) == 12
+
+    def test_zero_count_pattern(self, figure2_counter):
+        pattern = Pattern(
+            {"age group": "under 20", "marital status": "married"}
+        )
+        assert figure2_counter.count(pattern) == 0
+
+    def test_full_width_pattern(self, figure2_counter):
+        pattern = Pattern(
+            {
+                "gender": "Female",
+                "age group": "under 20",
+                "race": "African-American",
+                "marital status": "single",
+            }
+        )
+        assert figure2_counter.count(pattern) == 1
+
+    def test_unknown_value_raises(self, figure2_counter):
+        with pytest.raises(KeyError):
+            figure2_counter.count(Pattern({"gender": "robot"}))
+
+    def test_missing_values_never_satisfy(self):
+        data = Dataset.from_columns({"a": ["x", None, "x"], "b": ["1", "1", "1"]})
+        counter = PatternCounter(data)
+        assert counter.count(Pattern({"a": "x"})) == 2
+        assert counter.count(Pattern({"a": "x", "b": "1"})) == 2
+
+
+class TestValueStatistics:
+    def test_value_counts_cached_and_correct(self, figure2_counter):
+        first = figure2_counter.value_counts("race")
+        assert first == {
+            "African-American": 6,
+            "Caucasian": 6,
+            "Hispanic": 6,
+        }
+        assert figure2_counter.value_counts("race") is first  # cached
+
+    def test_fractions_sum_to_one(self, figure2_counter):
+        fractions = figure2_counter.fractions("marital status")
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_fraction_single_value(self, figure2_counter):
+        assert figure2_counter.fraction("gender", "Female") == pytest.approx(
+            0.5
+        )
+
+    def test_fractions_with_missing_normalize_over_present(self):
+        data = Dataset.from_columns({"a": ["x", "x", "y", None]})
+        counter = PatternCounter(data)
+        assert counter.fraction("a", "x") == pytest.approx(2 / 3)
+
+
+class TestAttributeSetStatistics:
+    def test_label_size_example_2_10(self, figure2_counter):
+        """Example 2.10: |PC| over {age, marital} = 3; over {gender, age} = 4."""
+        assert figure2_counter.label_size(("age group", "marital status")) == 3
+        assert figure2_counter.label_size(("gender", "age group")) == 4
+
+    def test_label_size_cached(self, figure2_counter):
+        key = ("gender", "race")
+        first = figure2_counter.label_size(key)
+        assert figure2_counter.label_size(key) == first
+
+    def test_joint_table_counts_sum_to_rows(self, figure2_counter):
+        _, counts = figure2_counter.joint_table(("gender", "race"))
+        assert counts.sum() == 18
+
+    def test_distinct_full_rows_cached(self, figure2_counter):
+        first = figure2_counter.distinct_full_rows()
+        second = figure2_counter.distinct_full_rows()
+        assert first[0] is second[0]
+
+    def test_distinct_full_rows_cover_all_tuples(self, figure2_counter):
+        _, counts = figure2_counter.distinct_full_rows()
+        assert counts.sum() == 18
+
+
+class TestConversions:
+    def test_pattern_from_codes_roundtrip(self, figure2_counter):
+        pattern = Pattern({"gender": "Female", "race": "Hispanic"})
+        codes = figure2_counter.codes_from_pattern(pattern)
+        rebuilt = figure2_counter.pattern_from_codes(
+            list(codes), [codes[a] for a in codes]
+        )
+        assert rebuilt == pattern
+
+    def test_pattern_from_missing_code_rejected(self, figure2_counter):
+        with pytest.raises(ValueError, match="missing"):
+            figure2_counter.pattern_from_codes(["gender"], [-1])

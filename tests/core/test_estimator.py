@@ -1,0 +1,197 @@
+"""Unit tests for :mod:`repro.core.estimator` (Definition 2.11)."""
+
+import pytest
+
+from repro.core.counts import PatternCounter
+from repro.core.estimator import LabelEstimator, MultiLabelEstimator
+from repro.core.label import build_label
+from repro.core.pattern import Pattern
+from repro.core.patternsets import full_pattern_set
+from repro.dataset.table import Dataset
+
+
+@pytest.fixture
+def target() -> Pattern:
+    return Pattern(
+        {
+            "gender": "Female",
+            "age group": "20-39",
+            "marital status": "married",
+        }
+    )
+
+
+class TestExample212:
+    def test_estimate_with_age_marital_label(self, figure2, target):
+        """Example 2.12: Est = 6 * 9/18 = 3 with S = {age, marital}."""
+        label = build_label(figure2, ["age group", "marital status"])
+        assert LabelEstimator(label).estimate(target) == pytest.approx(3.0)
+
+    def test_estimate_with_gender_age_label(self, figure2, target):
+        """Example 2.12: Est = 6 * 6/18 = 2 with S' = {gender, age}."""
+        label = build_label(figure2, ["gender", "age group"])
+        assert LabelEstimator(label).estimate(target) == pytest.approx(2.0)
+
+    def test_example_2_14_errors(self, figure2, target):
+        """Example 2.14: true count 3, so errors are 0 and 1."""
+        counter = PatternCounter(figure2)
+        assert counter.count(target) == 3
+        l1 = build_label(figure2, ["age group", "marital status"])
+        l2 = build_label(figure2, ["gender", "age group"])
+        assert abs(3 - LabelEstimator(l1).estimate(target)) == 0
+        assert abs(3 - LabelEstimator(l2).estimate(target)) == 1
+
+
+class TestExactness:
+    def test_exact_when_pattern_within_s(self, figure2):
+        """Section III-A: Attr(p) ⊆ S implies an exact estimate."""
+        counter = PatternCounter(figure2)
+        label = build_label(figure2, ["gender", "race"])
+        estimator = LabelEstimator(label)
+        for race in ("African-American", "Caucasian", "Hispanic"):
+            pattern = Pattern({"gender": "Female", "race": race})
+            assert estimator.estimate(pattern) == counter.count(pattern)
+            assert estimator.is_exact_for(pattern)
+
+    def test_exact_on_marginal_within_s(self, figure2):
+        counter = PatternCounter(figure2)
+        label = build_label(figure2, ["gender", "race"])
+        estimator = LabelEstimator(label)
+        pattern = Pattern({"race": "Hispanic"})
+        assert estimator.estimate(pattern) == counter.count(pattern)
+
+    def test_not_exact_outside_s(self, figure2):
+        label = build_label(figure2, ["gender"])
+        estimator = LabelEstimator(label)
+        assert not estimator.is_exact_for(Pattern({"race": "Hispanic"}))
+
+
+class TestIndependenceFallback:
+    def test_empty_restriction_uses_total(self, figure2):
+        """Disjoint Attr(p) and S: pure independence (Example 2.6)."""
+        counter = PatternCounter(figure2)
+        label = build_label(figure2, ["race"])
+        estimator = LabelEstimator(label)
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        expected = (
+            18
+            * counter.fraction("gender", "Female")
+            * counter.fraction("age group", "under 20")
+        )
+        assert estimator.estimate(pattern) == pytest.approx(expected)
+
+    def test_empty_label_is_full_independence(self, figure2):
+        counter = PatternCounter(figure2)
+        label = build_label(figure2, [])
+        estimator = LabelEstimator(label)
+        pattern = Pattern({"gender": "Male", "race": "Caucasian"})
+        expected = 18 * (9 / 18) * (6 / 18)
+        assert estimator.estimate(pattern) == pytest.approx(expected)
+
+    def test_binary_correlated_example_2_7(self):
+        """Examples 2.5–2.8 with n=3 binary attributes, A1 == A2."""
+        rows = []
+        for b2 in (0, 1):
+            for b3 in (0, 1):
+                rows.append((str(b2), str(b2), str(b3)))  # A1 = A2
+        data = Dataset.from_rows(["A1", "A2", "A3"], rows)
+        counter = PatternCounter(data)
+        target = Pattern({"A1": "0", "A2": "0", "A3": "0"})
+        # Independence-only estimate (Example 2.7): |D| * (1/2)^3 = 0.5
+        vc_only = LabelEstimator(build_label(data, []))
+        assert vc_only.estimate(target) == pytest.approx(4 * 0.125)
+        # With PC over {A1, A2} (Example 2.8): exact count 1.
+        informed = LabelEstimator(build_label(data, ["A1", "A2"]))
+        assert informed.estimate(target) == pytest.approx(
+            counter.count(target)
+        )
+
+    def test_zero_base_gives_zero_estimate(self, figure2):
+        label = build_label(figure2, ["age group", "marital status"])
+        estimator = LabelEstimator(label)
+        pattern = Pattern(
+            {
+                "age group": "under 20",
+                "marital status": "married",
+                "gender": "Female",
+            }
+        )
+        assert estimator.estimate(pattern) == 0.0
+
+    def test_estimate_many(self, figure2):
+        label = build_label(figure2, ["gender"])
+        estimator = LabelEstimator(label)
+        patterns = [Pattern({"gender": "Female"}), Pattern({"gender": "Male"})]
+        assert estimator.estimate_many(patterns) == [9.0, 9.0]
+
+
+class TestMultiLabelEstimator:
+    def test_prefers_covering_label(self, figure2):
+        counter = PatternCounter(figure2)
+        labels = [
+            build_label(counter, ["gender", "age group"]),
+            build_label(counter, ["age group", "marital status"]),
+        ]
+        multi = MultiLabelEstimator(labels)
+        # Fully covered by the second label: exact.
+        pattern = Pattern(
+            {"age group": "20-39", "marital status": "married"}
+        )
+        assert multi.estimate(pattern) == counter.count(pattern)
+
+    def test_never_worse_than_worst_single_label(self, figure2, target):
+        counter = PatternCounter(figure2)
+        labels = [
+            build_label(counter, ["gender", "age group"]),
+            build_label(counter, ["age group", "marital status"]),
+        ]
+        multi = MultiLabelEstimator(labels)
+        singles = [LabelEstimator(l).estimate(target) for l in labels]
+        estimate = multi.estimate(target)
+        assert min(singles) <= estimate <= max(singles)
+
+    def test_multi_label_beats_single_on_average(self, compas_small):
+        """Future-work claim: multiple labels improve overall accuracy."""
+        counter = PatternCounter(compas_small)
+        s1 = ["Sex", "Age", "Race"]
+        s2 = ["DecileScore", "ScoreText", "RecSupervisionLevel"]
+        l1, l2 = build_label(counter, s1), build_label(counter, s2)
+        multi = MultiLabelEstimator([l1, l2], reduce="median")
+        pattern_set = full_pattern_set(counter)
+        patterns = [
+            pattern_set.pattern(i) for i in range(0, len(pattern_set), 37)
+        ]
+        truths = [counter.count(p) for p in patterns]
+
+        def total_error(estimates):
+            return sum(abs(t - e) for t, e in zip(truths, estimates))
+
+        err_multi = total_error([multi.estimate(p) for p in patterns])
+        err_single = min(
+            total_error([LabelEstimator(l).estimate(p) for p in patterns])
+            for l in (l1, l2)
+        )
+        assert err_multi <= err_single * 1.25  # never much worse
+
+    def test_reduce_strategies(self, figure2, target):
+        labels = [
+            build_label(figure2, ["gender", "age group"]),
+            build_label(figure2, ["age group", "marital status"]),
+        ]
+        for reduce in ("median", "min", "max", "mean"):
+            MultiLabelEstimator(labels, reduce=reduce).estimate(target)
+
+    def test_unknown_reduce_rejected(self, figure2):
+        label = build_label(figure2, ["gender"])
+        with pytest.raises(ValueError, match="unknown reduce"):
+            MultiLabelEstimator([label], reduce="mode")
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiLabelEstimator([])
+
+    def test_mismatched_totals_rejected(self, figure2):
+        l1 = build_label(figure2, ["gender"])
+        l2 = build_label(figure2.head(5), ["gender"])
+        with pytest.raises(ValueError, match="different sizes"):
+            MultiLabelEstimator([l1, l2])

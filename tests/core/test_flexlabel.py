@@ -1,0 +1,160 @@
+"""Tests for the flexible-label extension (Section II-C future work)."""
+
+import pytest
+
+from repro import Pattern, PatternCounter, build_label, evaluate_label
+from repro.core.flexlabel import (
+    FlexibleEstimator,
+    FlexibleLabel,
+    greedy_flexible_label,
+)
+from repro.core.patternsets import full_pattern_set
+
+
+@pytest.fixture
+def figure2_flex(figure2):
+    counter = PatternCounter(figure2)
+    label = greedy_flexible_label(counter, bound=6)
+    return counter, label
+
+
+class TestFlexibleLabel:
+    def test_validation_positive_counts(self, figure2):
+        counter = PatternCounter(figure2)
+        vc = {c.name: counter.value_counts(c.name) for c in figure2.schema}
+        with pytest.raises(ValueError, match="positive"):
+            FlexibleLabel(
+                pc={Pattern({"gender": "Female"}): 0},
+                vc=vc,
+                total=18,
+                attribute_order=figure2.attribute_names,
+            )
+
+    def test_validation_unknown_attribute(self, figure2):
+        counter = PatternCounter(figure2)
+        vc = {c.name: counter.value_counts(c.name) for c in figure2.schema}
+        with pytest.raises(ValueError, match="unknown attributes"):
+            FlexibleLabel(
+                pc={Pattern({"zzz": "x"}): 1},
+                vc=vc,
+                total=18,
+                attribute_order=figure2.attribute_names,
+            )
+
+    def test_size(self, figure2_flex):
+        _, label = figure2_flex
+        assert label.size <= 6
+
+
+class TestFlexibleEstimator:
+    def test_stored_pattern_estimates_from_its_count(self, figure2):
+        counter = PatternCounter(figure2)
+        stored = Pattern({"gender": "Female", "race": "Hispanic"})
+        vc = {c.name: counter.value_counts(c.name) for c in figure2.schema}
+        label = FlexibleLabel(
+            pc={stored: counter.count(stored)},
+            vc=vc,
+            total=18,
+            attribute_order=figure2.attribute_names,
+        )
+        estimator = FlexibleEstimator(label)
+        assert estimator.estimate(stored) == counter.count(stored)
+
+    def test_overlap_preference(self, figure2):
+        """A wider stored sub-pattern wins over a narrower one."""
+        counter = PatternCounter(figure2)
+        narrow = Pattern({"gender": "Female"})
+        wide = Pattern({"gender": "Female", "age group": "20-39"})
+        vc = {c.name: counter.value_counts(c.name) for c in figure2.schema}
+        label = FlexibleLabel(
+            pc={
+                narrow: counter.count(narrow),
+                wide: counter.count(wide),
+            },
+            vc=vc,
+            total=18,
+            attribute_order=figure2.attribute_names,
+        )
+        estimator = FlexibleEstimator(label)
+        query = Pattern(
+            {
+                "gender": "Female",
+                "age group": "20-39",
+                "race": "Hispanic",
+            }
+        )
+        base, count = estimator.best_base(query)
+        assert base == wide
+        assert count == counter.count(wide)
+
+    def test_falls_back_to_independence(self, figure2):
+        counter = PatternCounter(figure2)
+        vc = {c.name: counter.value_counts(c.name) for c in figure2.schema}
+        label = FlexibleLabel(
+            pc={},
+            vc=vc,
+            total=18,
+            attribute_order=figure2.attribute_names,
+        )
+        estimator = FlexibleEstimator(label)
+        estimate = estimator.estimate(Pattern({"gender": "Female"}))
+        assert estimate == pytest.approx(18 * 0.5)
+
+
+class TestGreedyConstruction:
+    def test_respects_budget(self, figure2):
+        counter = PatternCounter(figure2)
+        for bound in (1, 3, 8):
+            label = greedy_flexible_label(counter, bound)
+            assert label.size <= bound
+
+    def test_error_non_increasing_in_budget(self, figure2):
+        counter = PatternCounter(figure2)
+        pattern_set = full_pattern_set(counter)
+        errors = []
+        for bound in (1, 4, 10, 18):
+            label = greedy_flexible_label(
+                counter, bound, pattern_set=pattern_set
+            )
+            summary = FlexibleEstimator(label).evaluate(pattern_set)
+            errors.append(summary.max_abs)
+        assert errors == sorted(errors, reverse=True) or errors[-1] <= errors[0]
+
+    def test_zero_error_when_budget_covers_all_tuples(self, figure2):
+        counter = PatternCounter(figure2)
+        pattern_set = full_pattern_set(counter)
+        label = greedy_flexible_label(
+            counter, bound=len(pattern_set), pattern_set=pattern_set
+        )
+        summary = FlexibleEstimator(label).evaluate(pattern_set)
+        assert summary.max_abs == 0.0
+
+    def test_max_arity_cap_respected(self, figure2):
+        counter = PatternCounter(figure2)
+        label = greedy_flexible_label(counter, bound=8, max_arity=2)
+        assert all(len(p) <= 2 for p in label.pc)
+
+    def test_invalid_bound_rejected(self, figure2):
+        counter = PatternCounter(figure2)
+        with pytest.raises(ValueError, match="positive"):
+            greedy_flexible_label(counter, 0)
+
+    def test_competitive_with_subset_label(self, bluenile_small):
+        """The extension should be in the same accuracy ballpark as the
+        paper's subset label at equal budget (it can win or lose
+        depending on the data; it must not be wildly worse)."""
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        from repro.core.search import top_down_search
+
+        subset_result = top_down_search(
+            counter, 20, pattern_set=pattern_set
+        )
+        flexible = greedy_flexible_label(
+            counter, 20, pattern_set=pattern_set
+        )
+        flexible_summary = FlexibleEstimator(flexible).evaluate(pattern_set)
+        assert (
+            flexible_summary.max_abs
+            <= 3.0 * subset_result.summary.max_abs + 1e-9
+        )

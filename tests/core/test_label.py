@@ -1,0 +1,205 @@
+"""Unit tests for :mod:`repro.core.label` (Definition 2.9)."""
+
+import pytest
+
+from repro.core.counts import PatternCounter
+from repro.core.label import Label, build_label, label_size
+from repro.core.pattern import Pattern
+from repro.dataset.table import Dataset
+
+
+class TestBuildLabel:
+    def test_example_2_10_pc_content(self, figure2):
+        """Example 2.10: PC over {age, marital} has exactly 3 entries."""
+        label = build_label(figure2, ["age group", "marital status"])
+        assert label.size == 3
+        assert label.pc[("under 20", "single")] == 6
+        assert label.pc[("20-39", "married")] == 6
+        assert label.pc[("20-39", "divorced")] == 6
+
+    def test_example_2_10_vc_content(self, figure2):
+        label = build_label(figure2, ["age group", "marital status"])
+        assert label.vc["gender"] == {"Female": 9, "Male": 9}
+        assert label.vc["race"] == {
+            "African-American": 6,
+            "Caucasian": 6,
+            "Hispanic": 6,
+        }
+
+    def test_vc_identical_for_every_label(self, figure2):
+        l1 = build_label(figure2, ["gender"])
+        l2 = build_label(figure2, ["race", "marital status"])
+        assert l1.vc == l2.vc
+
+    def test_attributes_normalized_to_schema_order(self, figure2):
+        label = build_label(figure2, ["marital status", "gender"])
+        assert label.attributes == ("gender", "marital status")
+
+    def test_duplicate_attributes_rejected(self, figure2):
+        with pytest.raises(ValueError, match="duplicate"):
+            build_label(figure2, ["gender", "gender"])
+
+    def test_empty_attribute_set_allowed(self, figure2):
+        label = build_label(figure2, [])
+        assert label.size == 0
+        assert label.total == 18
+
+    def test_accepts_counter_and_reuses_caches(self, figure2):
+        counter = PatternCounter(figure2)
+        label = build_label(counter, ["gender"])
+        assert label.size == 2
+
+    def test_label_size_helper_matches_built_label(self, figure2):
+        counter = PatternCounter(figure2)
+        for subset in (["gender"], ["gender", "race"], []):
+            built = build_label(counter, subset)
+            assert label_size(counter, tuple(subset)) == built.size
+
+
+class TestLabelQueries:
+    def test_pattern_count_exact_lookup(self, figure2):
+        label = build_label(figure2, ["age group", "marital status"])
+        found = label.pattern_count(
+            Pattern({"age group": "under 20", "marital status": "single"})
+        )
+        assert found == 6
+        absent = label.pattern_count(
+            Pattern({"age group": "under 20", "marital status": "married"})
+        )
+        assert absent == 0
+
+    def test_pattern_count_wrong_attribute_set_returns_none(self, figure2):
+        label = build_label(figure2, ["age group", "marital status"])
+        assert label.pattern_count(Pattern({"gender": "Female"})) is None
+
+    def test_restricted_count_marginalizes_exactly(self, figure2):
+        counter = PatternCounter(figure2)
+        label = build_label(counter, ["age group", "marital status"])
+        for value in ("single", "married", "divorced"):
+            pattern = Pattern({"marital status": value})
+            assert label.restricted_count(pattern) == counter.count(pattern)
+
+    def test_restricted_count_requires_subset_of_s(self, figure2):
+        label = build_label(figure2, ["age group"])
+        with pytest.raises(ValueError, match="within the label"):
+            label.restricted_count(Pattern({"gender": "Female"}))
+
+    def test_value_fraction(self, figure2):
+        label = build_label(figure2, ["age group"])
+        assert label.value_fraction("gender", "Female") == pytest.approx(0.5)
+        with pytest.raises(KeyError):
+            label.value_fraction("gender", "robot")
+
+    def test_iter_pc_patterns(self, figure2):
+        label = build_label(figure2, ["gender", "age group"])
+        patterns = dict(label.iter_pc_patterns())
+        assert (
+            patterns[Pattern({"gender": "Female", "age group": "20-39"})] == 6
+        )
+        assert len(patterns) == 4
+
+    def test_vc_size(self, figure2):
+        label = build_label(figure2, ["gender"])
+        # 2 + 2 + 3 + 3 domain values
+        assert label.vc_size == 10
+
+    def test_repr(self, figure2):
+        label = build_label(figure2, ["gender"])
+        assert "|PC|=2" in repr(label)
+
+
+class TestValidation:
+    def test_pc_arity_mismatch_rejected(self, figure2):
+        good = build_label(figure2, ["gender"])
+        with pytest.raises(ValueError, match="arity"):
+            Label(
+                attributes=("gender", "race"),
+                pc={("Female",): 9},
+                vc=good.vc,
+                total=18,
+                attribute_order=good.attribute_order,
+            )
+
+    def test_non_positive_pc_count_rejected(self, figure2):
+        good = build_label(figure2, ["gender"])
+        with pytest.raises(ValueError, match="positive"):
+            Label(
+                attributes=("gender",),
+                pc={("Female",): 0},
+                vc=good.vc,
+                total=18,
+                attribute_order=good.attribute_order,
+            )
+
+    def test_all_none_pc_key_rejected(self, figure2):
+        good = build_label(figure2, ["gender"])
+        with pytest.raises(ValueError, match="at least one"):
+            Label(
+                attributes=("gender",),
+                pc={(None,): 3},
+                vc=good.vc,
+                total=18,
+                attribute_order=good.attribute_order,
+            )
+
+    def test_unknown_attribute_rejected(self, figure2):
+        good = build_label(figure2, ["gender"])
+        with pytest.raises(ValueError, match="missing from"):
+            Label(
+                attributes=("nope",),
+                pc={},
+                vc=good.vc,
+                total=18,
+                attribute_order=good.attribute_order,
+            )
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, figure2):
+        label = build_label(figure2, ["age group", "marital status"])
+        restored = Label.from_json(label.to_json())
+        assert restored.attributes == label.attributes
+        assert restored.total == label.total
+        assert restored.size == label.size
+        assert restored.pc == label.pc
+        assert restored.vc == label.vc
+
+    def test_partial_pattern_keys_roundtrip(self):
+        data = Dataset.from_columns(
+            {
+                "a": ["x", "x", None, None],
+                "b": ["1", "1", "1", "1"],
+                "c": [None, None, "p", "p"],
+            }
+        )
+        label = build_label(data, ["a", "b", "c"])
+        restored = Label.from_json(label.to_json())
+        assert restored.pc == label.pc
+        assert any(None in key for key in restored.pc)
+
+
+class TestMissingValueLabels:
+    def test_partial_projections_stored_with_satisfaction_counts(self):
+        data = Dataset.from_columns(
+            {
+                "a": ["x", "x", None],
+                "b": ["1", "1", "1"],
+                "c": [None, None, "p"],
+            }
+        )
+        label = build_label(data, ["a", "b", "c"])
+        # Projections: (x, 1, -) and (-, 1, p); singletons excluded.
+        assert label.size == 2
+        assert label.pc[("x", "1", None)] == 2
+        assert label.pc[(None, "1", "p")] == 1
+
+    def test_restricted_count_prefers_exact_partial_key(self):
+        data = Dataset.from_columns(
+            {
+                "a": ["x", "x", None],
+                "b": ["1", "1", "1"],
+                "c": [None, None, "p"],
+            }
+        )
+        label = build_label(data, ["a", "b", "c"])
+        assert label.restricted_count(Pattern({"a": "x", "b": "1"})) == 2

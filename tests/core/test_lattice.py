@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.core.lattice` (Definitions 3.4, 3.5)."""
+
+import itertools
+
+import pytest
+
+from repro.core.lattice import LabelLattice, gen_children
+
+ORDER = ("g", "a", "r", "m")
+
+
+class TestGenChildren:
+    def test_example_3_6(self):
+        """gen({gender, race}) = {{gender, race, marital}} only."""
+        children = gen_children(ORDER, ("g", "r"))
+        assert children == [("g", "r", "m")]
+
+    def test_empty_set_yields_singletons(self):
+        assert gen_children(ORDER, ()) == [("g",), ("a",), ("r",), ("m",)]
+
+    def test_last_attribute_has_no_children(self):
+        assert gen_children(ORDER, ("m",)) == []
+        assert gen_children(ORDER, ("g", "m")) == []
+
+    def test_children_subset_of_lattice_children(self):
+        lattice = LabelLattice(ORDER)
+        for subset in [("g",), ("a",), ("g", "a"), ("a", "r")]:
+            generated = set(gen_children(ORDER, subset))
+            all_children = set(lattice.children(subset))
+            assert generated <= all_children
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(KeyError):
+            gen_children(ORDER, ("zzz",))
+
+    def test_every_nonempty_subset_generated_exactly_once(self):
+        """Proposition 3.8: a gen-driven BFS covers each node once."""
+        lattice = LabelLattice(ORDER)
+        seen = list(lattice.iter_top_down())
+        assert len(seen) == len(set(seen))
+        expected = set()
+        for size in range(1, 5):
+            expected.update(itertools.combinations(ORDER, size))
+        assert set(seen) == expected
+
+
+class TestLabelLattice:
+    def test_node_count(self):
+        lattice = LabelLattice(ORDER)
+        assert lattice.n_attributes == 4
+        assert lattice.n_nodes == 16
+
+    def test_normalize_sorts_by_attribute_order(self):
+        lattice = LabelLattice(ORDER)
+        assert lattice.normalize(("m", "g")) == ("g", "m")
+
+    def test_normalize_rejects_duplicates_and_unknowns(self):
+        lattice = LabelLattice(ORDER)
+        with pytest.raises(ValueError, match="duplicates"):
+            lattice.normalize(("g", "g"))
+        with pytest.raises(KeyError):
+            lattice.normalize(("x",))
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            LabelLattice(("a", "a"))
+
+    def test_children_and_parents_are_inverse(self):
+        lattice = LabelLattice(ORDER)
+        node = ("g", "r")
+        for child in lattice.children(node):
+            assert node in lattice.parents(child)
+
+    def test_parents_of_figure3_node(self):
+        """Figure 3: {g, a, r} has parents {g, a}, {g, r}, {a, r}."""
+        lattice = LabelLattice(ORDER)
+        assert sorted(lattice.parents(("g", "a", "r"))) == [
+            ("a", "r"),
+            ("g", "a"),
+            ("g", "r"),
+        ]
+
+    def test_level_enumeration(self):
+        lattice = LabelLattice(ORDER)
+        assert len(list(lattice.level(2))) == 6
+        assert list(lattice.level(0)) == [()]
+        assert list(lattice.level(9)) == []
+
+    def test_to_networkx_matches_figure3(self):
+        """The 4-attribute lattice of Figure 3: 16 nodes, 32 edges."""
+        networkx = pytest.importorskip("networkx")
+        graph = LabelLattice(ORDER).to_networkx()
+        assert graph.number_of_nodes() == 16
+        # Each node of size k has (4 - k) children: sum = 4*2^3 = 32.
+        assert graph.number_of_edges() == 32
+        assert networkx.is_directed_acyclic_graph(graph)

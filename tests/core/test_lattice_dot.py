@@ -1,0 +1,28 @@
+"""Tests for the Figure 3 DOT rendering of the label lattice."""
+
+from repro.core.lattice import LabelLattice
+
+ORDER = ("g", "a", "r", "m")
+
+
+class TestToDot:
+    def test_contains_all_nodes(self):
+        dot = LabelLattice(ORDER).to_dot()
+        assert dot.startswith("digraph label_lattice {")
+        assert dot.rstrip().endswith("}")
+        # 16 subsets of 4 attributes, including the empty set "{}".
+        assert dot.count('"{') >= 16
+        assert '"{g, a, r, m}"' in dot
+
+    def test_edge_count_matches_figure3(self):
+        dot = LabelLattice(ORDER).to_dot()
+        assert dot.count("->") == 32  # 4 * 2^3 parent->child edges
+
+    def test_highlight_marks_one_node(self):
+        dot = LabelLattice(ORDER).to_dot(highlight=("a", "m"))
+        assert dot.count("fillcolor=lightblue") == 1
+        assert '"{a, m}" [style=filled, fillcolor=lightblue];' in dot
+
+    def test_highlight_normalized(self):
+        dot = LabelLattice(ORDER).to_dot(highlight=("m", "a"))
+        assert '"{a, m}"' in dot

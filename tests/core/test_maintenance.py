@@ -1,0 +1,168 @@
+"""Tests for incremental label maintenance."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, PatternCounter, build_label
+from repro.core.maintenance import (
+    LabelMaintainer,
+    apply_deletes,
+    apply_inserts,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture
+def base_and_batch(figure2):
+    batch = Dataset.from_rows(
+        ["gender", "age group", "race", "marital status"],
+        [
+            ("Female", "under 20", "Hispanic", "single"),
+            ("Male", "20-39", "Caucasian", "married"),
+            ("Male", "20-39", "Caucasian", "married"),
+        ],
+        domains={
+            name: figure2.schema[name].categories
+            for name in figure2.attribute_names
+        },
+    )
+    return figure2, batch
+
+
+class TestApplyInserts:
+    def test_matches_label_of_concatenated_data(self, base_and_batch):
+        data, batch = base_and_batch
+        label = build_label(data, ["age group", "marital status"])
+        updated = apply_inserts(label, batch)
+        reference = build_label(
+            data.concat(batch), ["age group", "marital status"]
+        )
+        assert updated.pc == reference.pc
+        assert updated.vc == reference.vc
+        assert updated.total == reference.total
+
+    def test_new_combination_appears(self, base_and_batch):
+        data, batch = base_and_batch
+        label = build_label(data, ["gender", "marital status"])
+        assert ("Male", "married") in build_label(
+            data, ["gender", "marital status"]
+        ).pc
+        updated = apply_inserts(label, batch)
+        assert updated.pc[("Male", "married")] == label.pc[
+            ("Male", "married")
+        ] + 2
+
+    def test_column_order_irrelevant(self, base_and_batch):
+        data, batch = base_and_batch
+        shuffled = batch.select(
+            ["marital status", "gender", "race", "age group"]
+        )
+        label = build_label(data, ["gender"])
+        updated = apply_inserts(label, shuffled)
+        assert updated.total == 21
+
+    def test_wrong_schema_rejected(self, figure2):
+        label = build_label(figure2, ["gender"])
+        wrong = Dataset.from_columns({"x": ["1"]})
+        with pytest.raises(ValueError, match="exactly the labeled"):
+            apply_inserts(label, wrong)
+
+    def test_empty_label_updates_total_and_vc(self, base_and_batch):
+        data, batch = base_and_batch
+        label = build_label(data, [])
+        updated = apply_inserts(label, batch)
+        assert updated.total == 21
+        assert updated.vc["gender"]["Male"] == 11
+
+
+class TestApplyDeletes:
+    def test_insert_then_delete_roundtrip(self, base_and_batch):
+        data, batch = base_and_batch
+        label = build_label(data, ["age group", "marital status"])
+        roundtrip = apply_deletes(apply_inserts(label, batch), batch)
+        assert roundtrip.pc == label.pc
+        assert roundtrip.vc == label.vc
+        assert roundtrip.total == label.total
+
+    def test_combination_vanishing_removes_key(self, figure2):
+        label = build_label(figure2, ["age group", "marital status"])
+        singles = figure2.filter_equals("marital status", "single")
+        updated = apply_deletes(label, singles)
+        assert ("under 20", "single") not in updated.pc
+
+    def test_overdelete_rejected(self, base_and_batch):
+        data, batch = base_and_batch
+        label = build_label(data, ["age group", "marital status"])
+        doubled = batch.concat(batch).concat(batch).concat(batch)
+        with pytest.raises(ValueError, match="below zero"):
+            apply_deletes(label, doubled.concat(doubled))
+
+
+class TestLabelMaintainer:
+    def test_tracks_inserts_exactly(self, rng):
+        data = load_dataset("bluenile", n_rows=2000, seed=3)
+        maintainer = LabelMaintainer(data, bound=30, check_every=100)
+        batch = load_dataset("bluenile", n_rows=200, seed=4)
+        status = maintainer.insert(batch)
+        reference = build_label(
+            maintainer.dataset, maintainer.label.attributes
+        )
+        assert status.label.pc == reference.pc
+        assert status.label.total == 2200
+
+    def test_drift_triggers_rebuild(self):
+        """Feeding rows from a very different distribution must
+        eventually flag the label stale and rebuild it."""
+        data = load_dataset("bluenile", n_rows=1500, seed=3)
+        maintainer = LabelMaintainer(
+            data, bound=30, drift_factor=1.1, check_every=1
+        )
+        rng = np.random.default_rng(9)
+        from repro.datasets import append_random_tuples
+
+        rebuilt = False
+        for _ in range(6):
+            noise = append_random_tuples(
+                data.head(0), 800, rng
+            )
+            status = maintainer.insert(noise)
+            rebuilt = rebuilt or status.rebuilt
+        assert rebuilt
+
+    def test_size_overflow_triggers_rebuild(self):
+        """Inserts that introduce unseen combinations push |PC| past the
+        budget, forcing a re-search that picks a smaller subset."""
+        domains = {
+            "a": tuple(f"a{i}" for i in range(6)),
+            "b": tuple(f"b{i}" for i in range(6)),
+            "c": ("z", "w"),
+        }
+        # 10 distinct (a, b) combos, c constant: S = {a, b} is exact
+        # (error 0) at |PC| = 10.
+        pairs = [(i, i) for i in range(6)] + [(i, i + 1) for i in range(4)]
+        rows = [(f"a{i}", f"b{j}", "z") for i, j in pairs] * 3
+        data = Dataset.from_rows(["a", "b", "c"], rows, domains=domains)
+        maintainer = LabelMaintainer(
+            data, bound=10, drift_factor=50.0, check_every=100
+        )
+        # removeParents keeps the maximal fitting subset: {a, b, c}
+        # (c is constant, so it costs nothing).
+        assert {"a", "b"} <= set(maintainer.label.attributes)
+        assert maintainer.label.size == 10
+
+        fresh_pairs = [(i, (i + 2) % 6) for i in range(6)]
+        fresh = Dataset.from_rows(
+            ["a", "b", "c"],
+            [(f"a{i}", f"b{j}", "z") for i, j in fresh_pairs],
+            domains=domains,
+        )
+        status = maintainer.insert(fresh)
+        assert status.stale and status.rebuilt
+        assert maintainer.label.size <= 10
+        assert not {"a", "b"} <= set(maintainer.label.attributes)
+
+    def test_parameter_validation(self, figure2):
+        with pytest.raises(ValueError, match="drift_factor"):
+            LabelMaintainer(figure2, bound=5, drift_factor=0.5)
+        with pytest.raises(ValueError, match="check_every"):
+            LabelMaintainer(figure2, bound=5, check_every=0)

@@ -1,0 +1,93 @@
+"""Unit tests for :mod:`repro.core.pattern` (Definitions 2.1–2.3)."""
+
+import pytest
+
+from repro.core.pattern import Pattern
+
+
+class TestConstruction:
+    def test_basic(self):
+        pattern = Pattern({"age": "under 20", "marital": "single"})
+        assert pattern["age"] == "under 20"
+        assert len(pattern) == 2
+
+    def test_attributes_sorted(self):
+        pattern = Pattern({"z": 1, "a": 2})
+        assert pattern.attributes == ("a", "z")
+
+    def test_order_insensitive_equality_and_hash(self):
+        p1 = Pattern({"a": 1, "b": 2})
+        p2 = Pattern({"b": 2, "a": 1})
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_inequality_on_values(self):
+        assert Pattern({"a": 1}) != Pattern({"a": 2})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Pattern({})
+
+    def test_none_value_rejected(self):
+        with pytest.raises(ValueError, match="None"):
+            Pattern({"a": None})
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(TypeError, match="non-empty strings"):
+            Pattern({3: "x"})
+
+    def test_usable_as_dict_key(self):
+        counts = {Pattern({"a": 1}): 5}
+        assert counts[Pattern({"a": 1})] == 5
+
+    def test_mapping_protocol(self):
+        pattern = Pattern({"a": 1, "b": 2})
+        assert dict(pattern) == {"a": 1, "b": 2}
+        assert set(pattern) == {"a", "b"}
+        assert pattern.get("c") is None
+
+    def test_repr_mentions_bindings(self):
+        assert "a=1" in repr(Pattern({"a": 1}))
+
+
+class TestOperations:
+    def test_restrict_keeps_listed_attributes(self):
+        pattern = Pattern({"a": 1, "b": 2, "c": 3})
+        restricted = pattern.restrict({"a", "c"})
+        assert restricted == Pattern({"a": 1, "c": 3})
+
+    def test_restrict_ignores_extraneous_names(self):
+        pattern = Pattern({"a": 1})
+        assert pattern.restrict({"a", "zzz"}) == pattern
+
+    def test_restrict_to_nothing_returns_none(self):
+        assert Pattern({"a": 1}).restrict({"b"}) is None
+
+    def test_extend(self):
+        extended = Pattern({"a": 1}).extend("b", 2)
+        assert extended == Pattern({"a": 1, "b": 2})
+
+    def test_extend_bound_attribute_rejected(self):
+        with pytest.raises(ValueError, match="already bound"):
+            Pattern({"a": 1}).extend("a", 2)
+
+    def test_drop(self):
+        assert Pattern({"a": 1, "b": 2}).drop("a") == Pattern({"b": 2})
+        assert Pattern({"a": 1}).drop("a") is None
+
+    def test_drop_unbound_rejected(self):
+        with pytest.raises(KeyError):
+            Pattern({"a": 1}).drop("b")
+
+    def test_is_subpattern_of(self):
+        small = Pattern({"a": 1})
+        big = Pattern({"a": 1, "b": 2})
+        assert small.is_subpattern_of(big)
+        assert not big.is_subpattern_of(small)
+        assert not Pattern({"a": 9}).is_subpattern_of(big)
+
+    def test_matches_row(self):
+        pattern = Pattern({"a": 1, "b": 2})
+        assert pattern.matches_row({"a": 1, "b": 2, "c": 3})
+        assert not pattern.matches_row({"a": 1, "b": 9})
+        assert not pattern.matches_row({"a": 1})  # b missing

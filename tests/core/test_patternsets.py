@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.core.patternsets`."""
+
+import pytest
+
+from repro.core.counts import PatternCounter
+from repro.core.pattern import Pattern
+from repro.core.patternsets import (
+    PatternSet,
+    full_pattern_set,
+    patterns_over,
+    sensitive_pattern_set,
+)
+
+
+class TestFullPatternSet:
+    def test_one_entry_per_distinct_tuple(self, figure2):
+        counter = PatternCounter(figure2)
+        pattern_set = full_pattern_set(counter)
+        assert pattern_set.is_tabular
+        assert pattern_set.counts.sum() == 18
+        # All 18 tuples of Figure 2 are distinct.
+        assert len(pattern_set) == 18
+
+    def test_counts_match_counter(self, figure2):
+        counter = PatternCounter(figure2)
+        pattern_set = full_pattern_set(counter)
+        for index in range(len(pattern_set)):
+            pattern = pattern_set.pattern(index)
+            assert counter.count(pattern) == pattern_set.counts[index]
+
+    def test_iter_with_counts(self, figure2):
+        counter = PatternCounter(figure2)
+        pairs = list(full_pattern_set(counter).iter_with_counts())
+        assert len(pairs) == 18
+        assert all(isinstance(p, Pattern) for p, _ in pairs)
+
+
+class TestPatternsOver:
+    def test_matches_label_pc(self, figure2):
+        counter = PatternCounter(figure2)
+        pattern_set = patterns_over(counter, ["age group", "marital status"])
+        observed = {
+            p: c for p, c in pattern_set.iter_with_counts()
+        }
+        assert observed == {
+            Pattern({"age group": "under 20", "marital status": "single"}): 6,
+            Pattern({"age group": "20-39", "marital status": "married"}): 6,
+            Pattern({"age group": "20-39", "marital status": "divorced"}): 6,
+        }
+
+    def test_attribute_order_normalized(self, figure2):
+        counter = PatternCounter(figure2)
+        pattern_set = patterns_over(counter, ["race", "gender"])
+        assert pattern_set.attributes == ("gender", "race")
+
+    def test_empty_attributes_rejected(self, figure2):
+        counter = PatternCounter(figure2)
+        with pytest.raises(ValueError, match="non-empty"):
+            patterns_over(counter, [])
+
+    def test_sensitive_alias(self, figure2):
+        counter = PatternCounter(figure2)
+        a = patterns_over(counter, ["gender", "race"])
+        b = sensitive_pattern_set(counter, ["gender", "race"])
+        assert len(a) == len(b)
+        assert a.attributes == b.attributes
+
+
+class TestExplicitPatternSet:
+    def test_from_patterns_computes_counts(self, figure2):
+        counter = PatternCounter(figure2)
+        patterns = [
+            Pattern({"gender": "Female"}),
+            Pattern({"gender": "Female", "race": "Hispanic"}),
+        ]
+        explicit = PatternSet.from_patterns(counter, patterns)
+        assert not explicit.is_tabular
+        assert explicit.counts.tolist() == [9, 3]
+        assert explicit.pattern(0) == patterns[0]
+
+    def test_constructor_validation(self, figure2):
+        counter = PatternCounter(figure2)
+        with pytest.raises(ValueError, match="pattern list"):
+            PatternSet(
+                attributes=None,
+                combos=None,
+                counts=[1],
+                patterns=None,
+                counter=counter,
+            )
+
+    def test_repr(self, figure2):
+        counter = PatternCounter(figure2)
+        assert "tabular" in repr(full_pattern_set(counter))
+        explicit = PatternSet.from_patterns(
+            counter, [Pattern({"gender": "Male"})]
+        )
+        assert "explicit" in repr(explicit)

@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.core.problem` (Definitions 2.15, 2.16)."""
+
+import pytest
+
+from repro.core.errors import Objective
+from repro.core.problem import DecisionProblem, OptimalLabelProblem
+
+
+class TestOptimalLabelProblem:
+    def test_solve_top_down(self, figure2):
+        problem = OptimalLabelProblem(dataset=figure2, bound=5)
+        result = problem.solve()
+        assert result.objective_value == 0.0
+        assert result.label.size <= 5
+
+    def test_solve_naive_agrees(self, figure2):
+        problem = OptimalLabelProblem(dataset=figure2, bound=5)
+        assert (
+            problem.solve(algorithm="naive").objective_value
+            == problem.solve(algorithm="top-down").objective_value
+        )
+
+    def test_unknown_algorithm_rejected(self, figure2):
+        with pytest.raises(ValueError, match="unknown"):
+            OptimalLabelProblem(dataset=figure2, bound=5).solve(
+                algorithm="magic"
+            )
+
+    def test_invalid_bound_rejected(self, figure2):
+        with pytest.raises(ValueError, match="positive"):
+            OptimalLabelProblem(dataset=figure2, bound=0)
+
+    def test_custom_objective(self, figure2):
+        problem = OptimalLabelProblem(
+            dataset=figure2, bound=8, objective=Objective.MEAN_Q
+        )
+        result = problem.solve()
+        assert result.objective is Objective.MEAN_Q
+
+
+class TestDecisionProblem:
+    def test_yes_instance(self, figure2):
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=5, error_bound=0.0
+        )
+        assert problem.decide() is True
+
+    def test_yes_instance_at_size_three(self, figure2):
+        # {age group, marital status} has |PC| = 3 and estimates every
+        # tuple of Figure 2 exactly, so even a zero error budget is
+        # satisfiable at size bound 3.
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=3, error_bound=0.0
+        )
+        assert problem.decide() is True
+
+    def test_no_instance_small_error_budget(self, figure2):
+        # At size bound 2 only singleton labels fit, and none of them
+        # estimates every tuple exactly.
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=2, error_bound=0.0
+        )
+        assert problem.decide() is False
+
+    def test_no_instance_when_nothing_fits(self, figure2):
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=1, error_bound=100.0
+        )
+        assert problem.decide() is False
+
+    def test_loose_error_bound_always_satisfiable(self, figure2):
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=3, error_bound=1e9
+        )
+        assert problem.decide() is True
+
+    def test_witness_returns_satisfying_label(self, figure2):
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=5, error_bound=0.0
+        )
+        witness = problem.witness()
+        assert witness is not None
+        assert witness.objective_value <= 0.0
+        assert witness.label.size <= 5
+
+    def test_witness_none_on_no_instance(self, figure2):
+        problem = DecisionProblem(
+            dataset=figure2, size_bound=1, error_bound=0.0
+        )
+        assert problem.witness() is None
+
+    def test_monotone_in_both_bounds(self, figure2):
+        """Relaxing either bound can only flip NO -> YES."""
+        tight = DecisionProblem(figure2, size_bound=3, error_bound=0.0)
+        looser_size = DecisionProblem(figure2, size_bound=5, error_bound=0.0)
+        looser_error = DecisionProblem(figure2, size_bound=3, error_bound=5.0)
+        if tight.decide():
+            assert looser_size.decide() and looser_error.decide()

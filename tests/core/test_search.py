@@ -1,0 +1,169 @@
+"""Unit tests for :mod:`repro.core.search` (Section III, Algorithm 1)."""
+
+import pytest
+
+from repro.core.counts import PatternCounter
+from repro.core.errors import Objective, evaluate_label
+from repro.core.patternsets import full_pattern_set
+from repro.core.search import (
+    NoFeasibleLabelError,
+    SearchTimeout,
+    find_optimal_label,
+    naive_search,
+    top_down_search,
+)
+
+
+class TestNaiveSearch:
+    def test_finds_zero_error_label_on_figure2(self, figure2):
+        result = naive_search(figure2, bound=5)
+        assert result.objective_value == 0.0
+        assert result.attributes == ("age group", "marital status")
+        assert result.label.size <= 5
+
+    def test_example_3_7_candidates(self, figure2):
+        """Bound 5: exactly {gender, age group} and {age group, marital
+        status} fit (label sizes 4 and 3)."""
+        result = naive_search(figure2, bound=5)
+        assert set(result.candidates) == {
+            ("gender", "age group"),
+            ("age group", "marital status"),
+        }
+
+    def test_level_cutoff_is_sound(self, figure2):
+        """Exhaustive check: the naive result is the true optimum."""
+        import itertools
+
+        counter = PatternCounter(figure2)
+        pattern_set = full_pattern_set(counter)
+        result = naive_search(counter, bound=8, pattern_set=pattern_set)
+        names = figure2.attribute_names
+        best = float("inf")
+        for size in range(2, 5):
+            for combo in itertools.combinations(names, size):
+                if counter.label_size(combo) <= 8:
+                    err = evaluate_label(counter, combo, pattern_set).max_abs
+                    best = min(best, err)
+        assert result.objective_value == pytest.approx(best)
+
+    def test_no_feasible_label_raises(self, figure2):
+        with pytest.raises(NoFeasibleLabelError):
+            naive_search(figure2, bound=2)
+
+    def test_invalid_bound_rejected(self, figure2):
+        with pytest.raises(ValueError, match="positive"):
+            naive_search(figure2, bound=0)
+
+    def test_time_limit_raises_search_timeout(self, compas_small):
+        with pytest.raises(SearchTimeout) as exc:
+            naive_search(compas_small, bound=60, time_limit_seconds=1e-4)
+        assert exc.value.stats.subsets_examined > 0
+
+    def test_min_size_one_allows_singletons(self, figure2):
+        result = naive_search(figure2, bound=2, min_size=1)
+        assert len(result.attributes) == 1
+        assert result.label.size <= 2
+
+    def test_stats_populated(self, figure2):
+        result = naive_search(figure2, bound=5)
+        stats = result.stats
+        assert stats.subsets_examined >= len(result.candidates)
+        assert stats.labels_evaluated == len(result.candidates)
+        assert stats.total_seconds >= 0.0
+
+
+class TestTopDownSearch:
+    def test_matches_naive_error_on_figure2(self, figure2):
+        for bound in (4, 5, 8, 12):
+            naive = naive_search(figure2, bound=bound)
+            heuristic = top_down_search(figure2, bound=bound)
+            assert heuristic.objective_value <= naive.objective_value + 1e-9
+
+    def test_candidates_form_an_antichain(self, compas_small):
+        result = top_down_search(compas_small, bound=30)
+        candidate_sets = [set(c) for c in result.candidates]
+        for i, left in enumerate(candidate_sets):
+            for right in candidate_sets[i + 1 :]:
+                assert not left < right and not right < left
+
+    def test_all_candidates_fit_bound(self, bluenile_small):
+        counter = PatternCounter(bluenile_small)
+        result = top_down_search(counter, bound=40)
+        for candidate in result.candidates:
+            assert counter.label_size(candidate) <= 40
+
+    def test_examines_fewer_subsets_than_naive(self, bluenile_small):
+        counter = PatternCounter(bluenile_small)
+        pattern_set = full_pattern_set(counter)
+        naive = naive_search(counter, 50, pattern_set=pattern_set)
+        optimized = top_down_search(counter, 50, pattern_set=pattern_set)
+        assert (
+            optimized.stats.subsets_examined < naive.stats.subsets_examined
+        )
+
+    def test_prune_parents_ablation_gives_same_best_error(
+        self, bluenile_small
+    ):
+        counter = PatternCounter(bluenile_small)
+        pruned = top_down_search(counter, 40, prune_parents=True)
+        unpruned = top_down_search(counter, 40, prune_parents=False)
+        # Pruning only removes dominated candidates; by Prop. 3.2 the
+        # superset's error is no worse in practice, so optima coincide.
+        assert pruned.objective_value <= unpruned.objective_value + 1e-9
+        assert len(pruned.candidates) <= len(unpruned.candidates)
+
+    def test_no_feasible_label_raises(self, figure2):
+        with pytest.raises(NoFeasibleLabelError):
+            top_down_search(figure2, bound=2)
+
+    def test_generates_each_node_at_most_once(self, figure2):
+        """Proposition 3.8 at the search level."""
+        counter = PatternCounter(figure2)
+        result = top_down_search(counter, bound=1000)
+        # 4 attributes: subsets of size >= 2 number C(4,2)+C(4,3)+C(4,4)=11.
+        assert result.stats.subsets_examined == 11
+
+    def test_deterministic(self, bluenile_small):
+        first = top_down_search(bluenile_small, 30)
+        second = top_down_search(bluenile_small, 30)
+        assert first.attributes == second.attributes
+        assert first.objective_value == second.objective_value
+
+
+class TestObjectives:
+    @pytest.mark.parametrize(
+        "objective",
+        [Objective.MAX_ABS, Objective.MEAN_ABS, Objective.MAX_Q, Objective.MEAN_Q],
+    )
+    def test_all_objectives_supported(self, figure2, objective):
+        result = top_down_search(figure2, 8, objective=objective)
+        assert result.objective is objective
+        assert result.objective_value == pytest.approx(
+            objective.of(result.summary)
+        )
+
+    def test_objective_changes_choice_possible(self, creditcard_small):
+        """q-error and max-abs objectives may pick different subsets;
+        both must be drawn from the same candidate pool."""
+        by_abs = top_down_search(
+            creditcard_small, 30, objective=Objective.MAX_ABS
+        )
+        by_q = top_down_search(
+            creditcard_small, 30, objective=Objective.MEAN_Q
+        )
+        assert set(by_q.candidates) == set(by_abs.candidates)
+
+
+class TestFindOptimalLabel:
+    def test_dispatch(self, figure2):
+        top_down = find_optimal_label(figure2, 5, algorithm="top-down")
+        naive = find_optimal_label(figure2, 5, algorithm="naive")
+        assert top_down.objective_value == naive.objective_value
+
+    def test_unknown_algorithm_rejected(self, figure2):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            find_optimal_label(figure2, 5, algorithm="quantum")
+
+    def test_result_repr(self, figure2):
+        result = find_optimal_label(figure2, 5)
+        assert "max-abs" in repr(result)

@@ -1,0 +1,134 @@
+"""Unit tests for :mod:`repro.dataset.bucketize`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataset.bucketize import (
+    bucketize_equal_width,
+    bucketize_explicit,
+    bucketize_quantile,
+    group_rare_categories,
+)
+
+
+class TestEqualWidth:
+    def test_produces_requested_bucket_count(self):
+        values = list(range(100))
+        bucketized, labels = bucketize_equal_width(values, 5)
+        assert len(labels) == 5
+        assert set(bucketized) <= set(labels)
+
+    def test_every_value_assigned(self):
+        values = [0.0, 2.5, 5.0, 7.5, 10.0]
+        bucketized, labels = bucketize_equal_width(values, 2)
+        assert None not in bucketized
+        assert bucketized[0] == labels[0]
+        assert bucketized[-1] == labels[-1]
+
+    def test_max_value_lands_in_last_bucket(self):
+        bucketized, labels = bucketize_equal_width([0, 1, 2, 3], 4)
+        assert bucketized[-1] == labels[-1]
+
+    def test_buckets_have_equal_width(self):
+        _, labels = bucketize_equal_width(list(range(11)), 5)
+        # Edges 0..10 step 2.
+        assert labels[0].startswith("[0,")
+        assert labels[-1].endswith("10]")
+
+    def test_nan_becomes_missing(self):
+        bucketized, _ = bucketize_equal_width([1.0, float("nan"), 2.0], 2)
+        assert bucketized[1] is None
+
+    def test_constant_column_single_bucket(self):
+        bucketized, labels = bucketize_equal_width([3.0, 3.0], 4)
+        assert len(labels) == 1
+        assert bucketized == [labels[0], labels[0]]
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="all-missing"):
+            bucketize_equal_width([float("nan")], 3)
+
+    def test_invalid_bucket_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            bucketize_equal_width([1.0], 0)
+
+
+class TestQuantile:
+    def test_roughly_equal_frequencies(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=10_000)
+        bucketized, labels = bucketize_quantile(values, 5)
+        counts = {label: 0 for label in labels}
+        for bucket in bucketized:
+            counts[bucket] += 1
+        for count in counts.values():
+            assert math.isclose(count, 2000, rel_tol=0.05)
+
+    def test_heavy_ties_merge_buckets(self):
+        values = [0.0] * 95 + [1.0] * 5
+        _, labels = bucketize_quantile(values, 5)
+        assert len(labels) < 5
+
+    def test_constant_column(self):
+        bucketized, labels = bucketize_quantile([7.0, 7.0, 7.0], 3)
+        assert len(labels) == 1
+        assert set(bucketized) == {labels[0]}
+
+    def test_nan_preserved_as_missing(self):
+        bucketized, _ = bucketize_quantile([1.0, float("nan"), 3.0], 2)
+        assert bucketized[1] is None
+
+
+class TestExplicit:
+    def test_labels_applied_per_range(self):
+        bucketized, labels = bucketize_explicit(
+            [15, 25, 45, 70],
+            edges=[0, 20, 40, 60, 120],
+            labels=["under 20", "20-39", "40-59", "over 60"],
+        )
+        assert bucketized == ["under 20", "20-39", "40-59", "over 60"]
+        assert labels == ["under 20", "20-39", "40-59", "over 60"]
+
+    def test_out_of_range_values_clamped(self):
+        bucketized, _ = bucketize_explicit(
+            [-5, 500],
+            edges=[0, 10, 100],
+            labels=["low", "high"],
+        )
+        assert bucketized == ["low", "high"]
+
+    def test_edge_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one element shorter"):
+            bucketize_explicit([1], edges=[0, 1, 2], labels=["only"])
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            bucketize_explicit([1], edges=[0, 0, 2], labels=["a", "b"])
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError, match="two edges"):
+            bucketize_explicit([1], edges=[0], labels=[])
+
+
+class TestGroupRareCategories:
+    def test_rare_values_replaced(self):
+        values = ["a"] * 10 + ["b"] * 2 + ["c"]
+        grouped = group_rare_categories(values, min_count=3)
+        assert grouped[:10] == ["a"] * 10
+        assert set(grouped[10:]) == {"other"}
+
+    def test_custom_other_label(self):
+        grouped = group_rare_categories(
+            ["a", "b"], min_count=2, other_label="RARE"
+        )
+        assert grouped == ["RARE", "RARE"]
+
+    def test_missing_preserved_and_not_counted(self):
+        grouped = group_rare_categories(["a", None, "a"], min_count=2)
+        assert grouped == ["a", None, "a"]
+
+    def test_negative_min_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            group_rare_categories(["a"], min_count=-1)

@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.dataset.csvio`."""
+
+import pytest
+
+from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.table import Dataset
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "gender,race\n"
+        "F,Hispanic\n"
+        "M,Caucasian\n"
+        "F,\n"
+        "M,Hispanic\n"
+    )
+    return path
+
+
+class TestReadCsv:
+    def test_basic_read(self, csv_file):
+        data = read_csv(csv_file)
+        assert data.attribute_names == ("gender", "race")
+        assert data.n_rows == 4
+
+    def test_empty_cell_is_missing(self, csv_file):
+        data = read_csv(csv_file)
+        assert data.row(2)["race"] is None
+
+    def test_custom_missing_tokens(self, tmp_path):
+        path = tmp_path / "na.csv"
+        path.write_text("a\nx\nNA\n?\n")
+        data = read_csv(path, missing_tokens=("?",))
+        assert data.column_values("a") == ["x", "NA", None]
+
+    def test_usecols_selects_and_orders(self, csv_file):
+        data = read_csv(csv_file, usecols=["race", "gender"])
+        assert data.attribute_names == ("race", "gender")
+
+    def test_usecols_unknown_rejected(self, csv_file):
+        with pytest.raises(KeyError, match="no such columns"):
+            read_csv(csv_file, usecols=["age"])
+
+    def test_explicit_domains(self, csv_file):
+        data = read_csv(
+            csv_file, domains={"gender": ("M", "F", "X")}
+        )
+        assert data.schema["gender"].categories == ("M", "F", "X")
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\nx\n")
+        with pytest.raises(ValueError, match="expected 2 cells"):
+            read_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            read_csv(path)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_values(self, tmp_path):
+        original = Dataset.from_columns(
+            {"a": ["x", "y", None], "b": ["1", "2", "3"]}
+        )
+        path = tmp_path / "roundtrip.csv"
+        write_csv(original, path)
+        loaded = read_csv(path)
+        assert loaded.column_values("a") == ["x", "y", None]
+        assert loaded.column_values("b") == ["1", "2", "3"]

@@ -1,0 +1,82 @@
+"""Tests for per-attribute profiling statistics."""
+
+import math
+
+import pytest
+
+from repro.dataset.stats import profile_attributes
+from repro.dataset.table import Dataset
+
+
+@pytest.fixture
+def profiled(figure2):
+    return {s.name: s for s in profile_attributes(figure2)}
+
+
+class TestProfileAttributes:
+    def test_one_entry_per_attribute_in_schema_order(self, figure2):
+        stats = profile_attributes(figure2)
+        assert [s.name for s in stats] == list(figure2.attribute_names)
+
+    def test_counts(self, profiled):
+        gender = profiled["gender"]
+        assert gender.n_present == 18
+        assert gender.n_missing == 0
+        assert gender.n_distinct == 2
+        assert gender.cardinality == 2
+
+    def test_mode(self, profiled):
+        # Figure 2's marital statuses tie at 6/6/6; the mode is one of
+        # them (ties break by domain code order).
+        marital = profiled["marital status"]
+        assert marital.mode in {"single", "married", "divorced"}
+        assert marital.mode_count == 6
+
+    def test_mode_unique(self):
+        data = Dataset.from_columns({"a": ["x", "x", "y"]})
+        stat = profile_attributes(data)[0]
+        assert stat.mode == "x"
+        assert stat.mode_count == 2
+
+    def test_uniform_attribute_has_max_entropy(self, profiled):
+        race = profiled["race"]  # 6/6/6 split
+        assert race.entropy == pytest.approx(math.log2(3))
+        assert race.normalized_entropy == pytest.approx(1.0)
+
+    def test_balanced_binary_entropy_is_one(self, profiled):
+        assert profiled["gender"].entropy == pytest.approx(1.0)
+
+    def test_constant_column(self):
+        data = Dataset.from_columns({"a": ["x", "x", "x"]})
+        stat = profile_attributes(data)[0]
+        assert stat.entropy == 0.0
+        assert stat.normalized_entropy == 0.0
+        assert stat.n_distinct == 1
+
+    def test_missing_rate(self):
+        data = Dataset.from_columns({"a": ["x", None, "x", None]})
+        stat = profile_attributes(data)[0]
+        assert stat.missing_rate == pytest.approx(0.5)
+        assert stat.n_present == 2
+
+    def test_all_missing_column(self):
+        data = Dataset.from_columns(
+            {"a": [None, None], "b": ["1", "2"]}
+        )
+        stat = profile_attributes(data)[0]
+        assert stat.mode is None
+        assert stat.mode_count == 0
+        assert stat.entropy == 0.0
+        assert stat.missing_rate == 1.0
+
+    def test_describe_mentions_key_facts(self, profiled):
+        text = profiled["gender"].describe()
+        assert "gender" in text
+        assert "2/2 values" in text
+        assert "entropy" in text
+
+    def test_skew_visible_in_entropy(self, compas_small):
+        stats = {s.name: s for s in profile_attributes(compas_small)}
+        # Sex is 78/22 (skewed); Scale_ID is ~uniform over 3.
+        assert stats["Sex"].normalized_entropy < 0.9
+        assert stats["Scale_ID"].normalized_entropy > 0.95

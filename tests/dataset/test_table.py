@@ -1,0 +1,267 @@
+"""Unit tests for :mod:`repro.dataset.table`."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import MISSING_CODE, Column, Schema
+from repro.dataset.table import Dataset, combine_codes
+
+
+def small() -> Dataset:
+    return Dataset.from_columns(
+        {
+            "a": ["x", "x", "y", "y", "x"],
+            "b": ["1", "2", "1", "2", "1"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_columns_infers_sorted_domains(self):
+        data = small()
+        assert data.schema["a"].categories == ("x", "y")
+        assert data.schema["b"].categories == ("1", "2")
+        assert data.n_rows == 5
+        assert data.n_attributes == 2
+
+    def test_from_columns_explicit_domain_order(self):
+        data = Dataset.from_columns(
+            {"a": ["x", "y"]}, domains={"a": ("y", "x", "z")}
+        )
+        assert data.schema["a"].categories == ("y", "x", "z")
+        assert list(data.codes("a")) == [1, 0]
+
+    def test_from_columns_none_becomes_missing(self):
+        data = Dataset.from_columns({"a": ["x", None, "y"]})
+        assert list(data.codes("a")) == [0, MISSING_CODE, 1]
+
+    def test_from_columns_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Dataset.from_columns({"a": ["x"], "b": ["1", "2"]})
+
+    def test_from_columns_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Dataset.from_columns({})
+
+    def test_from_rows(self):
+        data = Dataset.from_rows(["a", "b"], [("x", "1"), ("y", "2")])
+        assert data.n_rows == 2
+        assert data.row(1) == {"a": "y", "b": "2"}
+
+    def test_out_of_range_codes_rejected(self):
+        schema = Schema([Column("a", ("x", "y"))])
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset(schema, np.array([[5]], dtype=np.int32))
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset(schema, np.array([[-2]], dtype=np.int32))
+
+    def test_non_integer_codes_rejected(self):
+        schema = Schema([Column("a", ("x", "y"))])
+        with pytest.raises(TypeError, match="integer"):
+            Dataset(schema, np.array([[0.5]]))
+
+    def test_codes_are_read_only(self):
+        data = small()
+        with pytest.raises(ValueError):
+            data.codes("a")[0] = 1
+
+    def test_equality(self):
+        assert small() == small()
+        other = Dataset.from_columns({"a": ["x"], "b": ["1"]})
+        assert small() != other
+
+
+class TestAccessors:
+    def test_row_reports_missing_as_none(self):
+        data = Dataset.from_columns({"a": ["x", None]})
+        assert data.row(1) == {"a": None}
+
+    def test_iter_rows(self):
+        rows = list(small().iter_rows())
+        assert len(rows) == 5
+        assert rows[0] == {"a": "x", "b": "1"}
+
+    def test_codes_matrix_full_and_subset(self):
+        data = small()
+        assert data.codes_matrix().shape == (5, 2)
+        assert data.codes_matrix(["b"]).shape == (5, 1)
+
+    def test_column_values(self):
+        data = Dataset.from_columns({"a": ["x", None, "y"]})
+        assert data.column_values("a") == ["x", None, "y"]
+
+    def test_has_missing(self):
+        assert not small().has_missing
+        assert Dataset.from_columns({"a": ["x", None]}).has_missing
+
+
+class TestCounting:
+    def test_value_counts_include_zero_count_domain_values(self):
+        data = Dataset.from_columns(
+            {"a": ["x", "x"]}, domains={"a": ("x", "y")}
+        )
+        assert data.value_counts("a") == {"x": 2, "y": 0}
+
+    def test_value_counts_exclude_missing(self):
+        data = Dataset.from_columns({"a": ["x", None, "x"]})
+        assert data.value_counts("a") == {"x": 2}
+
+    def test_joint_counts_match_manual_grouping(self):
+        data = small()
+        combos, counts = data.joint_counts(["a", "b"])
+        observed = {
+            tuple(combo): int(count)
+            for combo, count in zip(combos.tolist(), counts)
+        }
+        # codes: x=0,y=1 / 1=0,2=1
+        assert observed == {(0, 0): 2, (0, 1): 1, (1, 0): 1, (1, 1): 1}
+
+    def test_joint_counts_skip_rows_with_missing(self):
+        data = Dataset.from_columns(
+            {"a": ["x", None, "x"], "b": ["1", "1", None]}
+        )
+        combos, counts = data.joint_counts(["a", "b"])
+        assert combos.shape == (1, 2)
+        assert counts.tolist() == [1]
+
+    def test_joint_counts_total_preserved(self):
+        data = small()
+        _, counts = data.joint_counts(["a"])
+        assert counts.sum() == data.n_rows
+
+    def test_n_distinct_full_support(self):
+        assert small().n_distinct(["a", "b"]) == 4
+        assert small().n_distinct(["a"]) == 2
+
+    def test_n_distinct_counts_partial_projections_with_support_2(self):
+        data = Dataset.from_columns(
+            {
+                "a": ["x", "x", None],
+                "b": ["1", "1", "1"],
+                "c": [None, None, "p"],
+            }
+        )
+        # Projections onto (a, b, c): ("x","1",-) twice -> 1 pattern;
+        # (-,"1","p") once -> 1 pattern.  Total 2.
+        assert data.n_distinct(["a", "b", "c"]) == 2
+
+    def test_n_distinct_excludes_singleton_projections(self):
+        data = Dataset.from_columns(
+            {"a": ["x", None], "b": [None, "1"]}
+        )
+        # Each row binds only one of the two attributes -> support 1.
+        assert data.n_distinct(["a", "b"]) == 0
+
+    def test_n_distinct_singleton_attribute_counts_values(self):
+        data = Dataset.from_columns({"a": ["x", "y", "x", None]})
+        assert data.n_distinct(["a"]) == 2
+
+    def test_pattern_projections(self):
+        data = Dataset.from_columns(
+            {"a": ["x", "x", None], "b": ["1", "1", "1"], "c": [None, None, "p"]}
+        )
+        combos, multiplicities = data.pattern_projections(["a", "b", "c"])
+        assert combos.shape == (2, 3)
+        assert sorted(multiplicities.tolist()) == [1, 2]
+
+    def test_group_keys_align_rows(self):
+        data = small()
+        keys = data.group_keys(["a", "b"])
+        assert keys[0] == keys[4]  # both (x, 1)
+        assert len(set(keys.tolist())) == 4
+
+    def test_group_keys_missing_get_minus_one(self):
+        data = Dataset.from_columns({"a": ["x", None]})
+        keys = data.group_keys(["a"])
+        assert keys[1] == -1
+
+
+class TestRelationalOps:
+    def test_select_projects_and_orders(self):
+        data = small()
+        projected = data.select(["b"])
+        assert projected.attribute_names == ("b",)
+        assert projected.n_rows == 5
+
+    def test_take_and_head(self):
+        data = small()
+        assert data.take([0, 2]).n_rows == 2
+        assert data.head(3).n_rows == 3
+        assert data.head(100).n_rows == 5
+
+    def test_sample_without_replacement(self, rng):
+        data = small()
+        sample = data.sample(3, rng)
+        assert sample.n_rows == 3
+        with pytest.raises(ValueError, match="without replacement"):
+            data.sample(10, rng)
+
+    def test_sample_with_replacement_allows_oversampling(self, rng):
+        data = small()
+        assert data.sample(10, rng, replace=True).n_rows == 10
+
+    def test_concat(self):
+        data = small()
+        doubled = data.concat(data)
+        assert doubled.n_rows == 10
+        assert doubled.value_counts("a")["x"] == 2 * data.value_counts("a")["x"]
+
+    def test_concat_schema_mismatch_rejected(self):
+        other = Dataset.from_columns({"a": ["x"]})
+        with pytest.raises(ValueError, match="different schemas"):
+            small().concat(other)
+
+    def test_filter_equals(self):
+        data = small()
+        filtered = data.filter_equals("a", "x")
+        assert filtered.n_rows == 3
+        assert set(filtered.column_values("a")) == {"x"}
+
+    def test_with_column(self):
+        data = small()
+        extended = data.with_column("c", ["p", "q", "p", "q", "p"])
+        assert extended.n_attributes == 3
+        assert extended.value_counts("c") == {"p": 3, "q": 2}
+
+    def test_with_column_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already exists"):
+            small().with_column("a", ["p"] * 5)
+
+    def test_with_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            small().with_column("c", ["p"])
+
+    def test_drop_columns(self):
+        data = small()
+        assert data.drop_columns(["a"]).attribute_names == ("b",)
+        with pytest.raises(KeyError):
+            data.drop_columns(["zzz"])
+
+
+class TestCombineCodes:
+    def test_distinct_rows_get_distinct_keys(self):
+        codes = np.array([[0, 0], [0, 1], [1, 0], [0, 0]], dtype=np.int32)
+        keys = combine_codes(codes, [2, 2])
+        assert keys[0] == keys[3]
+        assert len({keys[0], keys[1], keys[2]}) == 3
+
+    def test_handles_many_wide_columns_without_overflow(self):
+        # 40 columns of cardinality 100: the naive radix product is
+        # 100^40 >> 2^63, forcing re-factorization.
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 100, size=(500, 40)).astype(np.int32)
+        keys = combine_codes(codes, [100] * 40)
+        _, inverse = np.unique(codes, axis=0, return_inverse=True)
+        _, key_inverse = np.unique(keys, return_inverse=True)
+        # Same grouping structure as row-wise unique.
+        assert (inverse == key_inverse).all() or (
+            len(np.unique(inverse)) == len(np.unique(key_inverse))
+        )
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            combine_codes(np.zeros((2, 2), dtype=np.int32), [2])
+
+    def test_non_positive_cardinality_rejected(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            combine_codes(np.zeros((1, 1), dtype=np.int32), [0])

@@ -1,0 +1,81 @@
+"""Additional edge-case coverage for the columnar engine."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Column, Schema
+from repro.dataset.table import Dataset
+
+
+class TestWideAndDegenerate:
+    def test_single_column_relation(self):
+        data = Dataset.from_columns({"only": ["a", "b", "a"]})
+        assert data.n_attributes == 1
+        assert data.n_distinct(["only"]) == 2
+
+    def test_many_columns(self):
+        columns = {f"c{i}": ["x", "y"] * 3 for i in range(30)}
+        data = Dataset.from_columns(columns)
+        assert data.n_attributes == 30
+        assert data.n_distinct(list(columns)) == 2
+
+    def test_row_count_zero_operations(self):
+        schema = Schema([Column("a", ("x",)), Column("b", ("y", "z"))])
+        empty = Dataset(schema, np.empty((0, 2), dtype=np.int32))
+        assert empty.n_rows == 0
+        assert empty.value_counts("a") == {"x": 0}
+        assert not empty.has_missing
+        assert empty.head(5).n_rows == 0
+        assert list(empty.iter_rows()) == []
+
+    def test_unicode_category_labels(self):
+        data = Dataset.from_columns(
+            {"城市": ["北京", "上海", "北京"]}
+        )
+        assert data.value_counts("城市")["北京"] == 2
+        assert data.filter_equals("城市", "上海").n_rows == 1
+
+    def test_non_string_categories(self):
+        data = Dataset.from_columns(
+            {"n": [1, 2, 1, 3]}, domains={"n": (1, 2, 3)}
+        )
+        assert data.value_counts("n") == {1: 2, 2: 1, 3: 1}
+
+    def test_all_rows_missing_one_column(self):
+        data = Dataset.from_columns(
+            {"a": [None, None], "b": ["x", "y"]},
+            domains={"a": ("v",)},
+        )
+        assert data.value_counts("a") == {"v": 0}
+        combos, counts = data.joint_counts(["a", "b"])
+        assert counts.size == 0
+
+
+class TestViewsAndImmutability:
+    def test_take_is_independent_copy(self):
+        data = Dataset.from_columns({"a": ["x", "y"]})
+        taken = data.take([0])
+        assert taken.n_rows == 1
+        assert data.n_rows == 2
+
+    def test_select_then_concat_consistent(self):
+        data = Dataset.from_columns(
+            {"a": ["x", "y"], "b": ["1", "2"]}
+        )
+        left = data.select(["a", "b"])
+        combined = left.concat(left)
+        assert combined.n_rows == 4
+        assert combined.schema == left.schema
+
+    def test_codes_matrix_read_only(self):
+        data = Dataset.from_columns({"a": ["x", "y"]})
+        with pytest.raises(ValueError):
+            data.codes_matrix()[0, 0] = 1
+
+    def test_repeated_group_keys_stable(self):
+        data = Dataset.from_columns(
+            {"a": ["x", "y", "x"], "b": ["1", "1", "1"]}
+        )
+        first = data.group_keys(["a", "b"])
+        second = data.group_keys(["a", "b"])
+        assert (first == second).all()

@@ -1,0 +1,63 @@
+"""Tests for random-tuple augmentation (Figure 7 workload)."""
+
+import numpy as np
+import pytest
+
+from repro import PatternCounter
+from repro.datasets import load_dataset
+from repro.datasets.augment import append_random_tuples, grow_dataset
+
+
+class TestAppendRandomTuples:
+    def test_row_count_and_schema_preserved(self, bluenile_small, rng):
+        grown = append_random_tuples(bluenile_small, 500, rng)
+        assert grown.n_rows == bluenile_small.n_rows + 500
+        assert grown.schema == bluenile_small.schema
+
+    def test_original_rows_unchanged(self, bluenile_small, rng):
+        grown = append_random_tuples(bluenile_small, 100, rng)
+        assert grown.head(bluenile_small.n_rows) == bluenile_small
+
+    def test_no_missing_values_added(self, bluenile_small, rng):
+        grown = append_random_tuples(bluenile_small, 200, rng)
+        assert not grown.has_missing
+
+    def test_zero_rows_is_identity_sized(self, bluenile_small, rng):
+        grown = append_random_tuples(bluenile_small, 0, rng)
+        assert grown.n_rows == bluenile_small.n_rows
+
+    def test_negative_rejected(self, bluenile_small, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            append_random_tuples(bluenile_small, -1, rng)
+
+    def test_uniform_values_flatten_marginals(self, rng):
+        data = load_dataset("bluenile", n_rows=1000, seed=0)
+        grown = append_random_tuples(data, 100_000, rng)
+        counts = grown.value_counts("cut")
+        shares = [c / grown.n_rows for c in counts.values()]
+        # Dominated by uniform tail: every share near 1/4.
+        assert max(shares) - min(shares) < 0.05
+
+
+class TestGrowDataset:
+    def test_target_factor(self, bluenile_small, rng):
+        grown = grow_dataset(bluenile_small, 2.0, rng)
+        assert grown.n_rows == 2 * bluenile_small.n_rows
+
+    def test_factor_one_is_identity(self, bluenile_small, rng):
+        grown = grow_dataset(bluenile_small, 1.0, rng)
+        assert grown.n_rows == bluenile_small.n_rows
+
+    def test_factor_below_one_rejected(self, bluenile_small, rng):
+        with pytest.raises(ValueError, match=">= 1"):
+            grow_dataset(bluenile_small, 0.5, rng)
+
+    def test_new_patterns_inflate_label_sizes(self, rng):
+        """The paper's Figure 7 observation: random tuples add patterns,
+        so candidate labels get bigger and fewer subsets fit a bound."""
+        data = load_dataset("bluenile", n_rows=2000, seed=0)
+        grown = grow_dataset(data, 5.0, rng)
+        original = PatternCounter(data)
+        bigger = PatternCounter(grown)
+        subset = ("cut", "polish", "symmetry")
+        assert bigger.label_size(subset) >= original.label_size(subset)

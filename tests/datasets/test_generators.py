@@ -1,0 +1,198 @@
+"""Tests for the three evaluation-dataset generators.
+
+These assert the *shape* facts the reproduction depends on: schema
+(attribute counts and domain sizes per Section IV-A), the Figure 1
+marginals for COMPAS, and the injected correlation structure that the
+optimal-label search exploits.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PatternCounter
+from repro.datasets import DATASET_SIZES, load_dataset
+from repro.datasets.bluenile import BLUENILE_ATTRIBUTES, generate_bluenile
+from repro.datasets.compas import (
+    COMPAS_ATTRIBUTES,
+    COMPAS_SIMPLIFIED_ATTRIBUTES,
+    generate_compas,
+    generate_compas_simplified,
+)
+from repro.datasets.creditcard import (
+    CREDITCARD_ATTRIBUTES,
+    generate_creditcard,
+)
+from repro.labeling import find_correlated_attributes
+
+
+class TestRegistry:
+    def test_load_by_name(self):
+        data = load_dataset("bluenile", n_rows=100, seed=0)
+        assert data.n_rows == 100
+
+    def test_paper_scale_defaults(self):
+        assert DATASET_SIZES == {
+            "bluenile": 116_300,
+            "compas": 60_843,
+            "creditcard": 30_000,
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("compas", n_rows=500, seed=7)
+        b = load_dataset("compas", n_rows=500, seed=7)
+        assert a == b
+        c = load_dataset("compas", n_rows=500, seed=8)
+        assert a != c
+
+
+class TestBlueNile:
+    def test_schema(self):
+        data = generate_bluenile(n_rows=200, seed=0)
+        assert data.attribute_names == BLUENILE_ATTRIBUTES
+        assert data.n_attributes == 7
+        cards = dict(
+            zip(data.attribute_names, data.schema.cardinalities)
+        )
+        assert cards["shape"] == 10
+        assert cards["cut"] == 4
+        assert cards["color"] == 7
+        assert cards["clarity"] == 8
+        assert cards["polish"] == 3
+        assert cards["symmetry"] == 3
+        assert cards["fluorescence"] == 5
+
+    def test_round_dominates(self, bluenile_small):
+        counts = bluenile_small.value_counts("shape")
+        assert counts["Round"] == max(counts.values())
+
+    def test_finishing_cluster_correlated(self, bluenile_small):
+        warnings = find_correlated_attributes(
+            bluenile_small,
+            attributes=["cut", "polish", "symmetry"],
+            min_deviation=0.05,
+        )
+        flagged = {w.message for w in warnings}
+        assert any("polish" in m and "symmetry" in m for m in flagged)
+
+    def test_no_missing_values(self, bluenile_small):
+        assert not bluenile_small.has_missing
+
+
+class TestCompas:
+    def test_schema(self):
+        data = generate_compas(n_rows=200, seed=0)
+        assert data.attribute_names == COMPAS_ATTRIBUTES
+        assert data.n_attributes == 17
+
+    def test_figure1_marginals(self):
+        data = generate_compas(n_rows=40_000, seed=0)
+        n = data.n_rows
+        gender = data.value_counts("Sex")
+        assert gender["Male"] / n == pytest.approx(0.78, abs=0.01)
+        race = data.value_counts("Race")
+        assert race["African-American"] / n == pytest.approx(0.45, abs=0.02)
+        assert race["Caucasian"] / n == pytest.approx(0.36, abs=0.02)
+        assert race["Hispanic"] / n == pytest.approx(0.14, abs=0.02)
+        age = data.value_counts("Age")
+        assert age["20-39"] / n == pytest.approx(0.66, abs=0.02)
+        marital = data.value_counts("MaritalStatus")
+        assert marital["Single"] / n == pytest.approx(0.75, abs=0.03)
+
+    def test_figure1_gender_race_intersection(self):
+        """Hispanic women are rarer than independence predicts (3% vs
+        22% * 14% ≈ 3.1% — and far rarer than Hispanic men)."""
+        data = generate_compas(n_rows=40_000, seed=0)
+        counter = PatternCounter(data)
+        from repro import Pattern
+
+        hispanic_female = counter.count(
+            Pattern({"Sex": "Female", "Race": "Hispanic"})
+        )
+        hispanic_male = counter.count(
+            Pattern({"Sex": "Male", "Race": "Hispanic"})
+        )
+        assert hispanic_female / data.n_rows == pytest.approx(0.03, abs=0.01)
+        assert hispanic_male > 3 * hispanic_female
+
+    def test_score_cluster_functional_dependencies(self, compas_small):
+        """ScoreText and DisplayText are exact functions of their parents."""
+        for row in compas_small.head(300).iter_rows():
+            decile = int(row["DecileScore"])
+            expected = (
+                "Low" if decile <= 4 else "Medium" if decile <= 7 else "High"
+            )
+            assert row["ScoreText"] == expected
+        mapping = {}
+        for row in compas_small.iter_rows():
+            mapping.setdefault(row["Scale_ID"], set()).add(row["DisplayText"])
+        assert all(len(texts) == 1 for texts in mapping.values())
+
+    def test_supervision_text_tracks_level(self, compas_small):
+        levels = {"1": "Low", "2": "Medium", "3": "Medium with Override", "4": "High"}
+        for row in compas_small.head(300).iter_rows():
+            assert row["RecSupervisionLevelText"] == levels[
+                row["RecSupervisionLevel"]
+            ]
+
+    def test_simplified_schema_matches_figure2(self):
+        data = generate_compas_simplified(n_rows=500, seed=0)
+        assert data.attribute_names == COMPAS_SIMPLIFIED_ATTRIBUTES
+
+
+class TestCreditCard:
+    def test_schema(self):
+        data = generate_creditcard(n_rows=500, seed=0)
+        assert data.attribute_names == CREDITCARD_ATTRIBUTES
+        assert data.n_attributes == 24
+
+    def test_numeric_attributes_have_five_buckets(self, creditcard_small):
+        cards = dict(
+            zip(
+                creditcard_small.attribute_names,
+                creditcard_small.schema.cardinalities,
+            )
+        )
+        for name in ("LIMIT_BAL", "AGE", "BILL_AMT1", "PAY_AMT3"):
+            assert cards[name] == 5
+        assert cards["SEX"] == 2
+        assert cards["default"] == 2
+
+    def test_pay_chain_autocorrelated(self, creditcard_small):
+        """Adjacent repayment statuses deviate strongly from independence."""
+        warnings = find_correlated_attributes(
+            creditcard_small,
+            attributes=["PAY_1", "PAY_2"],
+            min_deviation=0.1,
+        )
+        assert warnings
+
+    def test_bill_amounts_track_limit(self, creditcard_small):
+        # Equal-width bucketization compresses the monetary correlation
+        # into the first bins, so the TV distance is modest but present.
+        warnings = find_correlated_attributes(
+            creditcard_small,
+            attributes=["LIMIT_BAL", "BILL_AMT1"],
+            min_deviation=0.04,
+        )
+        assert warnings
+
+    def test_bill_chain_correlated(self, creditcard_small):
+        warnings = find_correlated_attributes(
+            creditcard_small,
+            attributes=["BILL_AMT1", "BILL_AMT2"],
+            min_deviation=0.04,
+        )
+        assert warnings
+
+    def test_inactive_segment_creates_heavy_tuples(self):
+        """The point-mass segment: the most frequent full tuple must
+        carry a multiplicity far above the uniform-ish tail."""
+        from repro import PatternCounter, full_pattern_set
+
+        data = generate_creditcard(n_rows=10_000, seed=0)
+        counts = full_pattern_set(PatternCounter(data)).counts
+        assert counts.max() > 50

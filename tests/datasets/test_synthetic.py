@@ -1,0 +1,212 @@
+"""Unit tests for the synthetic-relation generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    ConditionalAttribute,
+    DerivedAttribute,
+    MarginalAttribute,
+    SyntheticSpec,
+)
+
+
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestMarginalAttribute:
+    def test_marginal_frequencies_converge(self):
+        spec = SyntheticSpec(
+            [MarginalAttribute("a", ("x", "y"), (0.8, 0.2))]
+        )
+        data = spec.generate(20_000, rng())
+        counts = data.value_counts("a")
+        assert counts["x"] / 20_000 == pytest.approx(0.8, abs=0.02)
+
+    def test_probability_category_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            MarginalAttribute("a", ("x", "y"), (1.0,))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarginalAttribute("a", ("x", "y"), (1.5, -0.5))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            MarginalAttribute("a", ("x", "y"), (0.0, 0.0))
+
+
+class TestConditionalAttribute:
+    def build(self, noise=0.0):
+        return SyntheticSpec(
+            [
+                MarginalAttribute("p", ("u", "v"), (0.5, 0.5)),
+                ConditionalAttribute(
+                    name="c",
+                    categories=("0", "1"),
+                    parents=("p",),
+                    cpt={("u",): (0.9, 0.1), ("v",): (0.1, 0.9)},
+                    noise=noise,
+                ),
+            ]
+        )
+
+    def test_conditional_distribution_respected(self):
+        data = self.build().generate(20_000, rng())
+        u_rows = data.filter_equals("p", "u")
+        share = u_rows.value_counts("c")["0"] / u_rows.n_rows
+        assert share == pytest.approx(0.9, abs=0.02)
+
+    def test_noise_blends_toward_uniform(self):
+        data = self.build(noise=1.0).generate(20_000, rng())
+        u_rows = data.filter_equals("p", "u")
+        share = u_rows.value_counts("c")["0"] / u_rows.n_rows
+        assert share == pytest.approx(0.5, abs=0.03)
+
+    def test_default_row_used_for_unlisted_combo(self):
+        spec = SyntheticSpec(
+            [
+                MarginalAttribute("p", ("u", "v"), (0.5, 0.5)),
+                ConditionalAttribute(
+                    name="c",
+                    categories=("0", "1"),
+                    parents=("p",),
+                    cpt={("u",): (1.0, 0.0)},
+                    default=(0.0, 1.0),
+                ),
+            ]
+        )
+        data = spec.generate(5_000, rng())
+        v_rows = data.filter_equals("p", "v")
+        assert v_rows.value_counts("c")["1"] == v_rows.n_rows
+
+    def test_multi_parent_cpt(self):
+        spec = SyntheticSpec(
+            [
+                MarginalAttribute("p", ("u", "v"), (0.5, 0.5)),
+                MarginalAttribute("q", ("s", "t"), (0.5, 0.5)),
+                ConditionalAttribute(
+                    name="c",
+                    categories=("0", "1"),
+                    parents=("p", "q"),
+                    cpt={("u", "s"): (1.0, 0.0)},
+                    default=(0.0, 1.0),
+                ),
+            ]
+        )
+        data = spec.generate(4_000, rng())
+        both = data.filter_equals("p", "u").filter_equals("q", "s")
+        assert both.value_counts("c")["0"] == both.n_rows
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="parent"):
+            ConditionalAttribute("c", ("0",), (), {}, None)
+        with pytest.raises(ValueError, match="noise"):
+            ConditionalAttribute(
+                "c", ("0",), ("p",), {}, None, noise=1.5
+            )
+        with pytest.raises(ValueError, match="arity"):
+            ConditionalAttribute(
+                "c", ("0", "1"), ("p",), {("u", "v"): (0.5, 0.5)}
+            )
+        with pytest.raises(ValueError, match="width"):
+            ConditionalAttribute(
+                "c", ("0", "1"), ("p",), {("u",): (1.0,)}
+            )
+
+
+class TestDerivedAttribute:
+    def test_function_applied_exactly(self):
+        spec = SyntheticSpec(
+            [
+                MarginalAttribute("n", ("1", "2", "3"), (0.3, 0.3, 0.4)),
+                DerivedAttribute(
+                    name="band",
+                    categories=("low", "high"),
+                    parents=("n",),
+                    func=lambda n: "low" if int(n) <= 2 else "high",
+                ),
+            ]
+        )
+        data = spec.generate(2_000, rng())
+        for row in data.iter_rows():
+            expected = "low" if int(row["n"]) <= 2 else "high"
+            assert row["band"] == expected
+
+    def test_noise_flips_some_rows(self):
+        spec = SyntheticSpec(
+            [
+                MarginalAttribute("n", ("1", "2"), (0.5, 0.5)),
+                DerivedAttribute(
+                    name="copy",
+                    categories=("1", "2"),
+                    parents=("n",),
+                    func=lambda n: n,
+                    noise=0.5,
+                ),
+            ]
+        )
+        data = spec.generate(5_000, rng())
+        mismatches = sum(
+            1 for row in data.iter_rows() if row["copy"] != row["n"]
+        )
+        assert 0 < mismatches < 2_500  # noise flips ~25% (half stay by luck)
+
+    def test_undeclared_category_rejected(self):
+        spec = SyntheticSpec(
+            [
+                MarginalAttribute("n", ("1",), (1.0,)),
+                DerivedAttribute(
+                    name="bad",
+                    categories=("x",),
+                    parents=("n",),
+                    func=lambda n: "zzz",
+                ),
+            ]
+        )
+        with pytest.raises(ValueError, match="not a declared category"):
+            spec.generate(10, rng())
+
+
+class TestSyntheticSpec:
+    def test_parent_must_be_declared_first(self):
+        with pytest.raises(ValueError, match="declared earlier"):
+            SyntheticSpec(
+                [
+                    ConditionalAttribute(
+                        "c", ("0",), ("p",), {}, default=(1.0,)
+                    ),
+                    MarginalAttribute("p", ("u",), (1.0,)),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SyntheticSpec(
+                [
+                    MarginalAttribute("a", ("x",), (1.0,)),
+                    MarginalAttribute("a", ("y",), (1.0,)),
+                ]
+            )
+
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(
+            [MarginalAttribute("a", ("x", "y"), (0.5, 0.5))]
+        )
+        d1 = spec.generate(100, np.random.default_rng(5))
+        d2 = spec.generate(100, np.random.default_rng(5))
+        assert d1 == d2
+
+    def test_zero_rows(self):
+        spec = SyntheticSpec(
+            [MarginalAttribute("a", ("x",), (1.0,))]
+        )
+        assert spec.generate(0, rng()).n_rows == 0
+
+    def test_negative_rows_rejected(self):
+        spec = SyntheticSpec(
+            [MarginalAttribute("a", ("x",), (1.0,))]
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            spec.generate(-1, rng())

@@ -1,0 +1,173 @@
+"""Integration tests for the per-figure experiment functions.
+
+These run every figure's regeneration code at a small scale and assert
+the *qualitative shapes* the paper reports — who wins, what decreases,
+what dominates — rather than absolute numbers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    accuracy_vs_label_size,
+    candidates_vs_bound,
+    figure1_label_card,
+    runtime_vs_attribute_count,
+    runtime_vs_bound,
+    runtime_vs_data_size,
+    sublabel_errors,
+)
+from repro.datasets import generate_compas_simplified
+
+
+class TestFigure1:
+    def test_card_regenerates(self):
+        data = generate_compas_simplified(3000, seed=2)
+        label, summary, card = figure1_label_card(data)
+        assert label.attributes == ("gender", "race")
+        assert label.size == 8  # 2 genders x 4 races, all present
+        assert "Total size: 3,000" in card
+        assert summary.max_abs < 0.05 * data.n_rows  # Fig 1: max 5%
+
+
+class TestFigure4And5:
+    @pytest.fixture(scope="class")
+    def table(self, bluenile_small):
+        return accuracy_vs_label_size(
+            bluenile_small,
+            "bluenile",
+            bounds=(10, 30, 50),
+            sample_repeats=2,
+            seed=0,
+        )
+
+    def test_one_row_per_bound(self, table):
+        assert len(table) == 3
+        assert table.column("bound") == [10, 30, 50]
+
+    def test_label_sizes_fit_bounds(self, table):
+        for row in table:
+            assert row["label_size"] <= row["bound"]
+
+    def test_pcbl_max_error_non_increasing_overall(self, table):
+        errors = table.column("pcbl_max_abs")
+        assert errors[-1] <= errors[0]
+
+    def test_pcbl_beats_sample_mean_error(self, table):
+        """Fig 4: sample mean error is a small multiple of PCBL's."""
+        for row in table:
+            assert row["pcbl_mean_abs"] < row["sample_mean_abs"]
+
+    def test_pcbl_beats_sample_mean_q(self, table):
+        """Fig 5: PCBL outperforms sampling on q-error everywhere."""
+        for row in table:
+            assert row["pcbl_mean_q"] < row["sample_mean_q"]
+
+    def test_postgres_flat_across_bounds(self, table):
+        pg = table.column("pg_max_abs")
+        assert len(set(pg)) == 1
+
+    def test_pcbl_competitive_with_postgres_at_large_bounds(self, table):
+        last = table.rows()[-1]
+        assert last["pcbl_max_abs"] <= last["pg_max_abs"] * 1.5
+
+    def test_percent_columns_consistent(self, table, bluenile_small):
+        for row in table:
+            expected = 100.0 * row["pcbl_max_abs"] / bluenile_small.n_rows
+            assert row["pcbl_max_abs_pct"] == pytest.approx(expected)
+
+
+class TestFigure6:
+    def test_optimized_not_slower_than_naive(self, compas_small):
+        table = runtime_vs_bound(
+            compas_small, "compas", bounds=(10, 30), naive_time_limit=120
+        )
+        for row in table:
+            if not row["naive_timed_out"]:
+                # Allow generous noise at tiny scale; the subset counts
+                # are the deterministic part of the claim.
+                assert row["optimized_subsets"] <= row["naive_subsets"]
+
+    def test_timeout_recorded(self, creditcard_small):
+        table = runtime_vs_bound(
+            creditcard_small,
+            "creditcard",
+            bounds=(40,),
+            naive_time_limit=1e-4,
+        )
+        assert table.rows()[0]["naive_timed_out"] is True
+
+
+class TestFigure7:
+    def test_runtime_rows_track_growth(self, bluenile_small):
+        table = runtime_vs_data_size(
+            bluenile_small,
+            "bluenile",
+            growth_factors=(1, 2),
+            bound=30,
+            naive_time_limit=60,
+        )
+        sizes = table.column("x")
+        assert sizes[1] == 2 * sizes[0]
+
+    def test_augmented_data_prunes_search(self, bluenile_small):
+        """The paper's Fig 7 observation: random growth adds patterns, so
+        fewer subsets fit the bound."""
+        table = runtime_vs_data_size(
+            bluenile_small,
+            "bluenile",
+            growth_factors=(1, 4),
+            bound=30,
+            naive_time_limit=60,
+        )
+        rows = table.rows()
+        assert rows[1]["optimized_subsets"] <= rows[0]["optimized_subsets"]
+
+
+class TestFigure8:
+    def test_subset_counts_grow_with_attributes(self, compas_small):
+        projected = compas_small.select(
+            list(compas_small.attribute_names[:7])
+        )
+        table = runtime_vs_attribute_count(
+            projected, "compas", bound=30, naive_time_limit=60
+        )
+        assert table.column("x") == [3, 4, 5, 6, 7]
+        counts = table.column("naive_subsets")
+        assert counts == sorted(counts)
+
+
+class TestFigure9:
+    def test_gain_and_monotonicity(self, compas_small):
+        table = candidates_vs_bound(
+            compas_small, "compas", bounds=(10, 30), naive_time_limit=120
+        )
+        for row in table:
+            assert row["optimized_subsets"] <= row["naive_subsets"]
+            assert 0.0 <= row["gain_pct"] <= 100.0
+            assert row["optimized_share_of_lattice_pct"] <= 100.0
+
+    def test_high_gain_on_many_attributes(self, compas_small):
+        """COMPAS (17 attrs): the paper reports 96–99% gains."""
+        table = candidates_vs_bound(
+            compas_small, "compas", bounds=(10,), naive_time_limit=120
+        )
+        assert table.rows()[0]["gain_pct"] > 80.0
+
+
+class TestFigure10:
+    def test_sublabels_never_beat_optimal(self, bluenile_small):
+        table = sublabel_errors(bluenile_small, "bluenile", bound=50)
+        optimal_rows = table.where(kind="optimal").rows()
+        assert len(optimal_rows) == 1
+        optimal_error = optimal_rows[0]["max_abs"]
+        for row in table.where(kind="sub-label"):
+            assert row["max_abs"] >= optimal_error - 1e-9
+
+    def test_one_sublabel_per_removed_attribute(self, bluenile_small):
+        table = sublabel_errors(bluenile_small, "bluenile", bound=50)
+        optimal = table.where(kind="optimal").rows()[0]
+        n_attrs = len(optimal["attributes"].split("|"))
+        assert len(table.where(kind="sub-label")) == n_attrs

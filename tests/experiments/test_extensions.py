@@ -1,0 +1,86 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    estimator_shootout,
+    multi_label_study,
+    objective_comparison,
+)
+
+
+class TestObjectiveComparison:
+    @pytest.fixture(scope="class")
+    def table(self, bluenile_small):
+        return objective_comparison(bluenile_small, "bluenile", bound=40)
+
+    def test_one_row_per_objective(self, table):
+        assert len(table) == 4
+        assert set(table.column("optimized_for")) == {
+            "max-abs",
+            "mean-abs",
+            "max-q",
+            "mean-q",
+        }
+
+    def test_each_optimum_wins_its_own_metric(self, table):
+        rows = {row["optimized_for"]: row for row in table}
+        metric_of = {
+            "max-abs": "max_abs",
+            "mean-abs": "mean_abs",
+            "max-q": "max_q",
+            "mean-q": "mean_q",
+        }
+        for objective, metric in metric_of.items():
+            own = rows[objective][metric]
+            for other in rows.values():
+                assert own <= other[metric] + 1e-9
+
+
+class TestEstimatorShootout:
+    @pytest.fixture(scope="class")
+    def table(self, bluenile_small):
+        return estimator_shootout(bluenile_small, "bluenile", bound=30)
+
+    def test_all_estimators_present(self, table):
+        assert set(table.column("estimator")) == {
+            "pcbl-subset",
+            "pcbl-flexible",
+            "independence",
+            "dependency-tree",
+            "postgres",
+            "sampling",
+        }
+
+    def test_dependency_tree_between_independence_and_exact(self, table):
+        rows = {row["estimator"]: row for row in table}
+        assert (
+            rows["dependency-tree"]["mean_abs"]
+            < rows["independence"]["mean_abs"]
+        )
+
+    def test_pcbl_beats_independence(self, table):
+        rows = {row["estimator"]: row for row in table}
+        assert rows["pcbl-subset"]["max_abs"] < rows["independence"]["max_abs"]
+
+    def test_spaces_reported(self, table):
+        for row in table:
+            assert row["space"] > 0
+
+
+class TestMultiLabelStudy:
+    def test_rows_and_space_accounting(self, compas_small):
+        table = multi_label_study(compas_small, "compas", bound=20)
+        assert len(table) >= 2
+        configurations = table.column("configuration")
+        assert any("one label, budget 20" in c for c in configurations)
+        assert any("one label, budget 40" in c for c in configurations)
+        for row in table:
+            assert row["total_space"] > 0
+
+    def test_double_budget_no_worse_than_single(self, compas_small):
+        table = multi_label_study(compas_small, "compas", bound=20)
+        rows = {row["configuration"]: row for row in table}
+        single = rows["one label, budget 20"]["max_abs"]
+        double = rows["one label, budget 40"]["max_abs"]
+        assert double <= single + 1e-9

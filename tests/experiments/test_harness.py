@@ -1,0 +1,75 @@
+"""Unit tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.experiments.harness import ResultTable, Scale
+
+
+class TestResultTable:
+    def make(self) -> ResultTable:
+        table = ResultTable("demo", ["x", "y"])
+        table.add(x=1, y=2.0)
+        table.add(x=2, y=4.5)
+        return table
+
+    def test_add_and_len(self):
+        assert len(self.make()) == 2
+
+    def test_row_schema_enforced(self):
+        table = ResultTable("demo", ["x"])
+        with pytest.raises(ValueError, match="missing"):
+            table.add()
+        with pytest.raises(ValueError, match="extra"):
+            table.add(x=1, z=2)
+
+    def test_column_extraction(self):
+        assert self.make().column("x") == [1, 2]
+        with pytest.raises(KeyError):
+            self.make().column("zzz")
+
+    def test_where_filters(self):
+        filtered = self.make().where(x=2)
+        assert len(filtered) == 1
+        assert filtered.column("y") == [4.5]
+
+    def test_to_text_contains_headers_and_rows(self):
+        text = self.make().to_text()
+        assert text.startswith("demo")
+        assert "x" in text and "y" in text
+        assert "4.5" in text
+
+    def test_to_csv(self):
+        csv_text = self.make().to_csv()
+        assert csv_text.splitlines()[0] == "x,y"
+        assert len(csv_text.splitlines()) == 3
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            ResultTable("demo", [])
+
+    def test_float_formatting(self):
+        table = ResultTable("demo", ["v"])
+        table.add(v=0.000123)
+        table.add(v=123456.0)
+        table.add(v=float("nan"))
+        text = table.to_text()
+        assert "nan" in text
+
+
+class TestScale:
+    def test_paper_matches_section_iv(self):
+        scale = Scale.paper()
+        assert scale.dataset_rows["bluenile"] == 116_300
+        assert scale.dataset_rows["compas"] == 60_843
+        assert scale.dataset_rows["creditcard"] == 30_000
+        assert scale.bounds[0] == 10 and scale.bounds[-1] == 100
+        assert scale.candidate_bounds == (10, 30, 50, 70, 100)
+        assert scale.sublabel_bound == 100
+        assert scale.sample_repeats == 5
+        assert scale.naive_time_limit == 1800.0
+
+    def test_ci_is_smaller(self):
+        paper, ci = Scale.paper(), Scale.ci()
+        for name in paper.dataset_rows:
+            assert ci.dataset_rows[name] < paper.dataset_rows[name]
+        assert max(ci.bounds) <= max(paper.bounds)

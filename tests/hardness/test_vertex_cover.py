@@ -1,0 +1,183 @@
+"""Tests for the Appendix A reduction — the paper's lemmas, executed."""
+
+import itertools
+
+import pytest
+
+from repro import Pattern, PatternCounter, evaluate_label
+from repro.hardness.vertex_cover import (
+    Graph,
+    build_reduction,
+    cover_from_attribute_set,
+    decide_vertex_cover_via_labels,
+    label_size_formula,
+    vertex_cover_brute_force,
+)
+
+
+def path3() -> Graph:
+    """The paper's Figure 11 example: v1 - v2 - v3."""
+    return Graph.from_edges(["v1", "v2", "v3"], [("v1", "v2"), ("v2", "v3")])
+
+
+def triangle() -> Graph:
+    return Graph.from_edges(
+        ["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")]
+    )
+
+
+def square() -> Graph:
+    return Graph.from_edges(
+        ["1", "2", "3", "4"],
+        [("1", "2"), ("2", "3"), ("3", "4"), ("4", "1")],
+    )
+
+
+def k4() -> Graph:
+    vertices = ["a", "b", "c", "d"]
+    return Graph.from_edges(
+        vertices, list(itertools.combinations(vertices, 2))
+    )
+
+
+class TestGraph:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="self loop"):
+            Graph.from_edges(["a", "b"], [("a", "a")])
+        with pytest.raises(ValueError, match="off the graph"):
+            Graph.from_edges(["a", "b"], [("a", "z")])
+        with pytest.raises(ValueError, match="duplicate edge"):
+            Graph.from_edges(["a", "b"], [("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError, match="at least one edge"):
+            Graph.from_edges(["a", "b"], [])
+        with pytest.raises(ValueError, match="two vertices"):
+            Graph.from_edges(["a"], [])
+
+    def test_is_vertex_cover(self):
+        graph = path3()
+        assert graph.is_vertex_cover({"v2"})
+        assert graph.is_vertex_cover({"v1", "v3"})
+        assert not graph.is_vertex_cover({"v1"})
+
+    def test_brute_force(self):
+        assert vertex_cover_brute_force(path3(), 1) == ("v2",)
+        assert vertex_cover_brute_force(triangle(), 1) is None
+        assert vertex_cover_brute_force(triangle(), 2) is not None
+
+
+class TestReductionDatabase:
+    def test_figure12_shape_for_path3(self):
+        """The Figure 12 database: 2 edges, 3 vertices."""
+        instance = build_reduction(path3(), k=1)
+        data = instance.dataset
+        assert data.attribute_names == ("A_E", "A_v1", "A_v2", "A_v3")
+        # Edge tuples: 2 edges * 4 combos * |E|=2 copies = 16.
+        # Adjacent pairs (2): 2 * 2 values * 2|E|^2=8 copies = 32.
+        # Non-adjacent pairs (1): 4 combos * 2 copies = 8.
+        assert data.n_rows == 16 + 32 + 8
+        assert data.has_missing
+
+    def test_pattern_counts_are_E(self):
+        """Lemma A.5 setup: c_D(p) = |E| for every edge pattern."""
+        for graph in (path3(), triangle(), square()):
+            instance = build_reduction(graph, k=1)
+            counter = PatternCounter(instance.dataset)
+            for pattern in instance.patterns:
+                assert counter.count(pattern) == graph.n_edges
+
+    def test_vertex_value_fractions_are_half(self):
+        """Lemma A.5: c_D({A_i=x1}) / (c_D(x1)+c_D(x2)) = 1/2."""
+        instance = build_reduction(path3(), k=1)
+        counter = PatternCounter(instance.dataset)
+        for vertex in path3().vertices:
+            assert counter.fraction(f"A_{vertex}", "x1") == pytest.approx(0.5)
+
+    def test_edge_value_fractions_are_uniform(self):
+        """Lemma A.5: c_D({A_E=x_r}) / sum = 1/|E|."""
+        graph = square()
+        instance = build_reduction(graph, k=1)
+        counter = PatternCounter(instance.dataset)
+        for r in range(graph.n_edges):
+            assert counter.fraction("A_E", f"x{r + 1}") == pytest.approx(
+                1 / graph.n_edges
+            )
+
+    def test_size_bound_formula(self):
+        instance = build_reduction(square(), k=3)
+        assert instance.size_bound == 2 * 4 + 4 * (1 + 2)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            build_reduction(path3(), k=0)
+
+
+class TestLemmaA5:
+    """Zero error iff A_E in S and the edge is covered."""
+
+    def test_covering_attribute_set_gives_zero_error(self):
+        graph = path3()
+        instance = build_reduction(graph, k=1)
+        counter = PatternCounter(instance.dataset)
+        pattern_set = instance.pattern_set(counter)
+        summary = evaluate_label(counter, ("A_E", "A_v2"), pattern_set)
+        assert summary.max_abs == 0.0
+
+    def test_partial_cover_has_positive_error(self):
+        graph = path3()
+        instance = build_reduction(graph, k=1)
+        counter = PatternCounter(instance.dataset)
+        pattern_set = instance.pattern_set(counter)
+        summary = evaluate_label(counter, ("A_E", "A_v1"), pattern_set)
+        assert summary.max_abs > 0.0
+
+    def test_missing_edge_attribute_error_is_E_plus_one(self):
+        """Lemma A.5 middle case: S = {A_i, A_j}, A_E ∉ S gives
+        Est = 2|E| + 1, i.e. error exactly |E| + 1."""
+        graph = path3()
+        instance = build_reduction(graph, k=2)
+        counter = PatternCounter(instance.dataset)
+        pattern = instance.patterns[0]  # e1 = {v1, v2}
+        pattern_set = instance.pattern_set(counter)
+        summary = evaluate_label(counter, ("A_v1", "A_v2"), pattern_set)
+        assert summary.max_abs >= graph.n_edges + 1 - 1e-9
+
+
+class TestLemmaA8:
+    """|L_S(D)| = 2|E'| + 4 * sum_{i=1}^{k-1} i, exactly."""
+
+    @pytest.mark.parametrize(
+        "graph_factory", [path3, triangle, square, k4]
+    )
+    def test_size_formula_every_subset(self, graph_factory):
+        graph = graph_factory()
+        instance = build_reduction(graph, k=1)
+        counter = PatternCounter(instance.dataset)
+        vertex_names = [f"A_{v}" for v in graph.vertices]
+        for k in range(1, graph.n_vertices + 1):
+            for combo in itertools.combinations(vertex_names, k):
+                chosen = {name[2:] for name in combo}
+                covered = sum(
+                    1 for edge in graph.edges if edge & chosen
+                )
+                expected = label_size_formula(covered, k)
+                assert counter.label_size(("A_E",) + combo) == expected
+
+
+class TestPropositionA4:
+    """VC of size <= k exists iff a fitting zero-error label exists."""
+
+    @pytest.mark.parametrize(
+        "graph_factory", [path3, triangle, square, k4]
+    )
+    def test_equivalence(self, graph_factory):
+        graph = graph_factory()
+        for k in range(1, graph.n_vertices):
+            expected = vertex_cover_brute_force(graph, k) is not None
+            assert decide_vertex_cover_via_labels(graph, k) == expected
+
+
+class TestDecoding:
+    def test_cover_from_attribute_set(self):
+        cover = cover_from_attribute_set(path3(), ("A_E", "A_v2"))
+        assert cover == ("v2",)
+        assert path3().is_vertex_cover(cover)

@@ -1,0 +1,108 @@
+"""Failure-injection tests: corrupted inputs fail loudly and precisely.
+
+A production metadata library must reject malformed labels, inconsistent
+CSVs and impossible configurations with clear errors — never estimate
+from garbage silently.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    Dataset,
+    Label,
+    LabelEstimator,
+    Pattern,
+    PatternCounter,
+    build_label,
+)
+from repro.dataset.schema import Column, Schema
+
+
+class TestCorruptedLabelJson:
+    def make_payload(self, figure2) -> dict:
+        return build_label(figure2, ["gender", "race"]).to_dict()
+
+    def test_missing_field_raises_key_error(self, figure2):
+        payload = self.make_payload(figure2)
+        del payload["total"]
+        with pytest.raises(KeyError):
+            Label.from_dict(payload)
+
+    def test_negative_pc_count_rejected(self, figure2):
+        payload = self.make_payload(figure2)
+        payload["pc"][0]["count"] = -5
+        with pytest.raises(ValueError, match="positive"):
+            Label.from_dict(payload)
+
+    def test_wrong_arity_pc_rejected(self, figure2):
+        payload = self.make_payload(figure2)
+        payload["pc"][0]["values"] = ["only-one"]
+        with pytest.raises(ValueError, match="arity"):
+            Label.from_dict(payload)
+
+    def test_attribute_outside_order_rejected(self, figure2):
+        payload = self.make_payload(figure2)
+        payload["attributes"] = ["gender", "not-an-attribute"]
+        with pytest.raises(ValueError, match="missing from"):
+            Label.from_dict(payload)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(json.JSONDecodeError):
+            Label.from_json("{not json")
+
+
+class TestEstimatorMisuse:
+    def test_unknown_value_raises_key_error(self, figure2):
+        estimator = LabelEstimator(build_label(figure2, ["gender"]))
+        with pytest.raises(KeyError):
+            estimator.estimate(Pattern({"race": "Martian"}))
+
+    def test_unknown_attribute_raises_key_error(self, figure2):
+        estimator = LabelEstimator(build_label(figure2, ["gender"]))
+        with pytest.raises(KeyError):
+            estimator.estimate(Pattern({"zzz": "x"}))
+
+
+class TestDatasetMisuse:
+    def test_count_on_unknown_attribute(self, figure2_counter):
+        with pytest.raises(KeyError, match="no attribute"):
+            figure2_counter.count(Pattern({"height": "tall"}))
+
+    def test_select_unknown_attribute(self, figure2):
+        with pytest.raises(KeyError):
+            figure2.select(["nope"])
+
+    def test_joint_counts_empty_attribute_list(self, figure2):
+        with pytest.raises(ValueError, match="non-empty"):
+            figure2.joint_counts([])
+
+    def test_empty_relation_is_usable(self):
+        schema = Schema([Column("a", ("x", "y")), Column("b", ("1",))])
+        import numpy as np
+
+        empty = Dataset(schema, np.empty((0, 2), dtype=np.int32))
+        counter = PatternCounter(empty)
+        assert counter.count(Pattern({"a": "x"})) == 0
+        assert counter.label_size(("a", "b")) == 0
+        combos, counts = counter.joint_table(("a", "b"))
+        assert combos.shape == (0, 2)
+        assert counts.size == 0
+
+    def test_single_row_relation(self):
+        data = Dataset.from_columns({"a": ["x"], "b": ["1"]})
+        from repro import find_optimal_label
+
+        result = find_optimal_label(data, bound=5)
+        assert result.objective_value == 0.0
+        assert result.label.size == 1
+
+    def test_all_identical_rows(self):
+        data = Dataset.from_columns(
+            {"a": ["x"] * 50, "b": ["1"] * 50, "c": ["p"] * 50}
+        )
+        from repro import find_optimal_label
+
+        result = find_optimal_label(data, bound=5)
+        assert result.objective_value == 0.0

@@ -1,0 +1,58 @@
+"""Cross-scale consistency: results stay qualitatively stable as data grows.
+
+These guard the claim that the CI-scale benchmarks are representative of
+the paper-scale runs: the optimal subsets and winner orderings should not
+flip wildly between a few thousand rows and several times that.
+"""
+
+import pytest
+
+from repro import PatternCounter, full_pattern_set, top_down_search
+from repro.datasets import load_dataset
+
+
+class TestSubsetStability:
+    def test_bluenile_finishing_cluster_stable(self):
+        """The finishing-grade cluster is optimal at every scale."""
+        chosen = []
+        for n_rows in (3_000, 12_000):
+            data = load_dataset("bluenile", n_rows=n_rows, seed=0)
+            result = top_down_search(data, 50)
+            chosen.append(set(result.attributes))
+        for attrs in chosen:
+            assert {"cut", "polish"} <= attrs
+
+    def test_compas_score_cluster_stable(self):
+        for n_rows in (3_000, 10_000):
+            data = load_dataset("compas", n_rows=n_rows, seed=0)
+            result = top_down_search(data, 50)
+            assert {
+                "RecSupervisionLevel",
+                "RecSupervisionLevelText",
+            } <= set(result.attributes)
+
+
+class TestErrorScaling:
+    def test_relative_error_stable_under_scale(self):
+        """Max error as a fraction of |D| is scale-invariant-ish for a
+        fixed subset (counts and estimates both scale linearly)."""
+        fractions = []
+        for n_rows in (4_000, 16_000):
+            data = load_dataset("bluenile", n_rows=n_rows, seed=0)
+            counter = PatternCounter(data)
+            from repro import evaluate_label
+
+            summary = evaluate_label(counter, ("cut", "polish"))
+            fractions.append(summary.max_abs / n_rows)
+        small, large = fractions
+        assert small == pytest.approx(large, rel=0.5)
+
+    def test_label_size_saturates(self):
+        """|P_S| approaches the domain product and stops growing."""
+        sizes = []
+        for n_rows in (2_000, 8_000, 16_000):
+            data = load_dataset("bluenile", n_rows=n_rows, seed=0)
+            counter = PatternCounter(data)
+            sizes.append(counter.label_size(("cut", "polish", "symmetry")))
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= 4 * 3 * 3

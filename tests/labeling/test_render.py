@@ -1,0 +1,91 @@
+"""Unit tests for the label-card renderers (Figure 1 layout)."""
+
+import pytest
+
+from repro import PatternCounter, build_label, evaluate_label
+from repro.labeling.render import (
+    render_label_html,
+    render_label_markdown,
+    render_label_text,
+)
+
+
+@pytest.fixture
+def label_and_summary(figure2):
+    counter = PatternCounter(figure2)
+    label = build_label(counter, ["gender", "race"])
+    summary = evaluate_label(counter, label)
+    return label, summary
+
+
+class TestTextCard:
+    def test_contains_total_and_blocks(self, label_and_summary):
+        label, summary = label_and_summary
+        card = render_label_text(label, summary)
+        assert "Total size: 18" in card
+        assert "gender" in card and "race" in card
+        assert "Stored combinations over: gender / race" in card
+        assert "Maximal error" in card
+        assert "Average error" in card
+        assert "Standard deviation" in card
+
+    def test_percentages_present(self, label_and_summary):
+        label, _ = label_and_summary
+        card = render_label_text(label)
+        assert "%" in card
+
+    def test_no_summary_omits_error_block(self, label_and_summary):
+        label, _ = label_and_summary
+        card = render_label_text(label)
+        assert "Maximal error" not in card
+
+    def test_empty_attribute_label_renders_vc_only(self, figure2):
+        label = build_label(figure2, [])
+        card = render_label_text(label)
+        assert "Stored combinations" not in card
+        assert "Total size: 18" in card
+
+    def test_pc_rows_sorted_by_count(self, figure2):
+        label = build_label(figure2, ["gender", "race"])
+        card = render_label_text(label)
+        lines = [l for l in card.splitlines() if "," in l]
+        counts = []
+        for line in lines:
+            counts.append(int(line.split()[-2].replace(",", "")))
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestMarkdownCard:
+    def test_tables_present(self, label_and_summary):
+        label, summary = label_and_summary
+        card = render_label_markdown(label, summary)
+        assert card.startswith("**Total size: 18**")
+        assert "| Attribute | Value | Count | % |" in card
+        assert "**Stored combinations (gender × race)**" in card
+        assert "| Error statistic | Value |" in card
+
+    def test_row_per_domain_value(self, label_and_summary):
+        label, _ = label_and_summary
+        card = render_label_markdown(label)
+        # 2 + 2 + 3 + 3 VC rows.
+        vc_rows = [
+            line
+            for line in card.splitlines()
+            if line.startswith("|") and "Attribute" not in line
+            and "---" not in line
+        ]
+        assert len(vc_rows) >= 10
+
+
+class TestHtmlCard:
+    def test_minimal_structure(self, label_and_summary):
+        label, summary = label_and_summary
+        html = render_label_html(label, summary)
+        assert html.startswith("<div class='pcbl-label'>")
+        assert html.count("<table>") == 3  # VC, PC, errors
+        assert "</div>" in html
+
+    def test_without_summary_two_tables(self, label_and_summary):
+        label, _ = label_and_summary
+        html = render_label_html(label)
+        assert html.count("<table>") == 2

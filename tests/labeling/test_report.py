@@ -1,0 +1,53 @@
+"""Tests for the one-shot Markdown dataset report."""
+
+import pytest
+
+from repro.labeling.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(compas_small):
+    return generate_report(
+        compas_small,
+        dataset_name="compas-test",
+        bound=30,
+        sensitive_attributes=["Sex", "Race"],
+        min_share=0.05,
+    )
+
+
+class TestGenerateReport:
+    def test_fields_populated(self, report, compas_small):
+        assert report.dataset_name == "compas-test"
+        assert report.n_rows == compas_small.n_rows
+        assert report.n_attributes == 17
+        assert len(report.attribute_stats) == 17
+        assert report.search_result.label.size <= 30
+        assert report.warnings  # Hispanic women etc.
+
+    def test_default_sensitive_attributes(self, compas_small):
+        quick = generate_report(compas_small, bound=30)
+        assert quick.search_result.attributes  # used as default audit set
+
+    def test_markdown_structure(self, report):
+        doc = report.to_markdown()
+        assert doc.startswith("# Dataset report: compas-test")
+        assert "## Attribute profile" in doc
+        assert "## Pattern count-based label" in doc
+        assert "## Fitness-for-use warnings" in doc
+        assert "underrepresented" in doc
+
+    def test_markdown_label_block_has_error_stats(self, report):
+        doc = report.to_markdown()
+        assert "max estimation error" in doc
+        assert "| Error statistic | Value |" in doc
+
+    def test_no_warnings_branch(self, figure2):
+        quiet = generate_report(
+            figure2,
+            bound=10,
+            sensitive_attributes=["gender"],
+            min_share=0.0,
+            max_share=0.99,
+        )
+        assert "No findings" in quiet.to_markdown()

@@ -1,0 +1,132 @@
+"""Unit tests for the fitness-for-use warnings."""
+
+import pytest
+
+from repro import Pattern, PatternCounter, build_label
+from repro.dataset.table import Dataset
+from repro.labeling.warnings import (
+    WarningKind,
+    find_correlated_attributes,
+    find_skewed,
+    find_underrepresented,
+    profile_dataset,
+)
+
+
+@pytest.fixture
+def skewed_data() -> Dataset:
+    # 90% (x, 1), 8% (y, 1), 2% (y, 2): skew plus under-representation.
+    rows = [("x", "1")] * 90 + [("y", "1")] * 8 + [("y", "2")] * 2
+    return Dataset.from_rows(["a", "b"], rows)
+
+
+class TestUnderrepresented:
+    def test_flags_small_groups(self, skewed_data):
+        warnings = find_underrepresented(
+            skewed_data, ["a", "b"], min_share=0.05
+        )
+        flagged = {str(w.pattern) for w in warnings}
+        assert any("y" in f and "2" in f for f in flagged)
+        assert all(w.kind is WarningKind.UNDERREPRESENTED for w in warnings)
+
+    def test_min_count_threshold(self, skewed_data):
+        warnings = find_underrepresented(
+            skewed_data, ["a", "b"], min_share=0.0, min_count=5
+        )
+        assert len(warnings) == 1
+        assert warnings[0].count == 2
+
+    def test_sorted_ascending_by_count(self, skewed_data):
+        warnings = find_underrepresented(
+            skewed_data, ["a", "b"], min_share=0.2
+        )
+        counts = [w.count for w in warnings]
+        assert counts == sorted(counts)
+
+    def test_from_label_checks_unseen_combinations(self, figure2):
+        """Estimated warnings from a label include domain combinations
+        absent from the data (they estimate near 0)."""
+        label = build_label(figure2, ["age group", "marital status"])
+        warnings = find_underrepresented(
+            label, ["age group", "marital status"], min_share=0.05
+        )
+        assert all(w.estimated for w in warnings)
+        patterns = {w.pattern for w in warnings}
+        assert Pattern(
+            {"age group": "under 20", "marital status": "married"}
+        ) in patterns
+
+    def test_compas_hispanic_women_flagged(self, compas_small):
+        """The paper's motivating example: Hispanic women under-represented."""
+        warnings = find_underrepresented(
+            compas_small, ["Sex", "Race"], min_share=0.05
+        )
+        descriptions = [w.message for w in warnings]
+        assert any(
+            "Sex=Female" in d and "Race=Hispanic" in d for d in descriptions
+        )
+
+
+class TestSkewed:
+    def test_flags_dominant_group(self, skewed_data):
+        warnings = find_skewed(skewed_data, ["a"], max_share=0.5)
+        assert len(warnings) == 1
+        assert warnings[0].share == pytest.approx(0.9)
+        assert warnings[0].kind is WarningKind.SKEWED
+
+    def test_no_warning_below_threshold(self, skewed_data):
+        assert not find_skewed(skewed_data, ["a"], max_share=0.95)
+
+    def test_str_rendering(self, skewed_data):
+        warning = find_skewed(skewed_data, ["a"], max_share=0.5)[0]
+        assert "skewed" in str(warning)
+        assert "90" in str(warning)
+
+
+class TestCorrelated:
+    def test_detects_functional_dependency(self):
+        rows = [("x", "1")] * 50 + [("y", "2")] * 50
+        data = Dataset.from_rows(["a", "b"], rows)
+        warnings = find_correlated_attributes(data, min_deviation=0.1)
+        assert len(warnings) == 1
+        assert warnings[0].kind is WarningKind.CORRELATED
+        assert warnings[0].share == pytest.approx(0.5, abs=0.01)
+
+    def test_independent_attributes_not_flagged(self, rng):
+        import numpy as np
+
+        a = rng.choice(["x", "y"], size=4000)
+        b = rng.choice(["1", "2"], size=4000)
+        data = Dataset.from_columns({"a": list(a), "b": list(b)})
+        assert not find_correlated_attributes(data, min_deviation=0.05)
+
+    def test_attribute_filter(self, compas_small):
+        warnings = find_correlated_attributes(
+            compas_small,
+            attributes=["DecileScore", "ScoreText"],
+            min_deviation=0.1,
+        )
+        assert len(warnings) == 1
+
+    def test_sorted_by_deviation(self, compas_small):
+        warnings = find_correlated_attributes(
+            compas_small,
+            attributes=["DecileScore", "ScoreText", "Sex"],
+            min_deviation=0.0,
+        )
+        shares = [w.share for w in warnings]
+        assert shares == sorted(shares, reverse=True)
+
+
+class TestProfile:
+    def test_profile_combines_all_kinds(self, compas_small):
+        warnings = profile_dataset(
+            compas_small,
+            ["Sex", "Race"],
+            min_share=0.05,
+            max_share=0.3,
+            min_deviation=0.01,
+        )
+        kinds = {w.kind for w in warnings}
+        assert WarningKind.UNDERREPRESENTED in kinds
+        assert WarningKind.SKEWED in kinds

@@ -1,0 +1,114 @@
+"""Property-based tests for the extension modules.
+
+Random relations again (shared strategies with
+:mod:`tests.property.test_properties`), now exercising maintenance
+round-trips, byte-size monotonicity, the Proposition 3.2 theorem, and
+flexible-label invariants.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, PatternCounter, build_label
+from repro.core.classify import check_proposition_3_2, classification_profile
+from repro.core.flexlabel import FlexibleEstimator, greedy_flexible_label
+from repro.core.maintenance import apply_deletes, apply_inserts
+from repro.core.patternsets import full_pattern_set
+from repro.core.sizing import pc_bytes
+
+from tests.property.test_properties import dataset_and_subset, datasets
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(dataset_and_subset(), st.integers(0, 2**31 - 1))
+def test_maintenance_insert_matches_rebuild(data_subset, seed):
+    """apply_inserts(L_S(D), B) == L_S(D ∪ B) on random batches."""
+    data, subset = data_subset
+    rng = np.random.default_rng(seed)
+    batch = data.sample(
+        min(5, data.n_rows), rng, replace=True
+    )
+    label = build_label(data, subset)
+    updated = apply_inserts(label, batch)
+    reference = build_label(data.concat(batch), subset)
+    assert updated.pc == reference.pc
+    assert updated.vc == reference.vc
+    assert updated.total == reference.total
+
+
+@SETTINGS
+@given(dataset_and_subset(), st.integers(0, 2**31 - 1))
+def test_maintenance_insert_delete_roundtrip(data_subset, seed):
+    data, subset = data_subset
+    rng = np.random.default_rng(seed)
+    batch = data.sample(min(4, data.n_rows), rng, replace=True)
+    label = build_label(data, subset)
+    roundtrip = apply_deletes(apply_inserts(label, batch), batch)
+    assert roundtrip.pc == label.pc
+    assert roundtrip.total == label.total
+
+
+@SETTINGS
+@given(datasets())
+def test_pc_bytes_monotone(data):
+    counter = PatternCounter(data)
+    names = data.attribute_names
+    for subset in itertools.combinations(names, 2):
+        for extra in names:
+            if extra in subset:
+                continue
+            bigger = tuple(sorted(subset + (extra,)))
+            assert pc_bytes(counter, bigger) >= pc_bytes(counter, subset)
+
+
+@SETTINGS
+@given(datasets(min_rows=2))
+def test_proposition_3_2_theorem_on_random_data(data):
+    """The conditional Proposition 3.2 inequality is a theorem: zero
+    violations on arbitrary random relations."""
+    counter = PatternCounter(data)
+    names = data.attribute_names
+    subset = (names[0],)
+    superset = tuple(names[:2])
+    report = check_proposition_3_2(counter, subset, superset)
+    assert report.holds
+
+
+@SETTINGS
+@given(dataset_and_subset())
+def test_classification_consistent_with_full_label(data_subset):
+    data, subset = data_subset
+    counter = PatternCounter(data)
+    profile = classification_profile(counter, subset)
+    full = classification_profile(counter, data.attribute_names)
+    assert full.n_exact == full.total
+    assert profile.total == full.total
+
+
+@SETTINGS
+@given(datasets(min_rows=3), st.integers(1, 6))
+def test_flexible_label_respects_budget_and_improves(data, bound):
+    counter = PatternCounter(data)
+    pattern_set = full_pattern_set(counter)
+    if len(pattern_set) == 0:
+        return
+    label = greedy_flexible_label(counter, bound, pattern_set=pattern_set)
+    assert label.size <= bound
+    estimator = FlexibleEstimator(label)
+    with_label = estimator.evaluate(pattern_set)
+    empty = greedy_flexible_label(counter, 1, pattern_set=pattern_set)
+    # More budget can only help the greedy construction's max error.
+    if bound > 1:
+        baseline = FlexibleEstimator(empty).evaluate(pattern_set)
+        assert with_label.max_abs <= baseline.max_abs + 1e-9

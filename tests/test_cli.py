@@ -1,0 +1,174 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro import write_csv
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_path(tmp_path, figure2):
+    path = tmp_path / "data.csv"
+    write_csv(figure2, path)
+    return path
+
+
+@pytest.fixture
+def label_path(tmp_path, csv_path):
+    out = tmp_path / "label.json"
+    main(["label", str(csv_path), "--bound", "5", "-o", str(out)])
+    return out
+
+
+class TestLabelCommand:
+    def test_writes_valid_label_json(self, label_path):
+        payload = json.loads(label_path.read_text())
+        assert payload["attributes"] == ["age group", "marital status"]
+        assert payload["total"] == 18
+        assert len(payload["pc"]) <= 5
+
+    def test_stdout_mode(self, csv_path, capsys):
+        assert main(["label", str(csv_path), "--bound", "5"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["total"] == 18
+
+    def test_naive_algorithm_flag(self, csv_path, tmp_path):
+        out = tmp_path / "naive.json"
+        code = main(
+            [
+                "label",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--algorithm",
+                "naive",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["attributes"] == [
+            "age group",
+            "marital status",
+        ]
+
+
+class TestCardCommand:
+    def test_text_card(self, label_path, capsys):
+        assert main(["card", str(label_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Total size: 18" in out
+
+    def test_markdown_card(self, label_path, capsys):
+        main(["card", str(label_path), "--format", "markdown"])
+        assert "| Attribute |" in capsys.readouterr().out
+
+    def test_html_card(self, label_path, capsys):
+        main(["card", str(label_path), "--format", "html"])
+        assert "<table>" in capsys.readouterr().out
+
+    def test_card_with_csv_includes_errors(
+        self, label_path, csv_path, capsys
+    ):
+        main(["card", str(label_path), "--csv", str(csv_path)])
+        assert "Maximal error" in capsys.readouterr().out
+
+
+class TestEstimateCommand:
+    def test_exact_estimate(self, label_path, capsys):
+        code = main(
+            [
+                "estimate",
+                str(label_path),
+                "age group=20-39",
+                "marital status=married",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "6.0 (exact)"
+
+    def test_estimate_outside_s(self, label_path, capsys):
+        main(["estimate", str(label_path), "gender=Female"])
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("9.0")
+
+    def test_bad_binding_rejected(self, label_path):
+        with pytest.raises(SystemExit, match="attr=value"):
+            main(["estimate", str(label_path), "not-a-binding"])
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, csv_path, capsys):
+        code = main(["report", str(csv_path), "--bound", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Dataset report: data.csv")
+        assert "## Attribute profile" in out
+        assert "## Pattern count-based label" in out
+
+    def test_report_to_file(self, csv_path, tmp_path):
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--sensitive",
+                "gender,race",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "Fitness-for-use warnings" in out.read_text()
+
+
+class TestProfileCommand:
+    def test_reports_warnings(self, csv_path, capsys):
+        code = main(
+            [
+                "profile",
+                str(csv_path),
+                "--sensitive",
+                "gender,race",
+                "--min-share",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "underrepresented" in out
+
+    def test_strict_mode_nonzero_exit(self, csv_path):
+        code = main(
+            [
+                "profile",
+                str(csv_path),
+                "--sensitive",
+                "gender,race",
+                "--min-share",
+                "0.2",
+                "--strict",
+            ]
+        )
+        assert code == 1
+
+    def test_no_findings(self, csv_path, capsys):
+        code = main(
+            [
+                "profile",
+                str(csv_path),
+                "--sensitive",
+                "gender",
+                "--min-share",
+                "0.0",
+                "--max-share",
+                "0.99",
+            ]
+        )
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
