@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
 """Quickstart: label a small dataset and estimate pattern counts.
 
-Walks the full public-API loop on the paper's own 18-tuple example
-relation (Figure 2 of the paper):
+Walks the public API on the paper's own 18-tuple example relation
+(Figure 2 of the paper), twice:
 
-1. build a :class:`repro.Dataset`;
-2. search for the optimal label under a size budget (Algorithm 1);
-3. estimate pattern counts from the label alone;
-4. render the label as a human-readable card.
+* the 5-line :class:`repro.LabelingSession` facade — fit, query,
+  publish, reload, query again;
+* the low-level loop underneath it — search, estimator, error
+  summary, nutrition card — for when you need the pieces.
 
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro import (
     Dataset,
     LabelEstimator,
+    LabelingSession,
     Pattern,
     PatternCounter,
     evaluate_label,
@@ -51,6 +55,20 @@ def main() -> None:
     )
     print(f"dataset: {data}\n")
 
+    # -- The 5-line facade: fit, query, publish, reload, query. ----------
+    session = LabelingSession.fit(data, bound=5)
+    query = Pattern({"gender": "Female", "marital status": "married"})
+    print(f"session: {session}")
+    print(f"  estimate({query}) = {session.estimate(query):.1f}")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = session.save(Path(tmp) / "label.json")
+        reloaded = LabelingSession.load(path)
+        print(
+            f"  after save/load (no data access): "
+            f"{reloaded.estimate(query):.1f}\n"
+        )
+
+    # -- The low-level loop underneath. ----------------------------------
     # 2. Find the optimal label with at most 5 stored pattern counts.
     result = find_optimal_label(data, bound=5)
     print(

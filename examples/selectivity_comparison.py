@@ -3,38 +3,28 @@
 
 The database reading of the paper: a pattern-count label is a tiny,
 human-readable synopsis that competes with a real optimizer's statistics
-on conjunctive-equality cardinality estimation.  This example scores
+on conjunctive-equality cardinality estimation.  Every backend here is
+resolved by name through the :mod:`repro.api` estimator registry —
 
-* the PCBL found by Algorithm 1 (budget ``BOUND`` pattern counts),
-* a simulated PostgreSQL ``pg_statistic`` estimator, and
-* space-equalized uniform sampling,
+* ``label`` — the PCBL found by Algorithm 1 (budget ``BOUND``),
+* ``postgres`` — a simulated PostgreSQL ``pg_statistic`` estimator,
+* ``sampling`` — space-equalized uniform sampling —
 
-over every full-width pattern of a synthetic BlueNile catalog, then
-prints a worked per-query comparison.
+then scored over every full-width pattern of a synthetic BlueNile
+catalog with the registry-driven harness loop, followed by a worked
+per-query comparison.
 
 Run:  python examples/selectivity_comparison.py [n_rows]
 """
 
 import sys
 
-import numpy as np
-
-from repro import (
-    ErrorSummary,
-    LabelEstimator,
-    Pattern,
-    PatternCounter,
-    find_optimal_label,
-    full_pattern_set,
-)
-from repro.baselines import (
-    PostgresEstimator,
-    SamplingEstimator,
-    sample_size_for_bound,
-)
+from repro import Pattern, PatternCounter, full_pattern_set, make_estimator
 from repro.datasets import generate_bluenile
+from repro.experiments.harness import score_estimators
 
 BOUND = 50
+SEED = 7
 
 
 def main() -> None:
@@ -42,51 +32,28 @@ def main() -> None:
     data = generate_bluenile(n_rows=n_rows, seed=0)
     counter = PatternCounter(data)
     pattern_set = full_pattern_set(counter)
-    rng = np.random.default_rng(7)
     print(
         f"catalog: {data.n_rows:,} diamonds, "
         f"{len(pattern_set):,} distinct full patterns\n"
     )
 
-    # Build the three estimators.
-    result = find_optimal_label(counter, BOUND)
-    pcbl = LabelEstimator(result.label)
-    postgres = PostgresEstimator(data, rng)
-    sampler = SamplingEstimator(
-        data, sample_size_for_bound(data, BOUND), rng
-    )
-
-    # Score them over P_A.
-    scores = {}
-    estimates_by_name = {
-        "PCBL": None,  # vectorized through the search result
-        "Postgres": postgres.estimate_codes(
-            pattern_set.attributes, pattern_set.combos
-        ),
-        "Sample": sampler.estimate_codes(
-            pattern_set.attributes, pattern_set.combos
-        ),
+    # Build the three backends once by registry name, then score them
+    # over P_A (vectorized estimation + error summary per backend).
+    backends = {
+        "PCBL": make_estimator("label", counter, bound=BOUND),
+        "PG": make_estimator("postgres", counter, seed=SEED),
+        "Sample": make_estimator("sampling", counter, bound=BOUND, seed=SEED),
     }
-    from repro.core.errors import vectorized_estimates
-
-    estimates_by_name["PCBL"] = vectorized_estimates(
-        counter, result.attributes, pattern_set
+    table = score_estimators(
+        counter,
+        backends,
+        bound=BOUND,
+        pattern_set=pattern_set,
+        table_name=f"estimator comparison (bound {BOUND})",
     )
-    print(f"{'estimator':<10}{'space':>8}{'max err':>9}{'mean err':>10}{'mean q':>8}")
-    for name, estimates in estimates_by_name.items():
-        summary = ErrorSummary.from_arrays(pattern_set.counts, estimates)
-        scores[name] = summary
-        space = {
-            "PCBL": result.label.size,
-            "Postgres": postgres.n_statistic_entries,
-            "Sample": sampler.size,
-        }[name]
-        print(
-            f"{name:<10}{space:>8}{summary.max_abs:>9.0f}"
-            f"{summary.mean_abs:>10.2f}{summary.mean_q:>8.2f}"
-        )
+    print(table.to_text())
 
-    # A few worked queries.
+    # A few worked queries against the same backends.
     queries = [
         Pattern({"cut": "Ideal", "polish": "Excellent"}),
         Pattern({"shape": "Round", "cut": "Ideal", "symmetry": "Excellent"}),
@@ -95,17 +62,17 @@ def main() -> None:
     print(f"\n{'query':<52}{'true':>7}{'PCBL':>8}{'PG':>8}{'Sample':>8}")
     for query in queries:
         description = ", ".join(f"{a}={v}" for a, v in query.items())
-        print(
-            f"{description:<52}{counter.count(query):>7}"
-            f"{pcbl.estimate(query):>8.0f}"
-            f"{postgres.estimate(query):>8.0f}"
-            f"{sampler.estimate(query):>8.0f}"
+        cells = "".join(
+            f"{backend.estimate(query):>8.0f}"
+            for backend in backends.values()
         )
+        print(f"{description:<52}{counter.count(query):>7}{cells}")
 
+    pcbl = backends["PCBL"]
     print(
-        f"\nPCBL label S = {list(result.attributes)} — "
-        f"{result.label.size} stored counts vs "
-        f"{postgres.n_statistic_entries} pg_statistic entries"
+        f"\nPCBL label S = {list(pcbl.label.attributes)} — "
+        f"{pcbl.label.size} stored counts vs "
+        f"{backends['PG'].n_statistic_entries} pg_statistic entries"
     )
 
 

@@ -7,10 +7,10 @@ pattern set ``P``.  The paper's experiments use all full-width patterns
 two-attribute intersection queries over the sensitive attributes, a
 query optimizer sees a workload of low-arity equality predicates.
 
-This example labels a credit-card dataset three ways — for ``P_A``, for
-all sensitive-attribute pairs, and for a sampled random query workload —
-and cross-evaluates every label on every target to show the
-specialization payoff.
+This example fits one :class:`repro.LabelingSession` per target — for
+``P_A``, for all sensitive-attribute pairs, and for a sampled random
+query workload — and cross-evaluates every session on every target to
+show the specialization payoff.
 
 Run:  python examples/workload_driven_labeling.py [n_rows]
 """
@@ -20,12 +20,11 @@ import sys
 import numpy as np
 
 from repro import (
+    LabelingSession,
     PatternCounter,
     arity_pattern_set,
-    evaluate_label,
     full_pattern_set,
     random_pattern_workload,
-    top_down_search,
 )
 from repro.datasets import generate_creditcard
 
@@ -40,40 +39,32 @@ def main() -> None:
 
     targets = {
         "P_A (all tuples)": full_pattern_set(counter),
-        "sensitive pairs": arity_pattern_set(
-            PatternCounter(data.select(["SEX", "EDUCATION", "MARRIAGE", "AGE", "default"])),
-            2,
-        ),
+        "sensitive pairs": arity_pattern_set(counter, 2, max_patterns=None),
         "query workload": random_pattern_workload(
             counter, 500, rng, min_arity=2, max_arity=4
         ),
     }
 
-    # The sensitive-pairs target lives on a projected counter; rebuild it
-    # against the full dataset so labels over any attributes evaluate.
-    targets["sensitive pairs"] = arity_pattern_set(
-        counter, 2, max_patterns=None
-    )
-
-    labels = {}
+    sessions = {}
     for name, pattern_set in targets.items():
-        result = top_down_search(counter, BOUND, pattern_set=pattern_set)
-        labels[name] = result
+        session = LabelingSession.fit(
+            counter, BOUND, pattern_set=pattern_set
+        )
+        sessions[name] = session
         print(
-            f"optimized for {name:<18} -> S = {list(result.attributes)} "
-            f"(|PC| = {result.label.size})"
+            f"optimized for {name:<18} -> "
+            f"S = {list(session.artifact.attributes)} "
+            f"(|PC| = {session.size})"
         )
 
     print(f"\nmax abs error of each label on each target (bound {BOUND}):")
     corner = "label / target"
     header = f"{corner:<22}" + "".join(f"{name:>20}" for name in targets)
     print(header)
-    for label_name, result in labels.items():
+    for label_name, session in sessions.items():
         cells = []
         for pattern_set in targets.values():
-            summary = evaluate_label(
-                counter, result.attributes, pattern_set
-            )
+            summary = session.evaluate(pattern_set)
             cells.append(f"{summary.max_abs:>20.1f}")
         print(f"{label_name:<22}" + "".join(cells))
 

@@ -11,9 +11,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
 )

@@ -7,15 +7,36 @@ and estimate the count of **any** attribute-value combination from them.
 
 Quickstart
 ----------
->>> from repro import Dataset, find_optimal_label, LabelEstimator, Pattern
+The :class:`~repro.api.session.LabelingSession` facade covers the whole
+lifecycle in five lines — fit, query, publish, reload, query again:
+
+>>> from repro import Dataset, LabelingSession, Pattern
 >>> data = Dataset.from_columns({
 ...     "gender": ["F", "M", "F", "M", "F", "M"],
 ...     "age":    ["<20", "<20", "20+", "20+", "<20", "20+"],
 ... })
+>>> session = LabelingSession.fit(data, bound=10)
+>>> session.estimate(Pattern({"gender": "F", "age": "<20"}))
+2.0
+>>> session.save("label.json")  # doctest: +SKIP
+>>> LabelingSession.load("label.json").estimate(
+...     Pattern({"gender": "F"}))  # doctest: +SKIP
+3.0
+
+The low-level API remains available for when you need the pieces:
+
+>>> from repro import find_optimal_label, LabelEstimator
 >>> result = find_optimal_label(data, bound=10)
 >>> estimator = LabelEstimator(result.label)
 >>> estimator.estimate(Pattern({"gender": "F", "age": "<20"}))
 2.0
+
+Estimator backends and search strategies also resolve by name through
+the :mod:`repro.api` registries:
+
+>>> from repro import make_estimator
+>>> make_estimator("independence", data).estimate(Pattern({"gender": "F"}))
+3.0
 
 See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
 full system inventory.
@@ -55,8 +76,27 @@ from repro.core import (
     top_down_search,
 )
 from repro.dataset import Column, Dataset, Schema, read_csv, write_csv
+from repro.api import (
+    ApiError,
+    ArtifactError,
+    LabelingSession,
+    MultiLabelBundle,
+    RegistryError,
+    SessionError,
+    dump_artifact,
+    estimator_from_artifact,
+    from_artifact,
+    load_artifact,
+    make_estimator,
+    make_strategy,
+    register_estimator,
+    register_strategy,
+    registered_estimators,
+    registered_strategies,
+    to_artifact,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -101,4 +141,22 @@ __all__ = [
     "random_pattern_workload",
     "arity_pattern_set",
     "marginals_pattern_set",
+    # repro.api facade (the front door; see DESIGN.md)
+    "LabelingSession",
+    "make_estimator",
+    "make_strategy",
+    "register_estimator",
+    "register_strategy",
+    "registered_estimators",
+    "registered_strategies",
+    "MultiLabelBundle",
+    "to_artifact",
+    "from_artifact",
+    "dump_artifact",
+    "load_artifact",
+    "estimator_from_artifact",
+    "ApiError",
+    "RegistryError",
+    "ArtifactError",
+    "SessionError",
 ]

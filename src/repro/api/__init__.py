@@ -1,0 +1,87 @@
+"""The single front door of the repository: ``repro.api``.
+
+Three pieces (see ``DESIGN.md`` for the full architecture):
+
+* **Registries** — :func:`make_estimator` /
+  :func:`register_estimator` resolve the seven estimator backends
+  (``label``, ``flexible``, ``multi_label``, ``independence``,
+  ``sampling``, ``dephist``, ``postgres``) by name behind the shared
+  ``CardinalityEstimator`` / ``TabularEstimator`` protocols, and
+  :func:`make_strategy` / :func:`register_strategy` do the same for the
+  label-search strategies (``naive``, ``top_down``, ``greedy_flexible``)
+  with dataclass-validated configs.
+* **LabelingSession** — the lifecycle facade:
+  ``fit → estimate/estimate_many/evaluate → update → save/load``.
+* **Artifacts** — the versioned polymorphic JSON envelope
+  (``{"format": "repro-label/2", "kind": ...}``) that serializes every
+  label kind and still reads legacy bare ``Label.to_json`` output.
+
+>>> from repro.api import LabelingSession
+>>> session = LabelingSession.fit(dataset, bound=50)
+>>> session.save("label.json")
+>>> LabelingSession.load("label.json").estimate(pattern)
+"""
+
+from repro.api.artifacts import (
+    ARTIFACT_FORMAT,
+    MultiLabelBundle,
+    dump_artifact,
+    estimator_from_artifact,
+    from_artifact,
+    load_artifact,
+    to_artifact,
+)
+from repro.api.errors import ApiError, ArtifactError, RegistryError, SessionError
+from repro.api.registry import (
+    EstimatorSpec,
+    FittedLabel,
+    GreedyFlexibleConfig,
+    NaiveConfig,
+    Strategy,
+    StrategySpec,
+    TopDownConfig,
+    estimate_many,
+    estimator_spec,
+    make_estimator,
+    make_strategy,
+    register_estimator,
+    register_strategy,
+    registered_estimators,
+    registered_strategies,
+)
+from repro.api.session import LabelingSession
+
+__all__ = [
+    # errors
+    "ApiError",
+    "RegistryError",
+    "ArtifactError",
+    "SessionError",
+    # estimator registry
+    "EstimatorSpec",
+    "register_estimator",
+    "registered_estimators",
+    "estimator_spec",
+    "make_estimator",
+    "estimate_many",
+    # strategy registry
+    "StrategySpec",
+    "Strategy",
+    "FittedLabel",
+    "NaiveConfig",
+    "TopDownConfig",
+    "GreedyFlexibleConfig",
+    "register_strategy",
+    "registered_strategies",
+    "make_strategy",
+    # session facade
+    "LabelingSession",
+    # artifacts
+    "ARTIFACT_FORMAT",
+    "MultiLabelBundle",
+    "to_artifact",
+    "from_artifact",
+    "dump_artifact",
+    "load_artifact",
+    "estimator_from_artifact",
+]

@@ -1,0 +1,246 @@
+"""Versioned polymorphic serialization for every label kind.
+
+The paper's deployment story is metadata that *travels with a dataset*;
+until now only the plain subset :class:`~repro.core.label.Label` could be
+serialized.  This module defines one JSON envelope that carries any of
+the three label kinds the repository knows how to estimate from:
+
+``{"format": "repro-label/2", "kind": "label" | "flexible" | "multi", ...}``
+
+* ``label`` — a subset label ``L_S(D)`` (payload: ``Label.to_dict()``);
+* ``flexible`` — a :class:`~repro.core.flexlabel.FlexibleLabel` with
+  arbitrary overlapping pattern counts;
+* ``multi`` — a :class:`MultiLabelBundle`: several labels of the same
+  dataset plus the reduce rule used to combine their estimates.
+
+:func:`from_artifact` additionally accepts the *legacy* bare
+``Label.to_json`` payload (no ``format`` key) so every label published by
+version 1.x keeps loading.  Values are stringified on the way out, the
+same convention ``Label.to_dict`` has always used, so round-tripping is
+estimate-identical for string-valued (CSV-born) relations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.api.errors import ArtifactError
+from repro.core.estimator import LabelEstimator, MultiLabelEstimator
+from repro.core.flexlabel import FlexibleEstimator, FlexibleLabel
+from repro.core.label import Label
+from repro.core.pattern import Pattern
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "MultiLabelBundle",
+    "to_artifact",
+    "from_artifact",
+    "dump_artifact",
+    "load_artifact",
+    "estimator_from_artifact",
+]
+
+ARTIFACT_FORMAT = "repro-label/2"
+
+#: Keys that identify a legacy bare ``Label.to_dict`` payload.
+_LEGACY_LABEL_KEYS = {"attributes", "pc", "vc", "total", "attribute_order"}
+
+
+@dataclass(frozen=True)
+class MultiLabelBundle:
+    """Several labels of one dataset plus their combination rule.
+
+    The serializable counterpart of
+    :class:`~repro.core.estimator.MultiLabelEstimator` — the estimator
+    holds derived state (per-label estimators, a reducer callable), the
+    bundle holds exactly what needs to travel.
+    """
+
+    labels: tuple[Label, ...]
+    reduce: str = "median"
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ArtifactError("a multi-label bundle needs at least one label")
+
+    def make_estimator(self) -> MultiLabelEstimator:
+        """Instantiate the combining estimator for this bundle."""
+        return MultiLabelEstimator(list(self.labels), reduce=self.reduce)
+
+
+# -- serialization ----------------------------------------------------------------
+
+
+def _flexible_to_dict(label: FlexibleLabel) -> dict[str, Any]:
+    return {
+        "attribute_order": list(label.attribute_order),
+        "total": label.total,
+        "pc": [
+            {
+                "bindings": {
+                    attribute: str(value)
+                    for attribute, value in pattern.items_sorted
+                },
+                "count": count,
+            }
+            for pattern, count in label.pc.items()
+        ],
+        "vc": {
+            attribute: {str(value): count for value, count in counts.items()}
+            for attribute, counts in label.vc.items()
+        },
+    }
+
+
+def _flexible_from_dict(payload: Mapping[str, Any]) -> FlexibleLabel:
+    return FlexibleLabel(
+        pc={
+            Pattern(dict(entry["bindings"])): int(entry["count"])
+            for entry in payload["pc"]
+        },
+        vc={
+            attribute: {value: int(count) for value, count in counts.items()}
+            for attribute, counts in payload["vc"].items()
+        },
+        total=int(payload["total"]),
+        attribute_order=tuple(payload["attribute_order"]),
+    )
+
+
+def to_artifact(
+    obj: (
+        Label
+        | FlexibleLabel
+        | MultiLabelBundle
+        | Sequence[Label]
+        | LabelEstimator
+        | FlexibleEstimator
+        | MultiLabelEstimator
+    ),
+) -> dict[str, Any]:
+    """The versioned envelope for any label kind (or its estimator).
+
+    Estimators serialize as the label(s) backing them, so a fitted
+    backend can be shipped without first unwrapping it.
+    """
+    if isinstance(obj, LabelEstimator):
+        obj = obj.label
+    elif isinstance(obj, FlexibleEstimator):
+        obj = obj.label
+    elif isinstance(obj, MultiLabelEstimator):
+        obj = MultiLabelBundle(tuple(obj.labels), reduce=obj.reduce_name)
+
+    if isinstance(obj, Label):
+        return {"format": ARTIFACT_FORMAT, "kind": "label", "label": obj.to_dict()}
+    if isinstance(obj, FlexibleLabel):
+        return {
+            "format": ARTIFACT_FORMAT,
+            "kind": "flexible",
+            "flexible": _flexible_to_dict(obj),
+        }
+    if isinstance(obj, MultiLabelBundle):
+        return {
+            "format": ARTIFACT_FORMAT,
+            "kind": "multi",
+            "multi": {
+                "reduce": obj.reduce,
+                "labels": [label.to_dict() for label in obj.labels],
+            },
+        }
+    if isinstance(obj, Sequence) and obj and all(
+        isinstance(item, Label) for item in obj
+    ):
+        return to_artifact(MultiLabelBundle(tuple(obj)))
+    raise ArtifactError(
+        f"cannot serialize {type(obj).__name__!r} as a label artifact"
+    )
+
+
+def from_artifact(
+    payload: Mapping[str, Any] | str,
+) -> Label | FlexibleLabel | MultiLabelBundle:
+    """Inverse of :func:`to_artifact`; also accepts legacy bare labels.
+
+    Raises
+    ------
+    ArtifactError
+        On malformed payloads, unknown ``format`` versions, and unknown
+        ``kind`` values (with the list of kinds this version understands).
+    """
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"artifact is not valid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise ArtifactError(
+            f"artifact must be a JSON object, got {type(payload).__name__}"
+        )
+
+    fmt = payload.get("format")
+    if fmt is None:
+        # Legacy path: the bare ``Label.to_dict`` payload of version 1.x.
+        if _LEGACY_LABEL_KEYS <= set(payload):
+            return Label.from_dict(payload)
+        raise ArtifactError(
+            "artifact has no 'format' key and is not a legacy bare label "
+            f"(expected keys {sorted(_LEGACY_LABEL_KEYS)})"
+        )
+    if fmt != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"unsupported artifact format {fmt!r}; this version reads "
+            f"{ARTIFACT_FORMAT!r} and legacy bare labels"
+        )
+
+    kind = payload.get("kind")
+    try:
+        if kind == "label":
+            return Label.from_dict(payload["label"])
+        if kind == "flexible":
+            return _flexible_from_dict(payload["flexible"])
+        if kind == "multi":
+            body = payload["multi"]
+            return MultiLabelBundle(
+                labels=tuple(
+                    Label.from_dict(entry) for entry in body["labels"]
+                ),
+                reduce=body.get("reduce", "median"),
+            )
+    except ArtifactError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"malformed {kind!r} artifact payload: {exc}"
+        ) from exc
+    raise ArtifactError(
+        f"unknown artifact kind {kind!r}; this version can estimate from "
+        "kinds 'label', 'flexible', and 'multi'"
+    )
+
+
+def dump_artifact(obj: Any, path: str | Path, *, indent: int | None = 2) -> None:
+    """Serialize ``obj`` with :func:`to_artifact` and write it to ``path``."""
+    Path(path).write_text(json.dumps(to_artifact(obj), indent=indent))
+
+
+def load_artifact(path: str | Path) -> Label | FlexibleLabel | MultiLabelBundle:
+    """Read and parse an artifact file (envelope or legacy bare label)."""
+    return from_artifact(Path(path).read_text())
+
+
+def estimator_from_artifact(
+    artifact: Label | FlexibleLabel | MultiLabelBundle,
+) -> LabelEstimator | FlexibleEstimator | MultiLabelEstimator:
+    """The matching estimator for a deserialized artifact."""
+    if isinstance(artifact, Label):
+        return LabelEstimator(artifact)
+    if isinstance(artifact, FlexibleLabel):
+        return FlexibleEstimator(artifact)
+    if isinstance(artifact, MultiLabelBundle):
+        return artifact.make_estimator()
+    raise ArtifactError(
+        f"no estimator is defined for artifact type {type(artifact).__name__!r}"
+    )

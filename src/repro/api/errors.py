@@ -1,0 +1,28 @@
+"""Exception hierarchy of the :mod:`repro.api` facade.
+
+Every error the facade raises derives from :class:`ApiError`, so callers
+(the CLI in particular) can catch one type and turn any misuse of the
+front door into a clean message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ApiError", "RegistryError", "ArtifactError", "SessionError"]
+
+
+class ApiError(Exception):
+    """Base class for every error raised by the ``repro.api`` facade."""
+
+
+class RegistryError(ApiError, ValueError):
+    """Unknown registry name, duplicate registration, or bad config."""
+
+
+class ArtifactError(ApiError, ValueError):
+    """A serialized label artifact is malformed or of an unknown kind."""
+
+
+class SessionError(ApiError, ValueError):
+    """A :class:`~repro.api.session.LabelingSession` operation is invalid
+    for the session's backend kind (e.g. maintenance on a flexible
+    label)."""

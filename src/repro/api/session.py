@@ -1,0 +1,228 @@
+"""The :class:`LabelingSession` facade: fit → estimate → maintain → ship.
+
+One object for the whole label lifecycle the paper describes and the
+modules below implement piecemeal:
+
+>>> session = LabelingSession.fit(dataset, bound=50)        # search
+>>> session.estimate(Pattern({"gender": "F"}))              # query
+>>> session.evaluate(workload)                              # score
+>>> session.update(inserted=new_rows)                       # maintain
+>>> session.save("label.json")                              # publish
+>>> LabelingSession.load("label.json").estimate_many(ws)    # consume
+
+``fit`` resolves its ``strategy`` by name through the strategy registry
+(``top_down``, ``naive``, ``greedy_flexible``, or anything registered
+later), so the session works identically for subset labels and flexible
+labels; ``save``/``load`` go through the versioned artifact envelope, so
+a consumer session never needs the data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.api.artifacts import (
+    MultiLabelBundle,
+    dump_artifact,
+    estimator_from_artifact,
+    load_artifact,
+)
+from repro.api.errors import SessionError
+from repro.api.registry import estimate_many as _estimate_many
+from repro.api.registry import make_strategy
+from repro.core.counts import PatternCounter
+from repro.core.errors import ErrorSummary, Objective
+from repro.core.flexlabel import FlexibleLabel
+from repro.core.label import Label
+from repro.core.maintenance import apply_deletes, apply_inserts
+from repro.core.pattern import Pattern
+from repro.core.patternsets import PatternSet
+from repro.core.search import SearchResult
+from repro.dataset.table import Dataset
+
+__all__ = ["LabelingSession"]
+
+
+class LabelingSession:
+    """A fitted (or loaded) label plus everything you do with one.
+
+    Construct with :meth:`fit` (producer side: search the data for a
+    label) or :meth:`load` (consumer side: deserialize a published
+    artifact); the constructor itself accepts any supported artifact for
+    advanced wiring.
+    """
+
+    def __init__(
+        self,
+        artifact: Label | FlexibleLabel | MultiLabelBundle,
+        *,
+        result: SearchResult | None = None,
+        strategy: str | None = None,
+    ) -> None:
+        if not isinstance(artifact, (Label, FlexibleLabel, MultiLabelBundle)):
+            raise SessionError(
+                f"unsupported artifact type {type(artifact).__name__!r}"
+            )
+        self._artifact = artifact
+        self._result = result
+        self._strategy = strategy
+        self._estimator = estimator_from_artifact(artifact)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: Dataset | PatternCounter,
+        bound: int,
+        *,
+        strategy: str = "top_down",
+        pattern_set: PatternSet | None = None,
+        objective: Objective = Objective.MAX_ABS,
+        **strategy_options: Any,
+    ) -> "LabelingSession":
+        """Search ``dataset`` for a label under the size budget ``bound``.
+
+        Parameters
+        ----------
+        strategy:
+            A registered strategy name; extra keyword arguments are
+            validated against that strategy's config dataclass (e.g.
+            ``prune_parents=False`` for ``top_down``, ``max_arity=2``
+            for ``greedy_flexible``).
+        """
+        resolved = make_strategy(strategy, **strategy_options)
+        fitted = resolved.fit(
+            dataset, bound, pattern_set=pattern_set, objective=objective
+        )
+        return cls(
+            fitted.artifact, result=fitted.search, strategy=resolved.name
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LabelingSession":
+        """Deserialize a published artifact (envelope or legacy JSON)."""
+        return cls(load_artifact(path))
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def artifact(self) -> Label | FlexibleLabel | MultiLabelBundle:
+        """The label object backing this session."""
+        return self._artifact
+
+    @property
+    def estimator(self):
+        """The backend estimator (satisfies ``CardinalityEstimator``)."""
+        return self._estimator
+
+    @property
+    def kind(self) -> str:
+        """Artifact kind: ``label``, ``flexible``, or ``multi``."""
+        if isinstance(self._artifact, Label):
+            return "label"
+        if isinstance(self._artifact, FlexibleLabel):
+            return "flexible"
+        return "multi"
+
+    @property
+    def result(self) -> SearchResult | None:
+        """The search result, when :meth:`fit` ran a search strategy."""
+        return self._result
+
+    @property
+    def strategy(self) -> str | None:
+        """The strategy name :meth:`fit` used (``None`` after ``load``)."""
+        return self._strategy
+
+    @property
+    def size(self) -> int:
+        """``|PC|`` of the artifact (summed over a multi-label bundle)."""
+        if isinstance(self._artifact, MultiLabelBundle):
+            return sum(label.size for label in self._artifact.labels)
+        return self._artifact.size
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelingSession(kind={self.kind!r}, size={self.size}, "
+            f"strategy={self._strategy!r})"
+        )
+
+    # -- estimation -------------------------------------------------------------
+
+    def estimate(self, pattern: Pattern) -> float:
+        """Estimated count of tuples satisfying ``pattern``."""
+        return float(self._estimator.estimate(pattern))
+
+    def estimate_many(
+        self, workload: PatternSet | Iterable[Pattern]
+    ) -> list[float]:
+        """Estimates for a workload.
+
+        Uses the backend's vectorized ``estimate_codes`` path when the
+        backend is a ``TabularEstimator`` and the workload is a tabular
+        :class:`~repro.core.patternsets.PatternSet`; falls back to the
+        per-pattern loop otherwise.
+        """
+        if not isinstance(workload, PatternSet):
+            workload = list(workload)
+        return _estimate_many(self._estimator, workload)
+
+    def evaluate(self, workload: PatternSet) -> ErrorSummary:
+        """Error summary of this label over a workload with true counts."""
+        estimates = np.asarray(self.estimate_many(workload), dtype=np.float64)
+        return ErrorSummary.from_arrays(workload.counts, estimates)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def update(
+        self,
+        *,
+        inserted: Dataset | None = None,
+        deleted: Dataset | None = None,
+    ) -> "LabelingSession":
+        """Apply insert/delete batches to the label, exactly.
+
+        Wired to :mod:`repro.core.maintenance`: pattern and value counts
+        are additive, so the updated label is exactly ``L_S(D')`` for the
+        new data.  Only subset labels support exact maintenance — the
+        flexible label's overlapping counts cannot be updated from batch
+        deltas alone.
+
+        Returns ``self`` (the session is updated in place).
+        """
+        if inserted is None and deleted is None:
+            raise SessionError(
+                "update() needs at least one of inserted= or deleted="
+            )
+        if not isinstance(self._artifact, Label):
+            raise SessionError(
+                f"maintenance is only supported for subset labels, not "
+                f"{self.kind!r} artifacts"
+            )
+        label = self._artifact
+        if inserted is not None:
+            label = apply_inserts(label, inserted)
+        if deleted is not None:
+            label = apply_deletes(label, deleted)
+        self._artifact = label
+        self._estimator = estimator_from_artifact(label)
+        self._result = None  # search stats no longer describe this label
+        return self
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact envelope to ``path``; returns the path."""
+        path = Path(path)
+        dump_artifact(self._artifact, path)
+        return path
+
+    def to_artifact(self) -> dict[str, Any]:
+        """The versioned envelope as a dict (see :mod:`repro.api.artifacts`)."""
+        from repro.api.artifacts import to_artifact
+
+        return to_artifact(self._artifact)

@@ -1,31 +1,47 @@
 """Command-line interface: label CSV files from the shell.
 
 The deployment story of the paper is "metadata that travels with a found
-CSV file"; this module is that workflow as a tool:
+CSV file"; this module is that workflow as a tool, built on the
+:mod:`repro.api` facade:
 
-* ``python -m repro label data.csv --bound 50 -o label.json`` — find the
-  optimal label and write it as JSON;
+* ``python -m repro label data.csv --bound 50 -o label.json`` — fit a
+  label (any registered strategy) and write it as JSON;
 * ``python -m repro card label.json`` — render a stored label as a
   text/markdown/html nutrition card;
 * ``python -m repro estimate label.json gender=Female race=Hispanic`` —
-  estimate a pattern count from a label, no data needed;
+  estimate a pattern count from a stored artifact, no data needed;
 * ``python -m repro profile data.csv --sensitive gender,race`` — run the
   fitness-for-use warnings against a CSV.
+
+Label artifacts are read through the versioned envelope parser, so every
+command accepts both the v2 polymorphic format and legacy bare-label
+JSON.  A plain subset label is still written in the legacy bare format
+by default (so published labels keep their long-lived shape); pass
+``--envelope`` to write the v2 envelope, which is the only format that
+can carry flexible labels.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.api import (
+    ApiError,
+    LabelingSession,
+    estimator_from_artifact,
+    load_artifact,
+    registered_strategies,
+    to_artifact,
+)
 from repro.core.errors import evaluate_label
 from repro.core.estimator import LabelEstimator
 from repro.core.label import Label
 from repro.core.pattern import Pattern
 from repro.core.counts import PatternCounter
-from repro.core.search import find_optimal_label
 from repro.dataset.csvio import read_csv
 from repro.labeling.render import (
     render_label_html,
@@ -52,28 +68,55 @@ def _parse_assignments(tokens: Sequence[str]) -> Pattern:
     return Pattern(assignments)
 
 
+def _load_artifact_or_exit(path: str):
+    try:
+        return load_artifact(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no such label file: {path}")
+    except ApiError as exc:
+        raise SystemExit(f"cannot read label artifact {path!r}: {exc}")
+
+
 def _cmd_label(args: argparse.Namespace) -> int:
     dataset = read_csv(args.csv)
-    result = find_optimal_label(
-        dataset, args.bound, algorithm=args.algorithm
+    session = LabelingSession.fit(
+        dataset, args.bound, strategy=args.algorithm
     )
-    payload = result.label.to_json()
+    if isinstance(session.artifact, Label) and not args.envelope:
+        # Long-lived published shape: bare Label JSON (legacy v1).
+        payload = session.artifact.to_json()
+    else:
+        payload = json.dumps(to_artifact(session.artifact), indent=2)
     if args.output:
         Path(args.output).write_text(payload)
     else:
         print(payload)
-    print(
-        f"S = {list(result.attributes)}  |PC| = {result.label.size}  "
-        f"max error = {result.objective_value:g} "
-        f"({100 * result.objective_value / dataset.n_rows:.2f}% of "
-        f"{dataset.n_rows} rows)",
-        file=sys.stderr,
-    )
+    result = session.result
+    if result is not None:
+        print(
+            f"S = {list(result.attributes)}  |PC| = {result.label.size}  "
+            f"max error = {result.objective_value:g} "
+            f"({100 * result.objective_value / dataset.n_rows:.2f}% of "
+            f"{dataset.n_rows} rows)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"kind = {session.kind}  |PC| = {session.size}  "
+            f"strategy = {session.strategy}",
+            file=sys.stderr,
+        )
     return 0
 
 
 def _cmd_card(args: argparse.Namespace) -> int:
-    label = Label.from_json(Path(args.label).read_text())
+    artifact = _load_artifact_or_exit(args.label)
+    if not isinstance(artifact, Label):
+        raise SystemExit(
+            "the nutrition card renders subset labels only; this artifact "
+            f"is of kind {type(artifact).__name__!r} — use "
+            "'repro estimate' to query it"
+        )
     renderer = {
         "text": render_label_text,
         "markdown": render_label_markdown,
@@ -82,17 +125,27 @@ def _cmd_card(args: argparse.Namespace) -> int:
     summary = None
     if args.csv:
         counter = PatternCounter(read_csv(args.csv))
-        summary = evaluate_label(counter, label)
-    print(renderer(label, summary))
+        summary = evaluate_label(counter, artifact)
+    print(renderer(artifact, summary))
     return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    label = Label.from_json(Path(args.label).read_text())
+    artifact = _load_artifact_or_exit(args.label)
     pattern = _parse_assignments(args.bindings)
-    estimator = LabelEstimator(label)
-    estimate = estimator.estimate(pattern)
-    exact = " (exact)" if estimator.is_exact_for(pattern) else ""
+    try:
+        estimator = estimator_from_artifact(artifact)
+        estimate = estimator.estimate(pattern)
+    except ApiError as exc:
+        raise SystemExit(f"cannot estimate from this artifact: {exc}")
+    except KeyError as exc:
+        raise SystemExit(f"pattern does not match the label: {exc}")
+    exact = (
+        " (exact)"
+        if isinstance(estimator, LabelEstimator)
+        and estimator.is_exact_for(pattern)
+        else ""
+    )
     print(f"{estimate:.1f}{exact}")
     return 0
 
@@ -151,11 +204,22 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument(
         "--bound", type=int, default=50, help="size budget Bs (default 50)"
     )
+    strategies = sorted(
+        set(registered_strategies()) | {"top-down"}  # legacy spelling
+    )
     label.add_argument(
         "--algorithm",
-        choices=("top-down", "naive"),
-        default="top-down",
-        help="search algorithm (default: top-down heuristic)",
+        "--strategy",
+        dest="algorithm",
+        choices=strategies,
+        default="top_down",
+        help="label-construction strategy (default: top_down, Algorithm 1)",
+    )
+    label.add_argument(
+        "--envelope",
+        action="store_true",
+        help="write the versioned repro-label/2 envelope instead of the "
+        "legacy bare-label JSON (flexible labels always use the envelope)",
     )
     label.add_argument(
         "-o", "--output", help="write the label JSON here (default stdout)"

@@ -121,11 +121,17 @@ class MultiLabelEstimator:
             )
         self._estimators = [LabelEstimator(label) for label in labels]
         self._reduce = self._REDUCERS[reduce]
+        self._reduce_name = reduce
 
     @property
     def labels(self) -> list[Label]:
         """The labels being combined."""
         return [e.label for e in self._estimators]
+
+    @property
+    def reduce_name(self) -> str:
+        """The configured reduce rule (needed to serialize the bundle)."""
+        return self._reduce_name
 
     def estimate(self, pattern: Pattern) -> float:
         """Best combined estimate for ``pattern``.

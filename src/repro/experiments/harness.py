@@ -1,4 +1,4 @@
-"""Shared experiment plumbing: result tables and scale presets.
+"""Shared experiment plumbing: result tables, scale presets, scoring.
 
 Experiments return :class:`ResultTable` — an ordered list of dict rows
 with fixed column names — which renders as aligned text (what the
@@ -8,6 +8,13 @@ tests and benchmarks can assert on the paper's qualitative shapes.
 :class:`Scale` packages the dataset sizes and bound lists of one run.
 ``Scale.paper()`` matches Section IV; ``Scale.ci()`` shrinks everything
 so the full suite regenerates in seconds inside pytest.
+
+:func:`score_estimators` is the registry-driven scoring loop: it builds
+any set of estimator backends by name through the :mod:`repro.api`
+facade, scores them over one workload (vectorized whenever the backend
+allows), and returns the comparison as a :class:`ResultTable` — the
+plumbing every "compare PCBL against X" experiment and example used to
+hand-wire.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import io
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
-__all__ = ["ResultTable", "Scale"]
+__all__ = ["ResultTable", "Scale", "score_estimators", "SCORE_COLUMNS"]
 
 
 class ResultTable:
@@ -174,3 +181,100 @@ class Scale:
             naive_time_limit=60.0,
             sample_repeats=3,
         )
+
+
+SCORE_COLUMNS = (
+    "estimator",
+    "bound",
+    "max_abs",
+    "mean_abs",
+    "mean_q",
+    "max_q",
+)
+
+
+def score_estimators(
+    dataset: Any,
+    estimators: Sequence[str] | Mapping[str, Any],
+    *,
+    bound: int,
+    pattern_set: Any = None,
+    seed: int = 0,
+    params: Mapping[str, Mapping[str, Any]] | None = None,
+    table_name: str = "estimator comparison",
+) -> "ResultTable":
+    """Score estimator backends over one workload, one row per backend.
+
+    Parameters
+    ----------
+    dataset:
+        The relation to profile (a :class:`~repro.dataset.table.Dataset`
+        or :class:`~repro.core.counts.PatternCounter`).
+    estimators:
+        Either a sequence of registered estimator names (see
+        :func:`repro.api.registered_estimators`) — each is built here —
+        or a mapping of row label to an already-built backend, for when
+        the caller needs the estimator objects afterwards.
+    bound:
+        The shared space budget.  Auto-forwarded (together with ``seed``)
+        only to factories whose signature accepts it, so user-registered
+        backends with narrower factories still work.
+    pattern_set:
+        The workload to score on (default ``P_A``).
+    seed:
+        Seed auto-forwarded to the randomized baselines.
+    params:
+        Optional per-estimator parameter overrides, e.g.
+        ``{"sampling": {"seed": 7}}``; these are passed verbatim (a
+        bad key is the caller's error and fails loudly).
+    """
+    import inspect
+
+    import numpy as np
+
+    from repro.api import estimate_many, estimator_spec, make_estimator
+    from repro.core.counts import PatternCounter
+    from repro.core.errors import ErrorSummary
+    from repro.core.patternsets import full_pattern_set
+
+    counter = (
+        dataset
+        if isinstance(dataset, PatternCounter)
+        else PatternCounter(dataset)
+    )
+    if pattern_set is None:
+        pattern_set = full_pattern_set(counter)
+
+    if isinstance(estimators, Mapping):
+        built = dict(estimators)
+    else:
+        built = {}
+        for name in estimators:
+            signature = inspect.signature(estimator_spec(name).factory)
+            takes_any_kw = any(
+                p.kind is p.VAR_KEYWORD
+                for p in signature.parameters.values()
+            )
+            options: dict[str, Any] = {
+                key: value
+                for key, value in (("bound", bound), ("seed", seed))
+                if takes_any_kw or key in signature.parameters
+            }
+            options.update((params or {}).get(name, {}))
+            built[name] = make_estimator(name, counter, **options)
+
+    table = ResultTable(table_name, SCORE_COLUMNS)
+    for name, estimator in built.items():
+        estimates = np.asarray(
+            estimate_many(estimator, pattern_set), dtype=np.float64
+        )
+        summary = ErrorSummary.from_arrays(pattern_set.counts, estimates)
+        table.add(
+            estimator=name,
+            bound=bound,
+            max_abs=summary.max_abs,
+            mean_abs=summary.mean_abs,
+            mean_q=summary.mean_q,
+            max_q=summary.max_q,
+        )
+    return table

@@ -1,0 +1,135 @@
+"""The repro-label/2 envelope: shapes, errors, and back-compat."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import LabelEstimator, MultiLabelEstimator, Pattern, build_label
+from repro.api import (
+    ARTIFACT_FORMAT,
+    ArtifactError,
+    MultiLabelBundle,
+    estimator_from_artifact,
+    from_artifact,
+    to_artifact,
+)
+from repro.core.flexlabel import FlexibleEstimator, FlexibleLabel
+from repro.core.label import Label
+
+
+@pytest.fixture
+def label(figure2_counter) -> Label:
+    return build_label(figure2_counter, ["gender", "race"])
+
+
+@pytest.fixture
+def flexible(figure2, figure2_counter) -> FlexibleLabel:
+    pattern = Pattern({"gender": "Female", "race": "Hispanic"})
+    return FlexibleLabel(
+        pc={pattern: figure2_counter.count(pattern)},
+        vc={
+            col.name: figure2_counter.value_counts(col.name)
+            for col in figure2.schema
+        },
+        total=figure2.n_rows,
+        attribute_order=figure2.attribute_names,
+    )
+
+
+class TestEnvelopeShape:
+    def test_label_envelope(self, label):
+        payload = to_artifact(label)
+        assert payload["format"] == ARTIFACT_FORMAT
+        assert payload["kind"] == "label"
+        assert payload["label"] == label.to_dict()
+
+    def test_flexible_envelope(self, flexible):
+        payload = to_artifact(flexible)
+        assert payload["kind"] == "flexible"
+        entry = payload["flexible"]["pc"][0]
+        assert entry["bindings"] == {"gender": "Female", "race": "Hispanic"}
+
+    def test_multi_envelope(self, label):
+        payload = to_artifact(MultiLabelBundle((label,), reduce="max"))
+        assert payload["kind"] == "multi"
+        assert payload["multi"]["reduce"] == "max"
+        assert len(payload["multi"]["labels"]) == 1
+
+    def test_sequence_of_labels_becomes_bundle(self, label):
+        assert to_artifact([label, label])["kind"] == "multi"
+
+    def test_envelope_is_json_serializable(self, label, flexible):
+        for obj in (label, flexible, MultiLabelBundle((label,))):
+            json.dumps(to_artifact(obj))
+
+    def test_estimators_serialize_as_their_labels(self, label, flexible):
+        assert to_artifact(LabelEstimator(label)) == to_artifact(label)
+        assert to_artifact(FlexibleEstimator(flexible)) == to_artifact(
+            flexible
+        )
+        multi = MultiLabelEstimator([label], reduce="min")
+        payload = to_artifact(multi)
+        assert payload["kind"] == "multi"
+        assert payload["multi"]["reduce"] == "min"
+
+
+class TestParsing:
+    def test_round_trip_kinds(self, label, flexible):
+        assert isinstance(from_artifact(to_artifact(label)), Label)
+        assert isinstance(from_artifact(to_artifact(flexible)), FlexibleLabel)
+        bundle = from_artifact(to_artifact(MultiLabelBundle((label,))))
+        assert isinstance(bundle, MultiLabelBundle)
+
+    def test_accepts_json_text(self, label):
+        parsed = from_artifact(json.dumps(to_artifact(label)))
+        assert isinstance(parsed, Label)
+
+    def test_legacy_bare_label(self, label):
+        parsed = from_artifact(label.to_json())
+        assert parsed == label
+
+    def test_unknown_kind_names_supported_kinds(self):
+        with pytest.raises(ArtifactError, match="'label', 'flexible'"):
+            from_artifact({"format": ARTIFACT_FORMAT, "kind": "sketch"})
+
+    def test_unknown_format_version(self):
+        with pytest.raises(ArtifactError, match="repro-label/2"):
+            from_artifact({"format": "repro-label/99", "kind": "label"})
+
+    def test_not_json(self):
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            from_artifact("{nope")
+
+    def test_not_an_object(self):
+        with pytest.raises(ArtifactError, match="JSON object"):
+            from_artifact("[1, 2]")
+
+    def test_missing_payload_is_malformed(self):
+        with pytest.raises(ArtifactError, match="malformed"):
+            from_artifact({"format": ARTIFACT_FORMAT, "kind": "label"})
+
+    def test_bare_object_without_label_keys(self):
+        with pytest.raises(ArtifactError, match="legacy bare label"):
+            from_artifact({"something": "else"})
+
+
+class TestEstimatorFromArtifact:
+    def test_mapping(self, label, flexible):
+        assert isinstance(estimator_from_artifact(label), LabelEstimator)
+        assert isinstance(
+            estimator_from_artifact(flexible), FlexibleEstimator
+        )
+        assert isinstance(
+            estimator_from_artifact(MultiLabelBundle((label,))),
+            MultiLabelEstimator,
+        )
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ArtifactError, match="no estimator"):
+            estimator_from_artifact("nope")
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ArtifactError, match="at least one label"):
+            MultiLabelBundle(())

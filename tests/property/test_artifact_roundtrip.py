@@ -1,0 +1,129 @@
+"""Property tests: artifact round-trips are estimate-identical.
+
+For every label kind — subset :class:`Label`, :class:`FlexibleLabel`,
+and multi-label bundles — serializing through the repro-label/2 envelope
+and parsing it back must leave every estimate over ``P_A`` exactly
+unchanged, including the legacy bare-``Label`` JSON path.  Values are
+drawn as strings (the CSV-born case the wire format stringifies to).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, PatternCounter, build_label
+from repro.api import (
+    MultiLabelBundle,
+    estimator_from_artifact,
+    from_artifact,
+    to_artifact,
+)
+from repro.core.flexlabel import greedy_flexible_label
+from repro.core.patternsets import full_pattern_set
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def datasets(draw, min_rows: int = 2, max_rows: int = 18):
+    """A random small categorical relation with string values."""
+    n_attrs = draw(st.integers(2, 3))
+    names = [f"A{i}" for i in range(n_attrs)]
+    n_rows = draw(st.integers(min_rows, max_rows))
+    columns = {}
+    for name in names:
+        size = draw(st.integers(2, 3))
+        domain = [f"v{j}" for j in range(size)]
+        columns[name] = draw(
+            st.lists(
+                st.sampled_from(domain), min_size=n_rows, max_size=n_rows
+            )
+        )
+    return Dataset.from_columns(columns)
+
+
+def _estimates(estimator, pattern_set) -> np.ndarray:
+    return np.array(
+        [
+            estimator.estimate(pattern)
+            for pattern, _ in pattern_set.iter_with_counts()
+        ],
+        dtype=np.float64,
+    )
+
+
+@given(data=datasets(), subset_size=st.integers(1, 2))
+@SETTINGS
+def test_label_round_trip_estimate_identical(data, subset_size):
+    counter = PatternCounter(data)
+    names = list(data.attribute_names)[:subset_size]
+    label = build_label(counter, names)
+    pattern_set = full_pattern_set(counter)
+
+    # JSON all the way: envelope text → parsed artifact.
+    reloaded = from_artifact(json.dumps(to_artifact(label)))
+    before = _estimates(estimator_from_artifact(label), pattern_set)
+    after = _estimates(estimator_from_artifact(reloaded), pattern_set)
+    np.testing.assert_array_equal(before, after)
+
+
+@given(data=datasets())
+@SETTINGS
+def test_legacy_bare_label_round_trip(data):
+    counter = PatternCounter(data)
+    label = build_label(counter, list(data.attribute_names)[:2])
+    pattern_set = full_pattern_set(counter)
+
+    reloaded = from_artifact(label.to_json())  # the v1 wire format
+    before = _estimates(estimator_from_artifact(label), pattern_set)
+    after = _estimates(estimator_from_artifact(reloaded), pattern_set)
+    np.testing.assert_array_equal(before, after)
+    assert reloaded == label
+
+
+@given(data=datasets(max_rows=12), bound=st.integers(1, 4))
+@SETTINGS
+def test_flexible_round_trip_estimate_identical(data, bound):
+    counter = PatternCounter(data)
+    label = greedy_flexible_label(counter, bound)
+    pattern_set = full_pattern_set(counter)
+
+    reloaded = from_artifact(json.dumps(to_artifact(label)))
+    before = _estimates(estimator_from_artifact(label), pattern_set)
+    after = _estimates(estimator_from_artifact(reloaded), pattern_set)
+    np.testing.assert_array_equal(before, after)
+    assert reloaded.size == label.size
+    assert reloaded.total == label.total
+
+
+@given(
+    data=datasets(),
+    reduce=st.sampled_from(["median", "min", "max", "mean"]),
+)
+@SETTINGS
+def test_multi_bundle_round_trip_estimate_identical(data, reduce):
+    counter = PatternCounter(data)
+    names = list(data.attribute_names)
+    bundle = MultiLabelBundle(
+        (
+            build_label(counter, names[:1]),
+            build_label(counter, names[:2]),
+        ),
+        reduce=reduce,
+    )
+    pattern_set = full_pattern_set(counter)
+
+    reloaded = from_artifact(json.dumps(to_artifact(bundle)))
+    assert isinstance(reloaded, MultiLabelBundle)
+    assert reloaded.reduce == reduce
+    before = _estimates(bundle.make_estimator(), pattern_set)
+    after = _estimates(reloaded.make_estimator(), pattern_set)
+    np.testing.assert_array_equal(before, after)

@@ -54,6 +54,36 @@ class TestLabelCommand:
             "marital status",
         ]
 
+    def test_envelope_flag_writes_v2_format(self, csv_path, tmp_path):
+        out = tmp_path / "envelope.json"
+        code = main(
+            ["label", str(csv_path), "--bound", "5", "--envelope", "-o", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-label/2"
+        assert payload["kind"] == "label"
+
+    def test_greedy_flexible_strategy_writes_envelope(
+        self, csv_path, tmp_path
+    ):
+        out = tmp_path / "flex.json"
+        code = main(
+            [
+                "label",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--algorithm",
+                "greedy_flexible",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "flexible"
+
 
 class TestCardCommand:
     def test_text_card(self, label_path, capsys):
@@ -74,6 +104,23 @@ class TestCardCommand:
     ):
         main(["card", str(label_path), "--csv", str(csv_path)])
         assert "Maximal error" in capsys.readouterr().out
+
+    def test_card_rejects_flexible_artifact(self, csv_path, tmp_path):
+        out = tmp_path / "flex.json"
+        main(
+            [
+                "label",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--algorithm",
+                "greedy_flexible",
+                "-o",
+                str(out),
+            ]
+        )
+        with pytest.raises(SystemExit, match="subset labels only"):
+            main(["card", str(out)])
 
 
 class TestEstimateCommand:
@@ -98,6 +145,36 @@ class TestEstimateCommand:
     def test_bad_binding_rejected(self, label_path):
         with pytest.raises(SystemExit, match="attr=value"):
             main(["estimate", str(label_path), "not-a-binding"])
+
+    def test_flexible_artifact_estimates(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "flex.json"
+        main(
+            [
+                "label",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--algorithm",
+                "greedy_flexible",
+                "-o",
+                str(out),
+            ]
+        )
+        code = main(["estimate", str(out), "gender=Female"])
+        assert code == 0
+        assert capsys.readouterr().out.strip().startswith("9.0")
+
+    def test_unknown_kind_is_a_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"format": "repro-label/2", "kind": "sketch"})
+        )
+        with pytest.raises(SystemExit, match="unknown artifact kind"):
+            main(["estimate", str(bad), "gender=Female"])
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such label file"):
+            main(["estimate", str(tmp_path / "nope.json"), "g=F"])
 
 
 class TestReportCommand:
