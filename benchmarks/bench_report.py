@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Headless perf-regression runner: scalar vs batch, written to JSON.
+
+Executes the repository's hot-path scenarios (the same primitives the
+``benchmarks/test_*`` figure benches exercise) without pytest, timing
+each one through both the **scalar reference path** (per-pattern Python
+loops: ``PatternCounter.count``, ``LabelEstimator.estimate``, ...) and
+the **batch kernel** (``count_many``, ``BatchLabelEvaluator``,
+``estimate_many``), and emits ``BENCH_core.json`` at the repository
+root.  That file is the perf trajectory: every future PR regenerates it
+and a shrinking speedup column is a regression.
+
+Methodology: each path runs ``--rounds`` times on a *persistent*
+counter/estimator (caches warm up across rounds, exactly as they do in
+a long-lived serving process) and the **median** wall time is reported
+— the same statistic pytest-benchmark leads with.  The batch and scalar
+paths are always checked for agreement before timing counts.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_report.py            # full
+    PYTHONPATH=src python benchmarks/bench_report.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import LabelingSession, PatternCounter, build_label  # noqa: E402
+from repro.core.errors import evaluate_labels  # noqa: E402
+from repro.core.errors import ErrorSummary
+from repro.core.estimator import LabelEstimator  # noqa: E402
+from repro.core.search import top_down_search  # noqa: E402
+from repro.core.workload import random_pattern_workload  # noqa: E402
+from repro.baselines.dephist import DependencyTreeEstimator  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+
+def _median_seconds(fn: Callable[[], object], rounds: int) -> float:
+    timings = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings)
+
+
+def _scenario(
+    name: str,
+    scalar: Callable[[], object],
+    batch: Callable[[], object],
+    rounds: int,
+    detail: dict,
+) -> dict:
+    scalar_result = scalar()
+    batch_result = batch()
+    parity = np.allclose(
+        np.asarray(scalar_result, dtype=np.float64),
+        np.asarray(batch_result, dtype=np.float64),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    if not parity:
+        raise AssertionError(f"scenario {name}: scalar/batch mismatch")
+    scalar_s = _median_seconds(scalar, rounds)
+    batch_s = _median_seconds(batch, rounds)
+    speedup = round(scalar_s / batch_s, 2) if batch_s > 0 else None
+    record = {
+        "scalar_median_s": round(scalar_s, 6),
+        "batch_median_s": round(batch_s, 6),
+        "speedup": speedup,
+        "parity_checked": True,
+        **detail,
+    }
+    shown = f"{speedup:6.1f}x" if speedup is not None else "   n/a"
+    print(
+        f"  {name:<42} scalar {scalar_s * 1e3:9.2f} ms   "
+        f"batch {batch_s * 1e3:9.2f} ms   {shown}"
+    )
+    return record
+
+
+def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
+    """Run every scenario at the given scale; returns the report dict."""
+    print(
+        f"bench_report: rows={rows} queries={queries} rounds={rounds} "
+        f"bound={bound}"
+    )
+    dataset = load_dataset("bluenile", n_rows=rows, seed=0)
+    rng = np.random.default_rng(0)
+    workload_counter = PatternCounter(dataset)
+    workload = random_pattern_workload(
+        workload_counter, queries, rng, min_arity=1, max_arity=4
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+
+    scenarios: dict[str, dict] = {}
+
+    # 1. The counting kernel itself: c_D(p) for a whole workload.
+    scalar_counter = PatternCounter(dataset)
+    batch_counter = PatternCounter(dataset)
+    scenarios["count_many/synthetic_workload"] = _scenario(
+        "count_many/synthetic_workload",
+        lambda: [scalar_counter.count(p) for p in patterns],
+        lambda: batch_counter.count_many(patterns),
+        rounds,
+        {"rows": rows, "queries": queries, "dataset": "bluenile"},
+    )
+
+    # 2. Workload error evaluation of every surviving search candidate
+    #    (the evaluation phase of Algorithm 1), batched vs per-pattern.
+    search_counter = PatternCounter(dataset)
+    result = top_down_search(search_counter, bound, pattern_set=workload)
+    candidates = result.candidates
+    labels = [build_label(search_counter, c) for c in candidates]
+    truths = workload.counts
+
+    def scalar_candidate_eval() -> list[float]:
+        values = []
+        for label in labels:
+            estimator = LabelEstimator(label)
+            estimates = np.array(
+                [estimator.estimate(p) for p in patterns]
+            )
+            values.append(
+                ErrorSummary.from_arrays(truths, estimates).max_abs
+            )
+        return values
+
+    eval_counter = PatternCounter(dataset)
+
+    def batch_candidate_eval() -> list[float]:
+        summaries = evaluate_labels(eval_counter, candidates, workload)
+        return [s.max_abs for s in summaries]
+
+    scenarios["evaluate_candidates/workload"] = _scenario(
+        "evaluate_candidates/workload",
+        scalar_candidate_eval,
+        batch_candidate_eval,
+        rounds,
+        {
+            "rows": rows,
+            "queries": queries,
+            "candidates": len(candidates),
+            "bound": bound,
+        },
+    )
+
+    # 3 & 4 model the serving side — a published synopsis under query
+    # traffic — so they run on a 10x workload (batch dispatch amortizes
+    # its per-template overhead across the queries sharing a template).
+    serving_queries = queries * 10
+    serving = random_pattern_workload(
+        workload_counter, serving_queries, rng, min_arity=1, max_arity=4
+    )
+    serving_patterns = [serving.pattern(i) for i in range(len(serving))]
+
+    # 3. Consumer-side serving: a published label answering a workload.
+    session = LabelingSession(result.label)
+
+    def scalar_session() -> list[float]:
+        return [session.estimate(p) for p in serving_patterns]
+
+    def batch_session() -> list[float]:
+        return session.estimate_many(serving_patterns)
+
+    scenarios["session_estimate_many/label"] = _scenario(
+        "session_estimate_many/label",
+        scalar_session,
+        batch_session,
+        rounds,
+        {
+            "rows": rows,
+            "queries": serving_queries,
+            "label_size": result.label.size,
+        },
+    )
+
+    # 4. Baseline batch dispatch (GroupedEstimateMany over estimate_codes),
+    #    on the baseline with the most expensive scalar path.
+    dephist = DependencyTreeEstimator(dataset)
+    scenarios["baseline_estimate_many/dephist"] = _scenario(
+        "baseline_estimate_many/dephist",
+        lambda: [dephist.estimate(p) for p in serving_patterns],
+        lambda: dephist.estimate_many(serving_patterns),
+        rounds,
+        {"rows": rows, "queries": serving_queries},
+    )
+
+    return {
+        "version": 1,
+        "generated_by": "benchmarks/bench_report.py",
+        "methodology": (
+            "median wall time over N rounds per path; caches stay warm "
+            "across rounds (steady-state serving); parity asserted "
+            "before timing"
+        ),
+        "config": {
+            "rows": rows,
+            "queries": queries,
+            "rounds": rounds,
+            "bound": bound,
+        },
+        "scenarios": scenarios,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scalar-vs-batch perf regression report."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale for CI: proves the runner and the JSON shape "
+        "without paying full-scale timings",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="dataset rows (default 50000; smoke 2000)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="workload size (default 100; smoke 50)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="timing rounds per path (default 7; smoke 3)",
+    )
+    parser.add_argument(
+        "--bound", type=int, default=30, help="label size budget"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help=f"report path (default {DEFAULT_OUTPUT}; smoke runs do not "
+        "write unless -o is given)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (2_000 if args.smoke else 50_000)
+    queries = args.queries or (50 if args.smoke else 100)
+    rounds = args.rounds or (3 if args.smoke else 7)
+
+    report = run(rows, queries, rounds, args.bound)
+
+    if args.output:
+        output = Path(args.output)
+    elif args.smoke:
+        output = None  # smoke proves the pipeline; it must not clobber
+        # the committed full-scale trajectory numbers
+    else:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    else:
+        print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,20 @@ def main() -> None:
     query = Pattern({"gender": "Female", "marital status": "married"})
     print(f"session: {session}")
     print(f"  estimate({query}) = {session.estimate(query):.1f}")
+
+    # Whole workloads go through estimate_many — one batched pass
+    # (patterns are grouped by attribute tuple and resolved against the
+    # label's cached marginal tables), not a per-pattern loop.
+    workload = [
+        Pattern({"gender": "Female", "marital status": "married"}),
+        Pattern({"race": "Hispanic"}),
+        Pattern({"gender": "Male", "race": "Caucasian"}),
+        Pattern({"age group": "under 20", "marital status": "single"}),
+    ]
+    for pattern, estimate in zip(workload, session.estimate_many(workload)):
+        description = ", ".join(f"{a}={v}" for a, v in pattern.items())
+        print(f"  estimate_many[{description}] = {estimate:.1f}")
+
     with tempfile.TemporaryDirectory() as tmp:
         path = session.save(Path(tmp) / "label.json")
         reloaded = LabelingSession.load(path)

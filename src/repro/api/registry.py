@@ -221,13 +221,20 @@ def estimate_many(
     estimator: CardinalityEstimator,
     workload: PatternSet | Sequence[Any],
 ) -> list[float]:
-    """Estimates for a workload, vectorized whenever the backend allows.
+    """Estimates for a workload, batched whenever the backend allows.
 
-    A :class:`~repro.core.patternsets.PatternSet` whose patterns share
-    one attribute tuple (``is_tabular``) is pushed through the backend's
-    ``estimate_codes`` when the backend satisfies
-    :class:`~repro.baselines.base.TabularEstimator`; everything else
-    falls back to the per-pattern ``estimate`` loop.
+    Dispatch order:
+
+    1. a :class:`~repro.core.patternsets.PatternSet` whose patterns share
+       one attribute tuple (``is_tabular``) is pushed through the
+       backend's ``estimate_codes`` when the backend satisfies
+       :class:`~repro.baselines.base.TabularEstimator`;
+    2. a backend exposing its own ``estimate_many`` (every label backend
+       and — via :class:`~repro.baselines.base.GroupedEstimateMany` —
+       every baseline) receives the whole pattern list, so heterogeneous
+       workloads still hit the batch kernel;
+    3. otherwise, the per-pattern ``estimate`` loop (the scalar reference
+       path, kept for minimal third-party backends).
     """
     if isinstance(workload, PatternSet):
         if (
@@ -243,6 +250,9 @@ def estimate_many(
         patterns = [workload.pattern(i) for i in range(len(workload))]
     else:
         patterns = list(workload)
+    batched = getattr(estimator, "estimate_many", None)
+    if callable(batched):
+        return [float(v) for v in batched(patterns)]
     return [float(estimator.estimate(p)) for p in patterns]
 
 

@@ -160,12 +160,15 @@ class LabelingSession:
     def estimate_many(
         self, workload: PatternSet | Iterable[Pattern]
     ) -> list[float]:
-        """Estimates for a workload.
+        """Batched estimates for a workload.
 
         Uses the backend's vectorized ``estimate_codes`` path when the
         backend is a ``TabularEstimator`` and the workload is a tabular
-        :class:`~repro.core.patternsets.PatternSet`; falls back to the
-        per-pattern loop otherwise.
+        :class:`~repro.core.patternsets.PatternSet`; heterogeneous
+        workloads go through the backend's batched ``estimate_many``
+        (grouped by attribute tuple, resolved against cached marginal /
+        key tables — see DESIGN.md, "The batch counting kernel"); only
+        backends without either path fall back to the per-pattern loop.
         """
         if not isinstance(workload, PatternSet):
             workload = list(workload)

@@ -1,23 +1,31 @@
-"""Shared estimator protocol.
+"""Shared estimator protocol and the grouped batch-dispatch mixin.
 
 Every count estimator in the repository — label-based, sample-based, or
 DBMS-statistics-based — answers the same query: *how many tuples of the
 dataset satisfy this pattern?*  The protocol has a per-pattern form
-(:meth:`CardinalityEstimator.estimate`) and a vectorized tabular form
+(:meth:`CardinalityEstimator.estimate`), a vectorized tabular form
 (:meth:`TabularEstimator.estimate_codes`) used by the experiment harness
 to score an estimator against tens of thousands of full-width patterns at
-once.
+once, and a batched heterogeneous form (``estimate_many``) that
+:class:`GroupedEstimateMany` derives from ``estimate_codes`` by grouping
+a mixed workload by attribute tuple and encoding each group into one code
+matrix.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, encode_groups
+from repro.dataset.schema import Schema
 
-__all__ = ["CardinalityEstimator", "TabularEstimator"]
+__all__ = [
+    "CardinalityEstimator",
+    "TabularEstimator",
+    "GroupedEstimateMany",
+]
 
 
 @runtime_checkable
@@ -43,3 +51,31 @@ class TabularEstimator(Protocol):
         float vector.
         """
         ...
+
+
+class GroupedEstimateMany:
+    """Mixin: batched ``estimate_many`` on top of ``estimate_codes``.
+
+    Subclasses expose their dataset schema as ``_schema`` and implement
+    ``estimate_codes``; the mixin turns a heterogeneous pattern workload
+    into one vectorized ``estimate_codes`` call per distinct attribute
+    tuple, so mixed-arity query lists hit the same vector path the
+    tabular experiment harness uses.
+    """
+
+    _schema: Schema
+
+    def estimate_codes(
+        self, attributes: Sequence[str], combos: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - provided by the subclass
+        raise NotImplementedError
+
+    def estimate_many(self, patterns: Iterable[Pattern]) -> list[float]:
+        """Vectorized estimates for an arbitrary pattern batch."""
+        patterns = list(patterns)
+        out = np.empty(len(patterns), dtype=np.float64)
+        for attrs, combos, indices in encode_groups(patterns, self._schema):
+            out[indices] = np.asarray(
+                self.estimate_codes(attrs, combos), dtype=np.float64
+            )
+        return [float(v) for v in out]

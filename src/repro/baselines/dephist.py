@@ -31,6 +31,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.core.counts import PatternCounter
+from repro.baselines.base import GroupedEstimateMany
 from repro.core.pattern import Pattern
 from repro.dataset.table import Dataset, combine_codes
 
@@ -55,7 +56,7 @@ def _mutual_information(
     )
 
 
-class DependencyTreeEstimator:
+class DependencyTreeEstimator(GroupedEstimateMany):
     """Chow–Liu tree of 2-D count tables over a categorical relation.
 
     Parameters

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.baselines.base import GroupedEstimateMany
 from repro.core.counts import PatternCounter
 from repro.core.pattern import Pattern
 from repro.dataset.table import Dataset
@@ -25,7 +26,7 @@ from repro.dataset.table import Dataset
 __all__ = ["IndependenceEstimator"]
 
 
-class IndependenceEstimator:
+class IndependenceEstimator(GroupedEstimateMany):
     """Estimate counts from marginal value counts only.
 
     Parameters
@@ -36,6 +37,7 @@ class IndependenceEstimator:
 
     def __init__(self, dataset: Dataset) -> None:
         self._counter = PatternCounter(dataset)
+        self._schema = dataset.schema
         self._total = dataset.n_rows
 
     @property

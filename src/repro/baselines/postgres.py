@@ -32,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.baselines.base import GroupedEstimateMany
 from repro.core.pattern import Pattern
 from repro.dataset.schema import MISSING_CODE
 from repro.dataset.table import Dataset
@@ -97,7 +98,7 @@ def _haas_stokes_n_distinct(
     return float(min(max(estimate, d), total_rows))
 
 
-class PostgresEstimator:
+class PostgresEstimator(GroupedEstimateMany):
     """Row-count estimates from simulated ``pg_statistic`` entries.
 
     Parameters

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.baselines.base import GroupedEstimateMany
 from repro.core.pattern import Pattern
 from repro.dataset.table import Dataset, combine_codes
 
@@ -35,7 +36,7 @@ def sample_size_for_bound(dataset: Dataset, bound: int) -> int:
     return bound + vc_size
 
 
-class SamplingEstimator:
+class SamplingEstimator(GroupedEstimateMany):
     """Estimate counts from one uniform random sample.
 
     Parameters

@@ -10,6 +10,10 @@ CSV file"; this module is that workflow as a tool, built on the
   text/markdown/html nutrition card;
 * ``python -m repro estimate label.json gender=Female race=Hispanic`` —
   estimate a pattern count from a stored artifact, no data needed;
+* ``python -m repro estimate label.json --workload queries.json`` —
+  batch-estimate a whole workload file (a JSON array of
+  ``{"attr": "value", ...}`` objects) through the backend's batched
+  ``estimate_many`` path, one estimate per output line;
 * ``python -m repro profile data.csv --sensitive gender,race`` — run the
   fitness-for-use warnings against a CSV.
 
@@ -32,6 +36,7 @@ from typing import Sequence
 from repro.api import (
     ApiError,
     LabelingSession,
+    estimate_many,
     estimator_from_artifact,
     load_artifact,
     registered_strategies,
@@ -130,14 +135,62 @@ def _cmd_card(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_workload_or_exit(path: str) -> list[Pattern]:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"no such workload file: {path}")
+    except OSError as exc:
+        raise SystemExit(f"cannot read workload file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"workload file {path!r} is not valid JSON: {exc}")
+    if not isinstance(payload, list) or not payload:
+        raise SystemExit(
+            f"workload file {path!r} must be a non-empty JSON array of "
+            '{"attribute": "value", ...} objects'
+        )
+    patterns = []
+    for position, entry in enumerate(payload):
+        if not isinstance(entry, dict) or not entry:
+            raise SystemExit(
+                f"workload file {path!r}: entry {position} must be a "
+                "non-empty JSON object of attribute/value bindings, got "
+                f"{entry!r}"
+            )
+        try:
+            patterns.append(Pattern(entry))
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"workload file {path!r}: entry {position} is not a valid "
+                f"pattern: {exc}"
+            )
+    return patterns
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     artifact = _load_artifact_or_exit(args.label)
-    pattern = _parse_assignments(args.bindings)
+    if args.workload and args.bindings:
+        raise SystemExit(
+            "give either inline attr=value bindings or --workload, not both"
+        )
     try:
         estimator = estimator_from_artifact(artifact)
-        estimate = estimator.estimate(pattern)
     except ApiError as exc:
         raise SystemExit(f"cannot estimate from this artifact: {exc}")
+
+    if args.workload:
+        patterns = _load_workload_or_exit(args.workload)
+        try:
+            estimates = estimate_many(estimator, patterns)
+        except KeyError as exc:
+            raise SystemExit(f"workload does not match the label: {exc}")
+        for estimate in estimates:
+            print(f"{estimate:.1f}")
+        return 0
+
+    pattern = _parse_assignments(args.bindings)
+    try:
+        estimate = estimator.estimate(pattern)
     except KeyError as exc:
         raise SystemExit(f"pattern does not match the label: {exc}")
     exact = (
@@ -247,7 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("label", help="label JSON file")
     estimate.add_argument(
-        "bindings", nargs="+", help="pattern bindings, e.g. gender=Female"
+        "bindings", nargs="*", help="pattern bindings, e.g. gender=Female"
+    )
+    estimate.add_argument(
+        "--workload",
+        help="JSON file with an array of {attribute: value} objects; all "
+        "patterns are estimated in one batched pass, one per output line",
     )
     estimate.set_defaults(func=_cmd_estimate)
 

@@ -1,33 +1,46 @@
-"""The counting kernel: ``c_D(p)`` and joint count tables.
+"""The counting kernel: ``c_D(p)``, batched counting, joint count tables.
 
 :class:`PatternCounter` wraps a :class:`~repro.dataset.table.Dataset` and
-answers the three count queries the labeling machinery needs:
+answers the count queries the labeling machinery needs:
 
 * :meth:`PatternCounter.count` — the exact count ``c_D(p)`` of one pattern
-  (Definition 2.3), by vectorized mask intersection;
-* :meth:`PatternCounter.joint_table` — the joint count table over an
-  attribute set ``S`` (exactly the ``PC`` content of ``L_S(D)``);
+  (Definition 2.3), by vectorized mask intersection — the *scalar
+  reference path*, kept for parity testing of the batch kernel;
+* :meth:`PatternCounter.count_many` / :meth:`PatternCounter.counts_for_codes`
+  — exact counts for a whole batch of patterns in one pass: patterns are
+  grouped by attribute tuple, each group is radix-encoded into one
+  ``int64`` key per pattern, and the keys are resolved against the cached
+  sorted key table of the group's joint counts (one ``searchsorted``
+  instead of one boolean-mask intersection per pattern);
+* :meth:`PatternCounter.joint_table` / :meth:`PatternCounter.joint_tables`
+  — the joint count table over attribute set(s) ``S`` (exactly the ``PC``
+  content of ``L_S(D)``), cached per attribute set;
 * :meth:`PatternCounter.label_size` — ``|P_S|``, the number of distinct
   combinations over ``S`` with positive count, i.e. the size charged
   against the label budget ``Bs``.
 
 Value counts and value-count *fractions* (the independence factors of the
-estimation function) are cached per attribute, and label sizes are cached
-per attribute set, because both are re-requested heavily during lattice
-search.
+estimation function) are cached per attribute; label sizes, joint tables
+and encoded key tables are cached per attribute set, because all are
+re-requested heavily during lattice search and batched estimation.  The
+counter assumes the dataset is immutable (datasets are); to profile a new
+snapshot of evolving data, call :meth:`PatternCounter.rebind`, which swaps
+the dataset *and* drops every cache — see :meth:`invalidate_caches`.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, encode_groups
 from repro.dataset.schema import MISSING_CODE
-from repro.dataset.table import Dataset
+from repro.dataset.table import Dataset, combine_codes
 
 __all__ = ["PatternCounter"]
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 class PatternCounter:
@@ -46,6 +59,55 @@ class PatternCounter:
         self._fractions: dict[str, np.ndarray] = {}
         self._label_sizes: dict[tuple[str, ...], int] = {}
         self._full_rows: tuple[np.ndarray, np.ndarray] | None = None
+        self._joint_tables: dict[
+            tuple[str, ...], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        # Shared encoded-column cache, two levels.  Per attribute: the
+        # code column widened to int64 plus its presence mask (reused by
+        # every attribute set containing the attribute).  Per attribute
+        # set: the int64 row ids of the fully-present rows (plain Horner
+        # radix encoding), or None when the radix product overflows 64
+        # bits (the encoding is then not stable across calls, so
+        # dataset-side and query-side keys cannot be compared).
+        self._columns64: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._row_keys: dict[tuple[str, ...], np.ndarray | None] = {}
+        # attribute set -> (sorted unique row ids, counts): the group-by
+        # of the encoded rows, built lazily on the second batch over the
+        # same attribute set (a one-shot batch is cheaper via bincount).
+        self._key_tables: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
+        self._key_queries: dict[tuple[str, ...], int] = {}
+
+    # -- cache lifecycle ----------------------------------------------------------
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache.
+
+        Required after the counter is rebound to a different dataset
+        snapshot (see :meth:`rebind`); datasets themselves are immutable,
+        so a counter over an unchanged dataset never needs this.
+        """
+        self._value_counts.clear()
+        self._fractions.clear()
+        self._label_sizes.clear()
+        self._full_rows = None
+        self._joint_tables.clear()
+        self._columns64.clear()
+        self._row_keys.clear()
+        self._key_tables.clear()
+        self._key_queries.clear()
+
+    def rebind(self, dataset: Dataset) -> "PatternCounter":
+        """Point this counter at a new dataset snapshot and drop caches.
+
+        This is the maintenance hook: :class:`~repro.core.maintenance`
+        evolves the relation through insert/delete batches, and a counter
+        carried across those updates would otherwise keep serving
+        fractions, label sizes and joint tables of the *old* snapshot.
+        Returns ``self`` for chaining.
+        """
+        self._dataset = dataset
+        self.invalidate_caches()
+        return self
 
     @property
     def dataset(self) -> Dataset:
@@ -71,6 +133,167 @@ class PatternCounter:
                 return 0
         assert mask is not None  # patterns are non-empty
         return int(mask.sum())
+
+    # -- batched counting ---------------------------------------------------------
+
+    def _radix_fits(self, attributes: tuple[str, ...]) -> bool:
+        """True when the Horner radix product over ``attributes`` fits
+        in 64 bits, i.e. the plain positional encoding is stable across
+        calls.  Beyond that, :func:`~repro.dataset.table.combine_codes`
+        re-factorizes through ``np.unique``, making keys data-dependent
+        — dataset-side and query-side keys could then disagree."""
+        radix = 1
+        for attribute in attributes:
+            card = self._dataset.schema[attribute].cardinality
+            if card <= 0 or radix > _INT64_MAX // card:
+                return False
+            radix *= card
+        return True
+
+    def encoded_rows(
+        self, attributes: Sequence[str]
+    ) -> np.ndarray | None:
+        """Integer row ids of the fully-present rows over ``attributes``.
+
+        The shared encoded-column cache of the batch kernel: each row of
+        the projection onto ``attributes`` with no missing value is
+        collapsed into one ``int64`` radix key.  Two rows share a key iff
+        they agree on every listed attribute, and a query pattern's key
+        (same encoding of its codes) matches exactly the rows that
+        satisfy it.  Returns ``None`` when the radix product overflows 64
+        bits (callers fall back to the scalar path).  Cached per
+        attribute tuple.
+        """
+        attrs = tuple(attributes)
+        if attrs in self._row_keys:
+            return self._row_keys[attrs]
+        if not self._radix_fits(attrs):
+            self._row_keys[attrs] = None
+            return None
+        schema = self._dataset.schema
+        keys: np.ndarray | None = None
+        present: np.ndarray | None = None
+        for attribute in attrs:
+            cached = self._columns64.get(attribute)
+            if cached is None:
+                codes = self._dataset.codes(attribute)
+                cached = (
+                    codes.astype(np.int64),
+                    codes != MISSING_CODE,
+                )
+                self._columns64[attribute] = cached
+            column, column_present = cached
+            card = schema[attribute].cardinality
+            # Horner accumulation over cached int64 columns; missing
+            # codes (-1) may pollute a key, but those rows are dropped
+            # by the presence mask below.
+            keys = column if keys is None else keys * card + column
+            present = (
+                column_present
+                if present is None
+                else (present & column_present)
+            )
+        assert keys is not None and present is not None
+        # Both caches are internal and read-only, so a single-attribute
+        # key array may alias the cached column.
+        keys = keys if present.all() else keys[present]
+        self._row_keys[attrs] = keys
+        return keys
+
+    def _key_table(
+        self, attributes: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted group-by ``(unique row ids, counts)`` over ``attributes``.
+
+        Built from :meth:`encoded_rows` (one ``np.unique``), cached, and
+        thereafter answers any batch in ``O(m log k)`` — the caller must
+        have checked that the radix encoding fits.
+        """
+        table = self._key_tables.get(attributes)
+        if table is None:
+            row_keys = self.encoded_rows(attributes)
+            assert row_keys is not None  # caller checked the radix fit
+            keys, counts = np.unique(row_keys, return_counts=True)
+            table = (keys, counts.astype(np.int64, copy=False))
+            self._key_tables[attributes] = table
+        return table
+
+    def counts_for_codes(
+        self, attributes: Sequence[str], combos: np.ndarray
+    ) -> np.ndarray:
+        """Exact counts ``c_D(p)`` for a homogeneous code batch.
+
+        Every pattern binds exactly ``attributes``; row ``i`` of
+        ``combos`` holds pattern ``i``'s codes.  First batch over an
+        attribute set: one pass over the encoded row ids — the distinct
+        query keys are sorted and every row id is resolved against them
+        with ``searchsorted`` + ``np.bincount`` (no ``O(n log n)``
+        group-by of the data).  Repeat batches promote the attribute set
+        to a cached sorted key table, after which a batch costs one
+        binary search per *query* instead of a data pass.  Combinations
+        absent from the data count 0.  Falls back to the scalar mask path
+        only when the attribute set's radix product overflows 64 bits.
+        """
+        attrs = tuple(attributes)
+        combos = np.asarray(combos)
+        if combos.ndim != 2 or combos.shape[1] != len(attrs):
+            raise ValueError(
+                f"combos must be (n, {len(attrs)}) for attributes {attrs}"
+            )
+        if combos.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        row_keys = self.encoded_rows(attrs)
+        if row_keys is None:
+            return np.array(
+                [
+                    self.count(self.pattern_from_codes(attrs, row))
+                    for row in combos
+                ],
+                dtype=np.int64,
+            )
+        cards = [self._dataset.schema[a].cardinality for a in attrs]
+        query_keys = combine_codes(combos, cards)
+
+        self._key_queries[attrs] = self._key_queries.get(attrs, 0) + 1
+        if attrs in self._key_tables or self._key_queries[attrs] > 1:
+            keys, counts = self._key_table(attrs)
+            if keys.size == 0:
+                return np.zeros(combos.shape[0], dtype=np.int64)
+            idx = np.searchsorted(keys, query_keys)
+            idx_clamped = np.minimum(idx, keys.size - 1)
+            found = keys[idx_clamped] == query_keys
+            return np.where(found, counts[idx_clamped], 0).astype(np.int64)
+
+        # One-shot batch: group the data by *query* key instead of
+        # sorting the data — O(n log m) for m distinct queries.
+        unique_q, inverse = np.unique(query_keys, return_inverse=True)
+        if row_keys.size == 0:
+            return np.zeros(combos.shape[0], dtype=np.int64)
+        idx = np.searchsorted(unique_q, row_keys)
+        idx_clamped = np.minimum(idx, unique_q.size - 1)
+        matched = unique_q[idx_clamped] == row_keys
+        per_query = np.bincount(
+            idx_clamped[matched], minlength=unique_q.size
+        ).astype(np.int64)
+        return per_query[inverse]
+
+    def count_many(self, patterns: Iterable[Pattern]) -> np.ndarray:
+        """Exact counts ``c_D(p)`` for an arbitrary pattern batch.
+
+        The batch kernel behind workload evaluation: patterns are grouped
+        by their attribute tuple and each group is integer-encoded and
+        resolved in one vectorized lookup (see :meth:`counts_for_codes`).
+        Equivalent to ``[self.count(p) for p in patterns]`` — the scalar
+        path stays as the parity reference — but one group-by + binary
+        search instead of one mask intersection per pattern.
+        """
+        patterns = list(patterns)
+        out = np.zeros(len(patterns), dtype=np.int64)
+        for attrs, combos, indices in encode_groups(
+            patterns, self._dataset.schema
+        ):
+            out[indices] = self.counts_for_codes(attrs, combos)
+        return out
 
     # -- per-attribute statistics -----------------------------------------------
 
@@ -125,9 +348,33 @@ class PatternCounter:
         """Joint count table (``PC`` content) over ``attributes``.
 
         Returns the ``(combos, counts)`` pair produced by
-        :meth:`repro.dataset.table.Dataset.joint_counts`.
+        :meth:`repro.dataset.table.Dataset.joint_counts`.  Cached per
+        attribute tuple — the search error-evaluates many candidates
+        against the same pattern set, and every candidate's base term is
+        a lookup in one of these tables.
         """
-        return self._dataset.joint_counts(list(attributes))
+        key = tuple(attributes)
+        if key not in self._joint_tables:
+            self._joint_tables[key] = self._dataset.joint_counts(list(key))
+        return self._joint_tables[key]
+
+    def joint_tables(
+        self, attribute_sets: Iterable[Sequence[str]]
+    ) -> dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]]:
+        """Joint count tables for several attribute sets at once.
+
+        Batch companion of :meth:`joint_table`: deduplicates the
+        requested sets and serves each from (and into) the shared cache,
+        so interleaved callers — candidate evaluation, label building,
+        workload scoring — never recompute a table another layer already
+        paid for.
+        """
+        out: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
+        for attributes in attribute_sets:
+            key = tuple(attributes)
+            if key not in out:
+                out[key] = self.joint_table(key)
+        return out
 
     def label_size(self, attributes: Sequence[str]) -> int:
         """``|P_S|``: distinct positive-count combinations over ``S``.

@@ -12,10 +12,14 @@ Two metric families:
 
 :func:`evaluate_label` computes a full :class:`ErrorSummary` of a label
 against a pattern set, using a vectorized fast path for tabular sets — the
-hot loop of the search algorithms.  :func:`scan_max_abs_error` implements
-the paper's early-termination scan (Section IV-C): patterns are visited in
-decreasing count order and the scan stops once the next count falls below
-the running maximum error.
+hot loop of the search algorithms.  :class:`BatchLabelEvaluator` amortizes
+that loop across *many* candidate subsets: the pattern set is encoded
+once (code groups, per-attribute independence-factor columns) and every
+candidate is then scored with one base-count lookup plus cached factor
+multiplies.  :func:`scan_max_abs_error` implements the paper's
+early-termination scan (Section IV-C): patterns are visited in decreasing
+count order and the scan stops once the next count falls below the
+running maximum error.
 """
 
 from __future__ import annotations
@@ -30,8 +34,8 @@ import numpy as np
 from repro.core.counts import PatternCounter
 from repro.core.estimator import LabelEstimator
 from repro.core.label import Label, build_label
+from repro.core.pattern import encode_groups
 from repro.core.patternsets import PatternSet, full_pattern_set
-from repro.dataset.table import combine_codes
 
 __all__ = [
     "absolute_error",
@@ -42,6 +46,8 @@ __all__ = [
     "vectorized_estimates",
     "grouped_estimates",
     "evaluate_label",
+    "evaluate_labels",
+    "BatchLabelEvaluator",
     "scan_max_abs_error",
 ]
 
@@ -153,7 +159,6 @@ def estimates_for_codes(
     """
     pattern_attrs = tuple(pattern_attributes)
     combos = np.asarray(combos)
-    schema = counter.dataset.schema
     label_set = set(label_attributes)
 
     shared = [a for a in pattern_attrs if a in label_set]
@@ -161,20 +166,12 @@ def estimates_for_codes(
 
     if shared:
         shared_positions = [pattern_attrs.index(a) for a in shared]
-        cards = [schema[a].cardinality for a in shared]
-        joint_combos, joint_counts = counter.joint_table(shared)
-        joint_keys = combine_codes(joint_combos, cards)
-        pattern_keys = combine_codes(combos[:, shared_positions], cards)
-        # joint_keys come out of Dataset.joint_counts sorted ascending.
-        if joint_keys.size == 0:
-            base = np.zeros(combos.shape[0], dtype=np.float64)
-        else:
-            idx = np.searchsorted(joint_keys, pattern_keys)
-            idx_clamped = np.minimum(idx, joint_keys.size - 1)
-            found = joint_keys[idx_clamped] == pattern_keys
-            base = np.where(
-                found, joint_counts[idx_clamped].astype(np.float64), 0.0
-            )
+        # The base term c_D(p|_S) is exactly a batched count over the
+        # shared attributes — resolved by the counting kernel against its
+        # cached sorted key table.
+        base = counter.counts_for_codes(
+            shared, combos[:, shared_positions]
+        ).astype(np.float64)
     else:
         base = np.full(combos.shape[0], float(counter.total_rows))
 
@@ -215,23 +212,13 @@ def grouped_estimates(
     workload-style pattern sets (mixed arities and attribute choices)
     evaluate at vector speed instead of one Python call per pattern.
     """
-    schema = counter.dataset.schema
     estimates = np.empty(len(patterns), dtype=np.float64)
-    groups: dict[tuple[str, ...], list[int]] = {}
-    for index, pattern in enumerate(patterns):
-        groups.setdefault(pattern.attributes, []).append(index)
-    for attrs, indices in groups.items():
-        combos = np.array(
-            [
-                [schema[a].code_of(patterns[i][a]) for a in attrs]
-                for i in indices
-            ],
-            dtype=np.int32,
-        )
-        batch = estimates_for_codes(
+    for attrs, combos, indices in encode_groups(
+        list(patterns), counter.dataset.schema
+    ):
+        estimates[indices] = estimates_for_codes(
             counter, label_attributes, attrs, combos
         )
-        estimates[indices] = batch
     return estimates
 
 
@@ -285,6 +272,156 @@ def evaluate_label(
         dtype=np.float64,
     )
     return ErrorSummary.from_arrays(pattern_set.counts, estimates)
+
+
+class BatchLabelEvaluator:
+    """Score many candidate attribute subsets against one pattern set.
+
+    The search algorithms error-evaluate every surviving candidate over
+    the same pattern set ``P``.  Per candidate, the estimate of a pattern
+    is ``c_D(p|_S)`` times independence factors of the attributes outside
+    ``S`` — and only the *base* term depends on the candidate.  This
+    evaluator therefore encodes ``P`` once:
+
+    * patterns are grouped by attribute tuple into code matrices (a
+      tabular set is a single group, for free);
+    * per group and attribute, the independence-factor column
+      ``fractions(A)[codes]`` is computed lazily and cached — candidates
+      share these columns, which is where the batched pass wins;
+    * each :meth:`evaluate` call then costs one batched base lookup per
+      group (through the counting kernel's cached key tables) plus cached
+      column multiplies.
+
+    Relations with missing values fall back to the exact per-label path
+    of :func:`evaluate_label` (their partial-support ``PC`` keys are not
+    visible to joint tables).
+    """
+
+    def __init__(
+        self,
+        counter: PatternCounter,
+        pattern_set: PatternSet | None = None,
+    ) -> None:
+        self._counter = counter
+        if pattern_set is None:
+            pattern_set = full_pattern_set(counter)
+        self._pattern_set = pattern_set
+        self._vectorizable = pattern_set.is_tabular or (
+            not counter.dataset.has_missing
+        )
+        # Each group: (attribute tuple, code matrix, target indices).
+        self._groups: list[tuple[tuple[str, ...], np.ndarray, np.ndarray]] = []
+        self._fraction_columns: dict[tuple[int, str], np.ndarray] = {}
+        # (group index, shared attribute tuple) -> estimate vector.  The
+        # estimates of a group are fully determined by which of its
+        # attributes the candidate covers, and candidate subsets overlap
+        # heavily, so most evaluate() calls are pure cache hits.
+        self._group_estimates: dict[
+            tuple[int, tuple[str, ...]], np.ndarray
+        ] = {}
+        if not self._vectorizable:
+            return
+        if pattern_set.is_tabular:
+            assert (
+                pattern_set.attributes is not None
+                and pattern_set.combos is not None
+            )
+            self._groups.append(
+                (
+                    pattern_set.attributes,
+                    np.asarray(pattern_set.combos),
+                    np.arange(len(pattern_set)),
+                )
+            )
+        else:
+            patterns = [
+                pattern_set.pattern(i) for i in range(len(pattern_set))
+            ]
+            for attrs, combos, indices in encode_groups(
+                patterns, counter.dataset.schema
+            ):
+                self._groups.append(
+                    (attrs, combos, np.asarray(indices, dtype=np.intp))
+                )
+
+    @property
+    def pattern_set(self) -> PatternSet:
+        """The target set ``P`` this evaluator encodes."""
+        return self._pattern_set
+
+    def _fraction_column(
+        self, group_index: int, attribute: str, position: int
+    ) -> np.ndarray:
+        key = (group_index, attribute)
+        column = self._fraction_columns.get(key)
+        if column is None:
+            _, combos, _ = self._groups[group_index]
+            column = self._counter.fractions(attribute)[
+                combos[:, position]
+            ]
+            self._fraction_columns[key] = column
+        return column
+
+    def estimates(self, label_attributes: Sequence[str]) -> np.ndarray:
+        """``Est(p, L_S(D))`` for every pattern of the set, batched."""
+        if not self._vectorizable:
+            raise ValueError(
+                "batched estimation requires a tabular pattern set or a "
+                "relation without missing values"
+            )
+        label_set = set(label_attributes)
+        out = np.empty(len(self._pattern_set), dtype=np.float64)
+        for group_index, (attrs, combos, indices) in enumerate(self._groups):
+            shared = tuple(a for a in attrs if a in label_set)
+            cached = self._group_estimates.get((group_index, shared))
+            if cached is not None:
+                out[indices] = cached
+                continue
+            if shared:
+                positions = [attrs.index(a) for a in shared]
+                estimates = self._counter.counts_for_codes(
+                    shared, combos[:, positions]
+                ).astype(np.float64)
+            else:
+                estimates = np.full(
+                    combos.shape[0], float(self._counter.total_rows)
+                )
+            for position, attribute in enumerate(attrs):
+                if attribute in label_set:
+                    continue
+                estimates = estimates * self._fraction_column(
+                    group_index, attribute, position
+                )
+            self._group_estimates[(group_index, shared)] = estimates
+            out[indices] = estimates
+        return out
+
+    def evaluate(self, label: Label | Sequence[str]) -> ErrorSummary:
+        """Error summary of one candidate over the encoded pattern set."""
+        attributes: Sequence[str]
+        if isinstance(label, Label):
+            attributes = label.attributes
+        else:
+            attributes = tuple(label)
+        if not self._vectorizable:
+            return evaluate_label(self._counter, label, self._pattern_set)
+        estimates = self.estimates(attributes)
+        return ErrorSummary.from_arrays(self._pattern_set.counts, estimates)
+
+
+def evaluate_labels(
+    counter: PatternCounter,
+    candidates: Sequence[Label | Sequence[str]],
+    pattern_set: PatternSet | None = None,
+) -> list[ErrorSummary]:
+    """Error summaries for many candidate subsets in one batched pass.
+
+    Convenience wrapper over :class:`BatchLabelEvaluator`; equivalent to
+    ``[evaluate_label(counter, c, pattern_set) for c in candidates]`` but
+    encodes the pattern set and its independence-factor columns once.
+    """
+    evaluator = BatchLabelEvaluator(counter, pattern_set)
+    return [evaluator.evaluate(candidate) for candidate in candidates]
 
 
 def scan_max_abs_error(

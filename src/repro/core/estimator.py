@@ -22,7 +22,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.label import Label
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, group_by_attributes
 
 __all__ = ["LabelEstimator", "MultiLabelEstimator"]
 
@@ -67,8 +67,43 @@ class LabelEstimator:
         return estimate
 
     def estimate_many(self, patterns: Iterable[Pattern]) -> list[float]:
-        """Estimates for several patterns (convenience loop)."""
-        return [self.estimate(p) for p in patterns]
+        """Batched ``Est(p, l)`` for a query list.
+
+        Equivalent to ``[self.estimate(p) for p in patterns]`` but the
+        restricted base counts come from the label's cached marginal
+        tables (:meth:`~repro.core.label.Label.marginal_counts`): one
+        dictionary lookup per pattern instead of an ``O(|PC|)`` scan.
+        """
+        patterns = list(patterns)
+        label = self._label
+        attr_set = self._attr_set
+        out: list[float] = []
+        for pattern in patterns:
+            bound_in_s = tuple(
+                a for a in label.attributes if a in pattern
+            )
+            if not bound_in_s:
+                base = float(label.total)
+            else:
+                exact_key = tuple(
+                    pattern.get(a) for a in label.attributes
+                )
+                if exact_key in label.pc:
+                    base = float(label.pc[exact_key])
+                else:
+                    marginal = label.marginal_counts(bound_in_s)
+                    base = float(
+                        marginal.get(
+                            tuple(pattern[a] for a in bound_in_s), 0
+                        )
+                    )
+            estimate = base
+            for attribute, value in pattern.items_sorted:
+                if attribute in attr_set:
+                    continue
+                estimate *= label.value_fraction(attribute, value)
+            out.append(estimate)
+        return out
 
     def is_exact_for(self, pattern: Pattern) -> bool:
         """True when the estimate of ``pattern`` is guaranteed exact."""
@@ -159,5 +194,36 @@ class MultiLabelEstimator:
         return float(self._reduce(votes))
 
     def estimate_many(self, patterns: Iterable[Pattern]) -> list[float]:
-        """Estimates for several patterns."""
-        return [self.estimate(p) for p in patterns]
+        """Batched estimates for a query list.
+
+        The set of maximal-overlap labels depends only on a pattern's
+        *attribute tuple*, so patterns are grouped by it, the voters are
+        chosen once per group, and each voter answers the whole group
+        through its own batched ``estimate_many``.
+        """
+        patterns = list(patterns)
+        out = [0.0] * len(patterns)
+        for attrs, indices in group_by_attributes(patterns).items():
+            bound = set(attrs)
+            best_overlap = -1
+            voters: list[LabelEstimator] = []
+            for estimator in self._estimators:
+                overlap = len(bound & set(estimator.label.attributes))
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    voters = [estimator]
+                elif overlap == best_overlap:
+                    voters.append(estimator)
+            group_patterns = [patterns[i] for i in indices]
+            if best_overlap == len(bound):
+                # Exact estimates; all full-overlap voters agree.
+                merged = voters[0].estimate_many(group_patterns)
+            else:
+                votes = np.array(
+                    [v.estimate_many(group_patterns) for v in voters],
+                    dtype=np.float64,
+                )
+                merged = self._reduce(votes, axis=0)
+            for position, index in enumerate(indices):
+                out[index] = float(merged[position])
+        return out

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.counts import PatternCounter
 from repro.core.errors import ErrorSummary
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, group_by_attributes
 from repro.core.patternsets import PatternSet, full_pattern_set
 
 __all__ = ["FlexibleLabel", "FlexibleEstimator", "greedy_flexible_label"]
@@ -82,22 +82,36 @@ class FlexibleEstimator:
         # Index stored patterns by their attribute set for fast
         # subset-compatibility scans (|PC| is small by construction).
         self._stored = list(label.pc.items())
+        # Per-attribute fraction tables; FlexibleLabel.value_fraction
+        # re-derives the denominator on every call, which the batched
+        # path would pay per pattern per attribute.
+        self._fractions: dict[str, dict[Hashable, float]] = {}
+        for attribute, counts in label.vc.items():
+            denominator = float(sum(counts.values()))
+            self._fractions[attribute] = {
+                value: (count / denominator if denominator else 0.0)
+                for value, count in counts.items()
+            }
 
     @property
     def label(self) -> FlexibleLabel:
         """The label backing this estimator."""
         return self._label
 
-    def best_base(self, pattern: Pattern) -> tuple[Pattern | None, float]:
-        """The stored sub-pattern used as the estimation base.
+    @staticmethod
+    def _select_base(
+        candidates, pattern: Pattern
+    ) -> Pattern | None:
+        """Maximal-overlap / min-count base selection over ``candidates``.
 
-        Returns ``(None, |D|)`` when nothing applies (pure independence).
-        Preference: maximal attribute overlap, then the smaller stored
+        The single definition of the base preference, shared by the
+        scalar and batched paths so they cannot diverge: maximal
+        attribute overlap first, ties broken toward the smaller stored
         count (a more selective base leaves less mass to mis-spread).
         """
         best: Pattern | None = None
         best_key = (-1, float("inf"))
-        for stored, count in self._stored:
+        for stored, count in candidates:
             if not stored.is_subpattern_of(pattern):
                 continue
             if len(stored) > best_key[0] or (
@@ -105,6 +119,14 @@ class FlexibleEstimator:
             ):
                 best = stored
                 best_key = (len(stored), count)
+        return best
+
+    def best_base(self, pattern: Pattern) -> tuple[Pattern | None, float]:
+        """The stored sub-pattern used as the estimation base.
+
+        Returns ``(None, |D|)`` when nothing applies (pure independence).
+        """
+        best = self._select_base(self._stored, pattern)
         if best is None:
             return None, float(self._label.total)
         return best, float(self._label.pc[best])
@@ -119,16 +141,50 @@ class FlexibleEstimator:
         for attribute, value in pattern.items_sorted:
             if attribute in covered:
                 continue
-            estimate *= self._label.value_fraction(attribute, value)
+            estimate *= self._fractions[attribute][value]
         return estimate
 
+    def estimate_many(self, patterns) -> list[float]:
+        """Batched estimates for a query list.
+
+        Whether a stored pattern *can* base a query depends first on its
+        attribute set, so patterns are grouped by attribute tuple and each
+        group scans only the stored entries whose attributes it covers —
+        pruning the candidate scan of :meth:`best_base` once per group
+        instead of testing every stored pattern against every query.
+        """
+        patterns = list(patterns)
+        out = [0.0] * len(patterns)
+        total = float(self._label.total)
+        for attrs, indices in group_by_attributes(patterns).items():
+            attr_set = set(attrs)
+            applicable = [
+                (stored, count)
+                for stored, count in self._stored
+                if set(stored.attributes) <= attr_set
+            ]
+            for index in indices:
+                pattern = patterns[index]
+                best = self._select_base(applicable, pattern)
+                if best is None:
+                    estimate = total
+                    covered = set()
+                else:
+                    estimate = float(self._label.pc[best])
+                    covered = set(best.attributes)
+                for attribute, value in pattern.items_sorted:
+                    if attribute in covered:
+                        continue
+                    estimate *= self._fractions[attribute][value]
+                out[index] = estimate
+        return out
+
     def evaluate(self, pattern_set: PatternSet) -> ErrorSummary:
-        """Error summary over a pattern set (per-pattern loop)."""
+        """Error summary over a pattern set (batched)."""
         estimates = np.array(
-            [
-                self.estimate(pattern)
-                for pattern, _ in pattern_set.iter_with_counts()
-            ],
+            self.estimate_many(
+                [pattern_set.pattern(i) for i in range(len(pattern_set))]
+            ),
             dtype=np.float64,
         )
         return ErrorSummary.from_arrays(pattern_set.counts, estimates)

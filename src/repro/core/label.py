@@ -66,6 +66,9 @@ class Label:
     _fractions: dict[str, dict[Hashable, float]] = field(
         init=False, repr=False, compare=False, default=None
     )
+    _marginals: dict[
+        tuple[str, ...], dict[tuple[Hashable, ...], int]
+    ] = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         unknown = set(self.attributes) - set(self.attribute_order)
@@ -95,6 +98,7 @@ class Label:
                 for value, count in counts.items()
             }
         object.__setattr__(self, "_fractions", fractions)
+        object.__setattr__(self, "_marginals", {})
 
     # -- paper notation -------------------------------------------------------
 
@@ -153,6 +157,39 @@ class Label:
             if None not in combo
             and all(combo[i] == value for i, value in positions)
         )
+
+    def marginal_counts(
+        self, attributes: Sequence[str]
+    ) -> dict[tuple[Hashable, ...], int]:
+        """Marginal of the fully-bound ``PC`` entries over ``attributes``.
+
+        ``attributes`` must be a subsequence of :attr:`attributes` (label
+        order); keys of the result align with it.  This is the fallback
+        table of :meth:`restricted_count`, materialized once and cached —
+        the batch estimation path answers every restricted count with one
+        dictionary lookup instead of an ``O(|PC|)`` scan per pattern.
+        """
+        key = tuple(attributes)
+        cached = self._marginals.get(key)
+        if cached is not None:
+            return cached
+        positions = []
+        for attribute in key:
+            try:
+                positions.append(self.attributes.index(attribute))
+            except ValueError:
+                raise ValueError(
+                    f"attribute {attribute!r} is not in the label's set "
+                    f"{self.attributes}"
+                ) from None
+        marginal: dict[tuple[Hashable, ...], int] = {}
+        for combo, count in self.pc.items():
+            if None in combo:
+                continue  # partial-support keys are served exactly, not summed
+            projected = tuple(combo[i] for i in positions)
+            marginal[projected] = marginal.get(projected, 0) + count
+        self._marginals[key] = marginal
+        return marginal
 
     def value_fraction(self, attribute: str, value: Hashable) -> float:
         """Independence factor ``c_D({A=a}) / sum_a' c_D({A=a'})``."""

@@ -175,10 +175,20 @@ class LabelMaintainer:
         self._drift_factor = drift_factor
         self._check_every = check_every
         self._batches_since_check = 0
+        # One counter for the maintainer's lifetime.  Its caches
+        # (fractions, label sizes, joint/key tables) describe a snapshot,
+        # so every dataset swap MUST go through _rebind_data — reusing
+        # the counter across snapshots without rebind() serves stale
+        # counts (the bug the rebind hook exists to prevent).
+        self._counter = PatternCounter(dataset)
         self._rebuild()
 
+    def _rebind_data(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        self._counter.rebind(dataset)
+
     def _rebuild(self) -> None:
-        counter = PatternCounter(self._dataset)
+        counter = self._counter
         result = top_down_search(
             counter, self._bound, pattern_set=full_pattern_set(counter)
         )
@@ -202,8 +212,10 @@ class LabelMaintainer:
         check that trips triggers an automatic re-search under the same
         budget.
         """
-        self._dataset = self._dataset.concat(
-            rows.select(list(self._dataset.attribute_names))
+        self._rebind_data(
+            self._dataset.concat(
+                rows.select(list(self._dataset.attribute_names))
+            )
         )
         self._label = apply_inserts(self._label, rows)
         self._batches_since_check += 1
@@ -212,7 +224,7 @@ class LabelMaintainer:
         stale = self._label.size > self._bound
         if stale or self._batches_since_check >= self._check_every:
             self._batches_since_check = 0
-            counter = PatternCounter(self._dataset)
+            counter = self._counter
             summary = evaluate_label(
                 counter, self._label, full_pattern_set(counter)
             )

@@ -1,4 +1,4 @@
-"""Patterns: attribute-value combinations (Definition 2.1).
+"""Patterns: attribute-value combinations (Definition 2.1) and grouping.
 
 A :class:`Pattern` is an immutable mapping from attribute names to domain
 values, e.g. ``Pattern({"age group": "under 20", "marital status":
@@ -8,13 +8,19 @@ pattern's value on every pattern attribute (Definition 2.3); the *count*
 
 Patterns are hashable and order-insensitive: two patterns with the same
 attribute-value pairs are equal regardless of construction order.
+
+:func:`encode_groups` is the shared front half of every batch path: a
+mixed workload is grouped by attribute tuple and each group is encoded
+into one integer code matrix, ready for the vectorized kernels.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Mapping
+from typing import Hashable, Iterator, Mapping, Sequence
 
-__all__ = ["Pattern"]
+import numpy as np
+
+__all__ = ["Pattern", "group_by_attributes", "encode_groups"]
 
 
 class Pattern(Mapping[str, Hashable]):
@@ -125,3 +131,45 @@ class Pattern(Mapping[str, Hashable]):
         return all(
             row.get(attribute) == value for attribute, value in self._items
         )
+
+
+def group_by_attributes(
+    patterns: Sequence["Pattern"],
+) -> dict[tuple[str, ...], list[int]]:
+    """Workload indices grouped by (canonical, sorted) attribute tuple.
+
+    The single definition of batch grouping — every batch path groups
+    through here so grouping semantics cannot diverge between kernels.
+    """
+    groups: dict[tuple[str, ...], list[int]] = {}
+    for index, pattern in enumerate(patterns):
+        groups.setdefault(pattern.attributes, []).append(index)
+    return groups
+
+
+def encode_groups(
+    patterns: Sequence["Pattern"], schema
+) -> list[tuple[tuple[str, ...], np.ndarray, list[int]]]:
+    """Group a workload by attribute tuple and encode each group.
+
+    The shared front half of every batch path (``count_many``,
+    ``BatchLabelEvaluator``, the baselines' ``estimate_many``): returns
+    one ``(attributes, code_matrix, pattern_indices)`` triple per
+    distinct attribute tuple, where row ``j`` of ``code_matrix`` holds
+    the schema codes of ``patterns[pattern_indices[j]]``.
+
+    ``schema`` is any mapping-style schema whose ``schema[name].code_of``
+    resolves a domain value (unknown values raise, exactly like the
+    scalar paths).
+    """
+    encoded = []
+    for attrs, indices in group_by_attributes(patterns).items():
+        combos = np.array(
+            [
+                [schema[a].code_of(patterns[i][a]) for a in attrs]
+                for i in indices
+            ],
+            dtype=np.int32,
+        )
+        encoded.append((attrs, combos, indices))
+    return encoded

@@ -66,11 +66,9 @@ class PatternSet:
     def from_patterns(
         cls, counter: PatternCounter, patterns: Sequence[Pattern]
     ) -> "PatternSet":
-        """Explicit pattern set; true counts are computed from the data."""
+        """Explicit pattern set; true counts come from the batch kernel."""
         patterns = list(patterns)
-        counts = np.array(
-            [counter.count(p) for p in patterns], dtype=np.int64
-        )
+        counts = counter.count_many(patterns)
         return cls(
             attributes=None,
             combos=None,

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.counts import PatternCounter
-from repro.core.errors import ErrorSummary, Objective, evaluate_label
+from repro.core.errors import BatchLabelEvaluator, ErrorSummary, Objective
 from repro.core.label import Label, build_label
 from repro.core.lattice import gen_children
 from repro.core.patternsets import PatternSet, full_pattern_set
@@ -124,13 +124,20 @@ def _evaluate_candidates(
     stats: SearchStats,
 ) -> tuple[tuple[str, ...], ErrorSummary, float]:
     """Pick the best candidate under ``objective`` (ties: fewer attributes,
-    then attribute order) and record evaluation stats."""
+    then attribute order) and record evaluation stats.
+
+    All surviving candidates are scored in one batched pass: the pattern
+    set is encoded once by :class:`~repro.core.errors.BatchLabelEvaluator`
+    and each candidate costs a base-count lookup plus cached
+    independence-factor multiplies.
+    """
     start = time.perf_counter()
+    evaluator = BatchLabelEvaluator(counter, pattern_set)
     best: tuple[str, ...] | None = None
     best_summary: ErrorSummary | None = None
     best_value = float("inf")
     for candidate in candidates:
-        summary = evaluate_label(counter, candidate, pattern_set)
+        summary = evaluator.evaluate(candidate)
         stats.labels_evaluated += 1
         value = objective.of(summary)
         if value < best_value or (

@@ -111,3 +111,188 @@ class TestConversions:
     def test_pattern_from_missing_code_rejected(self, figure2_counter):
         with pytest.raises(ValueError, match="missing"):
             figure2_counter.pattern_from_codes(["gender"], [-1])
+
+
+class TestBatchCounting:
+    """count_many / counts_for_codes: the batch kernel's contract."""
+
+    def test_count_many_matches_scalar_loop(self, figure2_counter):
+        patterns = [
+            Pattern({"age group": "under 20", "marital status": "single"}),
+            Pattern({"gender": "Female"}),
+            Pattern({"age group": "under 20", "marital status": "married"}),
+            Pattern({"gender": "Male", "race": "Caucasian"}),
+            Pattern({"gender": "Female"}),  # duplicates allowed
+        ]
+        batch = figure2_counter.count_many(patterns)
+        assert list(batch) == [
+            figure2_counter.count(p) for p in patterns
+        ]
+
+    def test_count_many_empty_batch(self, figure2_counter):
+        assert figure2_counter.count_many([]).size == 0
+
+    def test_count_many_stable_on_repeat(self, figure2_counter):
+        """Second batch promotes to the key table; results must agree."""
+        patterns = [
+            Pattern({"gender": "Female", "race": "Hispanic"}),
+            Pattern({"gender": "Male", "race": "Hispanic"}),
+        ]
+        first = figure2_counter.count_many(patterns)
+        second = figure2_counter.count_many(patterns)
+        third = figure2_counter.count_many(patterns)
+        assert list(first) == list(second) == list(third)
+
+    def test_counts_for_codes_shape_check(self, figure2_counter):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="combos"):
+            figure2_counter.counts_for_codes(
+                ["gender"], np.zeros((2, 2), dtype=np.int32)
+            )
+
+    def test_count_many_with_missing_values(self):
+        data = Dataset.from_columns(
+            {
+                "a": ["x", "x", None, "y", "x"],
+                "b": ["u", None, "u", "v", "u"],
+            }
+        )
+        counter = PatternCounter(data)
+        patterns = [
+            Pattern({"a": "x"}),
+            Pattern({"a": "x", "b": "u"}),
+            Pattern({"b": "v"}),
+            Pattern({"a": "y", "b": "u"}),
+        ]
+        assert list(counter.count_many(patterns)) == [
+            counter.count(p) for p in patterns
+        ]
+
+    def test_joint_tables_batch_matches_single(self, figure2_counter):
+        tables = figure2_counter.joint_tables(
+            [("gender",), ("gender", "race"), ("gender",)]
+        )
+        assert set(tables) == {("gender",), ("gender", "race")}
+        combos, counts = tables[("gender", "race")]
+        single = figure2_counter.joint_table(("gender", "race"))
+        assert (combos == single[0]).all()
+        assert (counts == single[1]).all()
+
+
+class TestCacheInvalidation:
+    """The stale-cache bug: caches must die when the counter rebinds.
+
+    Before the rebind hook existed, carrying one counter across a
+    maintenance insert/delete kept serving `_fractions`, `_label_sizes`
+    and joint/key tables of the *old* snapshot.  These tests pin the
+    fixed behavior.
+    """
+
+    def _small(self):
+        return Dataset.from_columns(
+            {"a": ["x", "x", "y"], "b": ["u", "v", "u"]}
+        )
+
+    def _grown(self):
+        return Dataset.from_columns(
+            {
+                "a": ["x", "x", "y", "y", "y", "y"],
+                "b": ["u", "v", "u", "v", "v", "w"],
+            }
+        )
+
+    def test_rebind_refreshes_all_derived_state(self):
+        counter = PatternCounter(self._small())
+        # Warm every cache family against the old snapshot.
+        assert counter.fraction("a", "x") == pytest.approx(2 / 3)
+        assert counter.label_size(("a", "b")) == 3
+        assert counter.count_many([Pattern({"a": "y"})])[0] == 1
+        assert counter.count_many([Pattern({"a": "y"})])[0] == 1
+        counter.joint_table(("a", "b"))
+        counter.distinct_full_rows()
+
+        counter.rebind(self._grown())
+
+        # Every answer must now describe the new snapshot; each of these
+        # fails against the stale caches.
+        assert counter.total_rows == 6
+        assert counter.fraction("a", "x") == pytest.approx(2 / 6)
+        assert counter.label_size(("a", "b")) == 5
+        assert counter.count_many([Pattern({"a": "y"})])[0] == 4
+        assert counter.value_count("b", "v") == 3
+        _, counts = counter.distinct_full_rows()
+        assert counts.sum() == 6
+
+    def test_invalidate_caches_alone_is_enough_for_same_data(self):
+        counter = PatternCounter(self._small())
+        before = counter.count_many([Pattern({"a": "x", "b": "u"})])
+        counter.invalidate_caches()
+        after = counter.count_many([Pattern({"a": "x", "b": "u"})])
+        assert list(before) == list(after)
+
+    def test_rebind_returns_self(self):
+        counter = PatternCounter(self._small())
+        assert counter.rebind(self._grown()) is counter
+
+
+class TestRadixOverflowFallback:
+    """Attribute sets whose domain product overflows int64 must fall
+    back to the scalar mask path — with identical counts."""
+
+    def test_overflow_parity_and_no_key_cache(self):
+        import numpy as np
+
+        # 5 attributes x 2**16 categories: product is 2**80 >> 2**63.
+        card = 2**16
+        n_attrs, n_rows = 5, 40
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, card, size=(n_rows, n_attrs)).astype(
+            np.int32
+        )
+        codes[5:] = codes[:35]  # force repeated rows -> counts > 1
+        from repro.dataset.schema import Column, Schema
+
+        schema = Schema(
+            [
+                Column(f"A{i}", tuple(range(card)))
+                for i in range(n_attrs)
+            ]
+        )
+        data = Dataset(schema, codes)
+        counter = PatternCounter(data)
+        attrs = tuple(f"A{i}" for i in range(n_attrs))
+        assert counter.encoded_rows(attrs) is None
+
+        patterns = [
+            Pattern(
+                {f"A{i}": int(codes[r, i]) for i in range(n_attrs)}
+            )
+            for r in (0, 5, 39)
+        ] + [Pattern({f"A{i}": 1 for i in range(n_attrs)})]
+        batch = counter.count_many(patterns)
+        assert list(batch) == [counter.count(p) for p in patterns]
+        assert batch[0] >= 1 and list(batch)[-1] in (0, 1)
+
+    def test_narrow_subsets_of_wide_schema_still_batch(self):
+        import numpy as np
+
+        card = 2**16
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 3, size=(30, 5)).astype(np.int32)
+        from repro.dataset.schema import Column, Schema
+
+        schema = Schema(
+            [Column(f"A{i}", tuple(range(card))) for i in range(5)]
+        )
+        data = Dataset(schema, codes)
+        counter = PatternCounter(data)
+        # A 2-attribute projection fits easily; the kernel must use it.
+        assert counter.encoded_rows(("A0", "A1")) is not None
+        patterns = [
+            Pattern({"A0": 0, "A1": 2}),
+            Pattern({"A0": 1}),
+        ]
+        assert list(counter.count_many(patterns)) == [
+            counter.count(p) for p in patterns
+        ]

@@ -166,3 +166,41 @@ class TestLabelMaintainer:
             LabelMaintainer(figure2, bound=5, drift_factor=0.5)
         with pytest.raises(ValueError, match="check_every"):
             LabelMaintainer(figure2, bound=5, check_every=0)
+
+
+class TestMaintainerCounterFreshness:
+    """The maintainer's long-lived counter must track dataset swaps.
+
+    Regression guard for the stale-cache bug: the maintainer now keeps
+    one PatternCounter for its lifetime and rebinds it on every insert,
+    so drift checks and rebuilds must see post-insert counts — not the
+    fractions/joint tables of the snapshot the maintainer started from.
+    """
+
+    def test_drift_summary_matches_fresh_evaluation(self):
+        data = load_dataset("bluenile", n_rows=1200, seed=3)
+        maintainer = LabelMaintainer(data, bound=30, check_every=1)
+        batch = load_dataset("bluenile", n_rows=300, seed=8)
+        status = maintainer.insert(batch)
+        assert status.summary is not None
+
+        from repro.core.counts import PatternCounter
+        from repro.core.errors import evaluate_label
+        from repro.core.patternsets import full_pattern_set
+
+        fresh = PatternCounter(maintainer.dataset)
+        reference = evaluate_label(
+            fresh, status.label, full_pattern_set(fresh)
+        )
+        assert status.summary.max_abs == pytest.approx(reference.max_abs)
+        assert status.summary.mean_abs == pytest.approx(reference.mean_abs)
+
+    def test_counter_rebinds_to_current_snapshot(self):
+        data = load_dataset("bluenile", n_rows=800, seed=3)
+        maintainer = LabelMaintainer(data, bound=30, check_every=100)
+        before_rows = maintainer._counter.total_rows
+        batch = load_dataset("bluenile", n_rows=150, seed=9)
+        maintainer.insert(batch)
+        assert before_rows == 800
+        assert maintainer._counter.total_rows == 950
+        assert maintainer._counter.dataset is maintainer.dataset

@@ -1,0 +1,122 @@
+"""Golden regression tests for the figure experiment drivers.
+
+The Fig. 4/5 (accuracy vs label size) and Fig. 9 (candidates examined)
+drivers are run at a tiny, fully seeded scale and their complete result
+tables are compared against checked-in JSON goldens.  Any refactor of
+the counting kernel, the evaluation path, or the search — however
+innocent — that silently shifts an accuracy number or a candidate count
+fails here first.
+
+To intentionally re-freeze after a *reviewed* behavior change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_figures.py
+
+then commit the rewritten files under ``tests/experiments/goldens/``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments.accuracy import accuracy_vs_label_size
+from repro.experiments.candidates import candidates_vs_bound
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
+
+# Small-seed scales: big enough for non-trivial labels, small enough to
+# keep the full sweep under a few seconds.
+ACCURACY_CONFIG = {"n_rows": 1200, "seed": 7, "bounds": (10, 25)}
+CANDIDATES_CONFIG = {"n_rows": 1000, "seed": 7, "bounds": (10, 30)}
+
+
+def _run_accuracy():
+    data = load_dataset(
+        "bluenile",
+        n_rows=ACCURACY_CONFIG["n_rows"],
+        seed=ACCURACY_CONFIG["seed"],
+    )
+    return accuracy_vs_label_size(
+        data,
+        "bluenile-golden",
+        ACCURACY_CONFIG["bounds"],
+        sample_repeats=2,
+        seed=0,
+    )
+
+
+def _run_candidates():
+    data = load_dataset(
+        "bluenile",
+        n_rows=CANDIDATES_CONFIG["n_rows"],
+        seed=CANDIDATES_CONFIG["seed"],
+    )
+    return candidates_vs_bound(
+        data, "bluenile-golden", CANDIDATES_CONFIG["bounds"]
+    )
+
+
+def _table_payload(table) -> dict:
+    return {
+        "name": table.name,
+        "columns": list(table.columns),
+        "rows": table.rows(),
+    }
+
+
+def _check_against_golden(table, golden_name: str) -> None:
+    path = GOLDEN_DIR / golden_name
+    payload = _table_payload(table)
+    if REGEN or not path.exists():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if REGEN:
+            pytest.skip(f"regenerated {path.name}")
+        pytest.fail(
+            f"golden {path.name} was missing and has been generated; "
+            "inspect and commit it"
+        )
+    golden = json.loads(path.read_text())
+    assert payload["columns"] == golden["columns"]
+    assert len(payload["rows"]) == len(golden["rows"]), "row count changed"
+    for index, (actual, frozen) in enumerate(
+        zip(payload["rows"], golden["rows"])
+    ):
+        for column in golden["columns"]:
+            actual_value = actual[column]
+            frozen_value = frozen[column]
+            where = f"row {index}, column {column!r}"
+            if isinstance(frozen_value, float) and isinstance(
+                actual_value, (int, float)
+            ):
+                if math.isnan(frozen_value):
+                    assert math.isnan(float(actual_value)), where
+                else:
+                    assert actual_value == pytest.approx(
+                        frozen_value, rel=1e-6, abs=1e-9
+                    ), where
+            else:
+                assert actual_value == frozen_value, where
+
+
+class TestGoldenFigures:
+    def test_fig4_fig5_accuracy_table_frozen(self):
+        """Figs. 4 & 5: PCBL / Postgres / Sample accuracy series."""
+        _check_against_golden(_run_accuracy(), "fig4_fig5_accuracy.json")
+
+    def test_fig9_candidates_table_frozen(self):
+        """Fig. 9: subsets examined, naive vs optimized."""
+        _check_against_golden(_run_candidates(), "fig9_candidates.json")
+
+    def test_goldens_are_committed(self):
+        """The goldens must live in the repository, not be regenerated
+        fresh on every machine (a regenerated golden can never fail)."""
+        for name in ("fig4_fig5_accuracy.json", "fig9_candidates.json"):
+            assert (GOLDEN_DIR / name).exists(), name

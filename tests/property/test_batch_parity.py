@@ -1,0 +1,257 @@
+"""Parity properties of the batch kernel vs the scalar reference paths.
+
+The batch counting engine (``PatternCounter.count_many``, the
+``BatchLabelEvaluator`` error pass, the per-backend ``estimate_many``
+implementations) must be *observably identical* to the per-pattern
+scalar paths it replaces — the scalar paths are kept precisely to serve
+as the executable specification.  Hypothesis generates random small
+relations (optionally with missing values) and random mixed-arity
+workloads, and every batch answer is checked against its scalar twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    LabelEstimator,
+    Pattern,
+    PatternCounter,
+    build_label,
+    evaluate_label,
+)
+from repro.api import RegistryError, make_estimator, registered_estimators
+from repro.api.registry import estimate_many as registry_estimate_many
+from repro.core.errors import BatchLabelEvaluator, evaluate_labels
+from repro.core.patternsets import PatternSet, full_pattern_set
+
+# -- strategies -----------------------------------------------------------------
+
+
+@st.composite
+def datasets(draw, min_rows: int = 2, max_rows: int = 24, allow_missing=False):
+    """A random small categorical relation with pinned domains."""
+    n_attrs = draw(st.integers(2, 4))
+    names = [f"A{i}" for i in range(n_attrs)]
+    domain_sizes = [draw(st.integers(2, 3)) for _ in range(n_attrs)]
+    n_rows = draw(st.integers(min_rows, max_rows))
+    columns = {}
+    for name, size in zip(names, domain_sizes):
+        domain = [f"v{j}" for j in range(size)]
+        columns[name] = draw(
+            st.lists(
+                st.sampled_from(domain + ([None] if allow_missing else [])),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+    domains = {
+        name: tuple(f"v{j}" for j in range(size))
+        for name, size in zip(names, domain_sizes)
+    }
+    return Dataset.from_columns(columns, domains=domains)
+
+
+@st.composite
+def workloads(draw, data: Dataset, min_patterns=1, max_patterns=12):
+    """Random mixed-arity patterns over ``data``'s domains.
+
+    Values are drawn from the *domains*, not from the rows, so the
+    workload exercises zero-count patterns too.
+    """
+    names = list(data.attribute_names)
+    schema = data.schema
+    n_patterns = draw(st.integers(min_patterns, max_patterns))
+    patterns = []
+    for _ in range(n_patterns):
+        arity = draw(st.integers(1, len(names)))
+        attrs = draw(
+            st.lists(
+                st.sampled_from(names),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        patterns.append(
+            Pattern(
+                {
+                    a: draw(st.sampled_from(list(schema[a].categories)))
+                    for a in attrs
+                }
+            )
+        )
+    return patterns
+
+
+@st.composite
+def dataset_and_workload(draw, allow_missing=False):
+    data = draw(datasets(allow_missing=allow_missing))
+    return data, draw(workloads(data))
+
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _subsets_of(draw, data: Dataset):
+    names = list(data.attribute_names)
+    k = draw(st.integers(1, len(names)))
+    return tuple(
+        draw(
+            st.lists(
+                st.sampled_from(names), min_size=k, max_size=k, unique=True
+            )
+        )
+    )
+
+
+# -- count_many == looped count -------------------------------------------------
+
+
+@SETTINGS
+@given(dataset_and_workload())
+def test_count_many_matches_scalar_loop(data_workload):
+    data, patterns = data_workload
+    counter = PatternCounter(data)
+    batch = counter.count_many(patterns)
+    scalar = [counter.count(p) for p in patterns]
+    assert list(batch) == scalar
+    # Repeat batches go through the promoted key tables — still equal.
+    assert list(counter.count_many(patterns)) == scalar
+
+
+@SETTINGS
+@given(dataset_and_workload(allow_missing=True))
+def test_count_many_matches_scalar_loop_with_missing(data_workload):
+    """Missing values never satisfy a pattern, on both paths."""
+    data, patterns = data_workload
+    counter = PatternCounter(data)
+    assert list(counter.count_many(patterns)) == [
+        counter.count(p) for p in patterns
+    ]
+
+
+# -- batched evaluate_label == scalar -------------------------------------------
+
+
+@SETTINGS
+@given(st.data())
+def test_batched_evaluation_matches_scalar_estimator(data_strategy):
+    """BatchLabelEvaluator == evaluate_label == per-pattern LabelEstimator."""
+    data = data_strategy.draw(datasets())
+    counter = PatternCounter(data)
+    patterns = data_strategy.draw(workloads(data))
+    pattern_set = PatternSet.from_patterns(counter, patterns)
+    subset = _subsets_of(data_strategy.draw, data)
+
+    scalar_estimator = LabelEstimator(build_label(counter, subset))
+    scalar_estimates = np.array(
+        [scalar_estimator.estimate(p) for p in patterns]
+    )
+
+    evaluator = BatchLabelEvaluator(counter, pattern_set)
+    np.testing.assert_allclose(
+        evaluator.estimates(tuple(sorted(subset))),
+        scalar_estimates,
+        rtol=1e-9,
+        atol=1e-12,
+    )
+
+    batch_summary = evaluator.evaluate(subset)
+    plain_summary = evaluate_label(counter, subset, pattern_set)
+    for field in ("n_patterns", "max_abs", "mean_abs", "max_q", "mean_q"):
+        assert getattr(batch_summary, field) == pytest.approx(
+            getattr(plain_summary, field), rel=1e-9
+        ), field
+
+
+@SETTINGS
+@given(st.data())
+def test_evaluate_labels_matches_per_candidate_calls(data_strategy):
+    data = data_strategy.draw(datasets())
+    counter = PatternCounter(data)
+    pattern_set = full_pattern_set(counter)
+    candidates = [
+        _subsets_of(data_strategy.draw, data) for _ in range(3)
+    ]
+    batch = evaluate_labels(counter, candidates, pattern_set)
+    for candidate, summary in zip(candidates, batch):
+        reference = evaluate_label(counter, candidate, pattern_set)
+        assert summary.max_abs == pytest.approx(reference.max_abs, rel=1e-9)
+        assert summary.mean_q == pytest.approx(reference.mean_q, rel=1e-9)
+
+
+# -- estimate vs estimate_many across every registered backend ------------------
+
+_BACKEND_PARAMS = {
+    # bound 12 > 3*3, the largest possible 2-attribute label of the
+    # generated relations, so the search always finds a feasible subset.
+    "label": {"bound": 12},
+    "flexible": {"bound": 4},
+    "multi_label": {"bound": 12, "n_labels": 2},
+    "independence": {},
+    "sampling": {"bound": 8, "seed": 0},
+    "dephist": {},
+    "postgres": {"seed": 0},
+}
+
+
+def test_backend_param_table_covers_registry():
+    """Every built-in backend must appear in the parity sweep below.
+
+    Subset, not equality: the registry is global and other tests (and
+    deployments) legitimately register extra backends at runtime.
+    """
+    assert set(_BACKEND_PARAMS) <= set(registered_estimators())
+    builtins = {
+        "label",
+        "flexible",
+        "multi_label",
+        "independence",
+        "sampling",
+        "dephist",
+        "postgres",
+    }
+    assert builtins <= set(_BACKEND_PARAMS)
+
+
+@SETTINGS
+@given(dataset_and_workload())
+def test_estimate_many_matches_estimate_for_all_backends(data_workload):
+    data, patterns = data_workload
+    for name, params in _BACKEND_PARAMS.items():
+        try:
+            estimator = make_estimator(name, data, **params)
+        except RegistryError:
+            continue  # optional dependency missing (e.g. networkx)
+        scalar = [float(estimator.estimate(p)) for p in patterns]
+        batched = registry_estimate_many(estimator, patterns)
+        np.testing.assert_allclose(
+            batched, scalar, rtol=1e-9, atol=1e-12, err_msg=name
+        )
+
+
+@SETTINGS
+@given(datasets())
+def test_tabular_pattern_set_dispatch_matches_scalar(data):
+    """PatternSet dispatch (estimate_codes fast path) stays consistent."""
+    counter = PatternCounter(data)
+    pattern_set = full_pattern_set(counter)
+    patterns = [pattern_set.pattern(i) for i in range(len(pattern_set))]
+    for name in ("independence", "postgres", "sampling"):
+        estimator = make_estimator(
+            name, data, **_BACKEND_PARAMS[name]
+        )
+        via_set = registry_estimate_many(estimator, pattern_set)
+        scalar = [float(estimator.estimate(p)) for p in patterns]
+        np.testing.assert_allclose(
+            via_set, scalar, rtol=1e-9, atol=1e-12, err_msg=name
+        )

@@ -249,3 +249,117 @@ class TestProfileCommand:
         )
         assert code == 0
         assert "no findings" in capsys.readouterr().out
+
+
+class TestEstimateWorkloadBatch:
+    """The --workload batch path: estimate_many over a query file."""
+
+    @pytest.fixture
+    def workload_path(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"age group": "20-39", "marital status": "married"},
+                    {"gender": "Female"},
+                    {"gender": "Male", "race": "Caucasian"},
+                ]
+            )
+        )
+        return path
+
+    def test_batch_matches_inline_estimates(
+        self, label_path, workload_path, capsys
+    ):
+        assert main(
+            ["estimate", str(label_path), "--workload", str(workload_path)]
+        ) == 0
+        batch_lines = capsys.readouterr().out.strip().splitlines()
+        assert len(batch_lines) == 3
+
+        inline = []
+        for bindings in (
+            ["age group=20-39", "marital status=married"],
+            ["gender=Female"],
+            ["gender=Male", "race=Caucasian"],
+        ):
+            main(["estimate", str(label_path)] + bindings)
+            inline.append(
+                capsys.readouterr().out.strip().split(" ")[0]
+            )
+        assert batch_lines == inline
+
+    def test_workload_through_any_registered_algorithm(
+        self, csv_path, workload_path, tmp_path, capsys
+    ):
+        """--algorithm dispatch ends in the same batch estimate path."""
+        for algorithm in ("naive", "top-down", "greedy_flexible"):
+            out = tmp_path / f"{algorithm}.json"
+            assert main(
+                [
+                    "label",
+                    str(csv_path),
+                    "--bound",
+                    "5",
+                    "--algorithm",
+                    algorithm,
+                    "-o",
+                    str(out),
+                ]
+            ) == 0
+            capsys.readouterr()  # drop the label summary
+            assert main(
+                ["estimate", str(out), "--workload", str(workload_path)]
+            ) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert len(lines) == 3, algorithm
+            assert all(float(line) >= 0 for line in lines), algorithm
+
+    def test_invalid_json_is_a_clean_error(self, label_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["estimate", str(label_path), "--workload", str(bad)])
+
+    def test_non_array_payload_rejected(self, label_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"gender": "Female"}))
+        with pytest.raises(SystemExit, match="non-empty JSON array"):
+            main(["estimate", str(label_path), "--workload", str(bad)])
+
+    def test_non_object_entry_rejected(self, label_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"gender": "Female"}, ["race", "x"]]))
+        with pytest.raises(SystemExit, match="entry 1"):
+            main(["estimate", str(label_path), "--workload", str(bad)])
+
+    def test_empty_pattern_entry_rejected(self, label_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{}]))
+        with pytest.raises(SystemExit, match="entry 0"):
+            main(["estimate", str(label_path), "--workload", str(bad)])
+
+    def test_missing_workload_file(self, label_path, tmp_path):
+        with pytest.raises(SystemExit, match="no such workload file"):
+            main(
+                [
+                    "estimate",
+                    str(label_path),
+                    "--workload",
+                    str(tmp_path / "nope.json"),
+                ]
+            )
+
+    def test_bindings_and_workload_conflict(
+        self, label_path, workload_path
+    ):
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                [
+                    "estimate",
+                    str(label_path),
+                    "gender=Female",
+                    "--workload",
+                    str(workload_path),
+                ]
+            )
