@@ -10,6 +10,12 @@ the **batch kernel** (``count_many``, ``BatchLabelEvaluator``,
 root.  That file is the perf trajectory: every future PR regenerates it
 and a shrinking speedup column is a regression.
 
+The sharded scenarios time the **sharded counting backend**
+(``ShardedPatternCounter``, the out-of-core/incremental engine) against
+the monolithic counter on identical workloads — parity is asserted, and
+the recorded ratio is the steady-state cost of answering through merged
+per-shard tables.
+
 Methodology: each path runs ``--rounds`` times on a *persistent*
 counter/estimator (caches warm up across rounds, exactly as they do in
 a long-lived serving process) and the **median** wall time is reported
@@ -37,7 +43,12 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import LabelingSession, PatternCounter, build_label  # noqa: E402
+from repro import (  # noqa: E402
+    LabelingSession,
+    PatternCounter,
+    ShardedPatternCounter,
+    build_label,
+)
 from repro.core.errors import evaluate_labels  # noqa: E402
 from repro.core.errors import ErrorSummary
 from repro.core.estimator import LabelEstimator  # noqa: E402
@@ -64,7 +75,13 @@ def _scenario(
     batch: Callable[[], object],
     rounds: int,
     detail: dict,
+    *,
+    a_key: str = "scalar_median_s",
+    b_key: str = "batch_median_s",
 ) -> dict:
+    """Time two equivalent paths; ``a_key``/``b_key`` name the record
+    columns (scalar-vs-batch by default, single-vs-sharded for the
+    sharded backend scenarios).  ``speedup`` is always a/b."""
     scalar_result = scalar()
     batch_result = batch()
     parity = np.allclose(
@@ -79,8 +96,8 @@ def _scenario(
     batch_s = _median_seconds(batch, rounds)
     speedup = round(scalar_s / batch_s, 2) if batch_s > 0 else None
     record = {
-        "scalar_median_s": round(scalar_s, 6),
-        "batch_median_s": round(batch_s, 6),
+        a_key: round(scalar_s, 6),
+        b_key: round(batch_s, 6),
         "speedup": speedup,
         "parity_checked": True,
         **detail,
@@ -198,6 +215,48 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         lambda: dephist.estimate_many(serving_patterns),
         rounds,
         {"rows": rows, "queries": serving_queries},
+    )
+
+    # 5. Sharded counting backend: K merged shards must answer the same
+    #    workload as one monolithic counter; this records the cost (or
+    #    win) of the merge, i.e. sharded-vs-single throughput.  The
+    #    sharded backend buys out-of-core ingestion and incremental
+    #    maintenance, so the interesting number is how close to 1.0x the
+    #    steady-state query path stays.
+    n_shards = 4
+    single_counter = PatternCounter(dataset)
+    sharded_counter = ShardedPatternCounter.from_dataset(dataset, n_shards)
+    scenarios[f"sharded_count_many/{n_shards}shards"] = _scenario(
+        f"sharded_count_many/{n_shards}shards",
+        lambda: single_counter.count_many(serving_patterns),
+        lambda: sharded_counter.count_many(serving_patterns),
+        rounds,
+        {"rows": rows, "queries": serving_queries, "shards": n_shards},
+        a_key="single_median_s",
+        b_key="sharded_median_s",
+    )
+
+    # 6. Sharded label pipeline end-to-end: search + build through the
+    #    merged tables (the out-of-core fit path of LabelingSession).
+    def single_fit() -> list[float]:
+        counter = PatternCounter(dataset)
+        fit = top_down_search(counter, bound, pattern_set=workload)
+        return [fit.summary.max_abs]
+
+    def sharded_fit() -> list[float]:
+        counter = ShardedPatternCounter.from_dataset(dataset, n_shards)
+        fit = top_down_search(counter, bound, pattern_set=workload)
+        return [fit.summary.max_abs]
+
+    scenarios[f"sharded_fit/{n_shards}shards"] = _scenario(
+        f"sharded_fit/{n_shards}shards",
+        single_fit,
+        sharded_fit,
+        rounds,
+        {"rows": rows, "queries": queries, "bound": bound,
+         "shards": n_shards},
+        a_key="single_median_s",
+        b_key="sharded_median_s",
     )
 
     return {

@@ -45,6 +45,8 @@ full system inventory.
 from repro.core import (
     DecisionProblem,
     ErrorSummary,
+    ShardedPatternCounter,
+    make_counter,
     FlexibleEstimator,
     FlexibleLabel,
     arity_pattern_set,
@@ -75,7 +77,15 @@ from repro.core import (
     sensitive_pattern_set,
     top_down_search,
 )
-from repro.dataset import Column, Dataset, Schema, read_csv, write_csv
+from repro.dataset import (
+    Column,
+    Dataset,
+    Schema,
+    read_csv,
+    read_csv_chunks,
+    scan_csv_domains,
+    write_csv,
+)
 from repro.api import (
     ApiError,
     ArtifactError,
@@ -105,10 +115,14 @@ __all__ = [
     "Schema",
     "Dataset",
     "read_csv",
+    "read_csv_chunks",
+    "scan_csv_domains",
     "write_csv",
     # core model
     "Pattern",
     "PatternCounter",
+    "ShardedPatternCounter",
+    "make_counter",
     "Label",
     "build_label",
     "label_size",

@@ -34,7 +34,8 @@ import numpy as np
 from repro.api.artifacts import MultiLabelBundle
 from repro.api.errors import RegistryError
 from repro.baselines.base import CardinalityEstimator, TabularEstimator
-from repro.core.counts import PatternCounter
+from repro.core.counts import PatternCounter, is_counter_like
+from repro.core.sharding import make_counter
 from repro.core.errors import ErrorSummary, Objective
 from repro.core.estimator import LabelEstimator, MultiLabelEstimator
 from repro.core.flexlabel import (
@@ -76,15 +77,29 @@ def _normalize(name: str) -> str:
     return name.strip().lower().replace("-", "_")
 
 
-def _as_counter(source: Dataset | PatternCounter) -> PatternCounter:
-    if isinstance(source, PatternCounter):
-        return source
-    if isinstance(source, Dataset):
-        return PatternCounter(source)
-    raise RegistryError(
-        f"this estimator profiles data: expected a Dataset or "
-        f"PatternCounter, got {type(source).__name__}"
-    )
+def _as_counter(
+    source: Dataset | PatternCounter,
+    *,
+    shards: int | None = None,
+    parallel: bool = False,
+) -> PatternCounter:
+    """Resolve the counting backend for a data-profiling factory.
+
+    Thin registry-flavored wrapper over
+    :func:`repro.core.sharding.make_counter`: counter-like objects pass
+    through, a dataset (or iterable of chunk datasets) is wrapped, and
+    ``shards``/``parallel`` turn on the sharded backend.  Unbuildable
+    sources fail with a :class:`RegistryError` instead of a bare
+    ``TypeError``.
+    """
+    try:
+        return make_counter(source, shards=shards, parallel=parallel)
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(
+            f"this estimator profiles data: expected a Dataset, a "
+            f"counter, or an iterable of Datasets — "
+            f"{type(source).__name__} cannot be counted ({exc})"
+        ) from exc
 
 
 # -- estimator registry -----------------------------------------------------------
@@ -204,6 +219,14 @@ def make_estimator(
     """
     spec = estimator_spec(name)
     if spec.needs_data and not isinstance(source, (Dataset, PatternCounter)):
+        if is_counter_like(source):
+            # The sampling/DBMS baselines read raw rows (sample, codes),
+            # which merged counter backends deliberately do not expose.
+            raise RegistryError(
+                f"estimator {spec.name!r} needs raw row access and must "
+                f"be built from a Dataset (or plain PatternCounter); a "
+                f"{type(source).__name__} only serves merged counts"
+            )
         raise RegistryError(
             f"estimator {spec.name!r} must be built from a dataset; it "
             f"cannot be reconstructed from a "
@@ -267,6 +290,8 @@ def _label_factory(
     pattern_set: PatternSet | None = None,
     objective: Objective = Objective.MAX_ABS,
     algorithm: str = "top_down",
+    shards: int | None = None,
+    parallel: bool = False,
     seed: int | None = None,  # accepted for uniformity; the search is
     # deterministic
 ) -> LabelEstimator:
@@ -276,11 +301,12 @@ def _label_factory(
     ``L_S(D)`` for ``attributes`` when given, else runs the search
     strategy named by ``algorithm`` (resolved through the strategy
     registry, so registered strategies that produce subset labels work
-    here too) under ``bound``.
+    here too) under ``bound``.  ``shards``/``parallel`` switch counting
+    to the sharded backend (see :mod:`repro.core.sharding`).
     """
     if isinstance(source, Label):
         return LabelEstimator(source)
-    counter = _as_counter(source)
+    counter = _as_counter(source, shards=shards, parallel=parallel)
     if attributes is not None:
         return LabelEstimator(build_label(counter, attributes))
     fitted = make_strategy(algorithm).fit(
@@ -300,12 +326,14 @@ def _flexible_factory(
     bound: int = _DEFAULT_BOUND,
     pattern_set: PatternSet | None = None,
     max_arity: int | None = None,
+    shards: int | None = None,
+    parallel: bool = False,
     seed: int | None = None,  # accepted for uniformity; greedy is deterministic
 ) -> FlexibleEstimator:
     """``flexible``: overlapping pattern counts (Section II-C extension)."""
     if isinstance(source, FlexibleLabel):
         return FlexibleEstimator(source)
-    counter = _as_counter(source)
+    counter = _as_counter(source, shards=shards, parallel=parallel)
     label = greedy_flexible_label(
         counter, bound, pattern_set=pattern_set, max_arity=max_arity
     )
@@ -320,6 +348,8 @@ def _multi_label_factory(
     n_labels: int = 2,
     reduce: str = "median",
     pattern_set: PatternSet | None = None,
+    shards: int | None = None,
+    parallel: bool = False,
     seed: int | None = None,  # accepted for uniformity; deterministic
 ) -> MultiLabelEstimator:
     """``multi_label``: combine several labels of one dataset.
@@ -335,7 +365,7 @@ def _multi_label_factory(
         isinstance(item, Label) for item in source
     ):
         return MultiLabelEstimator(list(source), reduce=reduce)
-    counter = _as_counter(source)
+    counter = _as_counter(source, shards=shards, parallel=parallel)
     if subsets is None:
         result = top_down_search(counter, bound, pattern_set=pattern_set)
         chosen: list[tuple[str, ...]] = [result.attributes]
@@ -488,25 +518,44 @@ class FittedLabel:
 
 @dataclass(frozen=True)
 class NaiveConfig:
-    """Options of the level-wise exhaustive search."""
+    """Options of the level-wise exhaustive search.
+
+    ``shards``/``parallel`` select the counting backend built for a
+    bare dataset (see :mod:`repro.core.sharding`); an already-built
+    counter passed to ``fit`` is used as-is.
+    """
 
     min_size: int = 2
     max_size: int | None = None
     time_limit_seconds: float | None = None
+    shards: int | None = None
+    parallel: bool = False
 
 
 @dataclass(frozen=True)
 class TopDownConfig:
-    """Options of Algorithm 1 (top-down lattice traversal)."""
+    """Options of Algorithm 1 (top-down lattice traversal).
+
+    ``shards``/``parallel`` select the counting backend built for a
+    bare dataset (see :mod:`repro.core.sharding`).
+    """
 
     prune_parents: bool = True
+    shards: int | None = None
+    parallel: bool = False
 
 
 @dataclass(frozen=True)
 class GreedyFlexibleConfig:
-    """Options of the greedy flexible-label construction."""
+    """Options of the greedy flexible-label construction.
+
+    ``shards``/``parallel`` select the counting backend built for a
+    bare dataset (see :mod:`repro.core.sharding`).
+    """
 
     max_arity: int | None = None
+    shards: int | None = None
+    parallel: bool = False
 
 
 @dataclass(frozen=True)
@@ -603,8 +652,18 @@ class Strategy:
         pattern_set: PatternSet | None = None,
         objective: Objective = Objective.MAX_ABS,
     ) -> FittedLabel:
-        """Run the strategy on ``source`` under the size budget ``bound``."""
-        counter = _as_counter(source)
+        """Run the strategy on ``source`` under the size budget ``bound``.
+
+        A bare dataset is wrapped through the counter factory honoring
+        the config's ``shards``/``parallel`` knobs (third-party configs
+        without those fields get the plain counter); counter-like
+        sources are used as-is.
+        """
+        counter = _as_counter(
+            source,
+            shards=getattr(self.config, "shards", None),
+            parallel=getattr(self.config, "parallel", False),
+        )
         return self.spec.runner(
             counter, bound, pattern_set, objective, self.config
         )

@@ -35,6 +35,7 @@ from repro.api.registry import estimate_many as _estimate_many
 from repro.api.registry import make_strategy
 from repro.core.counts import PatternCounter
 from repro.core.errors import ErrorSummary, Objective
+from repro.core.sharding import make_counter
 from repro.core.flexlabel import FlexibleLabel
 from repro.core.label import Label
 from repro.core.maintenance import apply_deletes, apply_inserts
@@ -76,27 +77,46 @@ class LabelingSession:
     @classmethod
     def fit(
         cls,
-        dataset: Dataset | PatternCounter,
+        dataset: Dataset | PatternCounter | Iterable[Dataset],
         bound: int,
         *,
         strategy: str = "top_down",
         pattern_set: PatternSet | None = None,
         objective: Objective = Objective.MAX_ABS,
+        shards: int | None = None,
+        parallel: bool = False,
         **strategy_options: Any,
     ) -> "LabelingSession":
         """Search ``dataset`` for a label under the size budget ``bound``.
 
         Parameters
         ----------
+        dataset:
+            A :class:`~repro.dataset.table.Dataset`, an existing counter
+            (plain or sharded), or an **iterable of chunk datasets** —
+            e.g. the generator of
+            :func:`~repro.dataset.csvio.read_csv_chunks`, which fits a
+            label without ever materializing the parsed file whole
+            (each chunk becomes a shard of a
+            :class:`~repro.core.sharding.ShardedPatternCounter`; the
+            coded shards stay resident).
         strategy:
             A registered strategy name; extra keyword arguments are
             validated against that strategy's config dataclass (e.g.
             ``prune_parents=False`` for ``top_down``, ``max_arity=2``
             for ``greedy_flexible``).
+        shards:
+            Partition an in-memory dataset into this many shards (or
+            coalesce a chunk stream down to it); ``None`` keeps the
+            source's natural shape — a plain counter for a dataset, one
+            shard per chunk for a stream.
+        parallel:
+            Build per-shard joint tables in a process pool.
         """
         resolved = make_strategy(strategy, **strategy_options)
+        source = make_counter(dataset, shards=shards, parallel=parallel)
         fitted = resolved.fit(
-            dataset, bound, pattern_set=pattern_set, objective=objective
+            source, bound, pattern_set=pattern_set, objective=objective
         )
         return cls(
             fitted.artifact, result=fitted.search, strategy=resolved.name

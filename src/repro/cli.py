@@ -6,6 +6,15 @@ CSV file"; this module is that workflow as a tool, built on the
 
 * ``python -m repro label data.csv --bound 50 -o label.json`` — fit a
   label (any registered strategy) and write it as JSON;
+* ``python -m repro label big.csv --chunk-rows 100000 --shards 8`` —
+  chunked fit: the CSV is streamed chunk by chunk (two-pass domain
+  resolution, no whole-file ``list(reader)`` of parsed strings) and
+  counted through the sharded backend.  The compact ``int32`` code
+  shards do stay resident, so memory scales with coded rows, not with
+  the raw CSV text;
+* ``python -m repro estimate --fit-csv data.csv --bound 50 gender=F`` —
+  one-shot producer mode: fit and estimate in one go, no saved label
+  (``--shards``/``--chunk-rows`` work here too);
 * ``python -m repro card label.json`` — render a stored label as a
   text/markdown/html nutrition card;
 * ``python -m repro estimate label.json gender=Female race=Hispanic`` —
@@ -47,7 +56,7 @@ from repro.core.estimator import LabelEstimator
 from repro.core.label import Label
 from repro.core.pattern import Pattern
 from repro.core.counts import PatternCounter
-from repro.dataset.csvio import read_csv
+from repro.dataset.csvio import read_csv, read_csv_chunks
 from repro.labeling.render import (
     render_label_html,
     render_label_markdown,
@@ -82,11 +91,39 @@ def _load_artifact_or_exit(path: str):
         raise SystemExit(f"cannot read label artifact {path!r}: {exc}")
 
 
-def _cmd_label(args: argparse.Namespace) -> int:
-    dataset = read_csv(args.csv)
-    session = LabelingSession.fit(
-        dataset, args.bound, strategy=args.algorithm
+def _csv_source(args: argparse.Namespace, path: str):
+    """The dataset source for a fit: whole-file or streamed chunks."""
+    if args.chunk_rows:
+        # Chunk stream: each chunk becomes a shard of the counter.
+        return read_csv_chunks(path, chunk_rows=args.chunk_rows)
+    return read_csv(path)
+
+
+def _validate_fit_flags(args: argparse.Namespace) -> None:
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.chunk_rows is not None and args.chunk_rows < 1:
+        raise SystemExit(
+            f"--chunk-rows must be >= 1, got {args.chunk_rows}"
+        )
+
+
+def _fit_session(args: argparse.Namespace, path: str) -> LabelingSession:
+    _validate_fit_flags(args)
+    # --shards unset keeps the source's natural shape (monolithic for a
+    # whole-file read, one shard per chunk with --chunk-rows); an
+    # explicit value — including 1, the collapse-to-monolithic spelling
+    # — is forwarded as-is.
+    return LabelingSession.fit(
+        _csv_source(args, path),
+        args.bound,
+        strategy=getattr(args, "algorithm", "top_down"),
+        shards=args.shards,
     )
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    session = _fit_session(args, args.csv)
     if isinstance(session.artifact, Label) and not args.envelope:
         # Long-lived published shape: bare Label JSON (legacy v1).
         payload = session.artifact.to_json()
@@ -98,11 +135,12 @@ def _cmd_label(args: argparse.Namespace) -> int:
         print(payload)
     result = session.result
     if result is not None:
+        total = result.label.total
         print(
             f"S = {list(result.attributes)}  |PC| = {result.label.size}  "
             f"max error = {result.objective_value:g} "
-            f"({100 * result.objective_value / dataset.n_rows:.2f}% of "
-            f"{dataset.n_rows} rows)",
+            f"({100 * result.objective_value / max(total, 1):.2f}% of "
+            f"{total} rows)",
             file=sys.stderr,
         )
     else:
@@ -168,15 +206,46 @@ def _load_workload_or_exit(path: str) -> list[Pattern]:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    artifact = _load_artifact_or_exit(args.label)
     if args.workload and args.bindings:
         raise SystemExit(
             "give either inline attr=value bindings or --workload, not both"
         )
-    try:
-        estimator = estimator_from_artifact(artifact)
-    except ApiError as exc:
-        raise SystemExit(f"cannot estimate from this artifact: {exc}")
+    if not args.fit_csv and (
+        args.shards is not None or args.chunk_rows is not None
+    ):
+        raise SystemExit(
+            "--shards/--chunk-rows only apply to --fit-csv fits; a saved "
+            "label artifact needs no counting"
+        )
+    if args.fit_csv:
+        # One-shot producer path: fit a label straight from a CSV
+        # (optionally sharded / chunk-ingested) and estimate from it —
+        # the positional arguments are all pattern bindings here.
+        bindings = ([args.label] if args.label else []) + list(args.bindings)
+        bad = [token for token in bindings if "=" not in token]
+        if bad:
+            raise SystemExit(
+                f"with --fit-csv the positional arguments are pattern "
+                f"bindings (attr=value), got {bad[0]!r}"
+            )
+        if args.workload and bindings:
+            raise SystemExit(
+                "give either inline attr=value bindings or --workload, "
+                "not both"
+            )
+        session = _fit_session(args, args.fit_csv)
+        estimator = session.estimator
+        args = argparse.Namespace(**{**vars(args), "bindings": bindings})
+    else:
+        if not args.label:
+            raise SystemExit(
+                "estimate needs a label file (or --fit-csv data.csv)"
+            )
+        artifact = _load_artifact_or_exit(args.label)
+        try:
+            estimator = estimator_from_artifact(artifact)
+        except ApiError as exc:
+            raise SystemExit(f"cannot estimate from this artifact: {exc}")
 
     if args.workload:
         patterns = _load_workload_or_exit(args.workload)
@@ -269,6 +338,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="label-construction strategy (default: top_down, Algorithm 1)",
     )
     label.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="count through the sharded backend with N shards; unset "
+        "keeps the natural shape (monolithic, or one shard per chunk "
+        "with --chunk-rows); an explicit 1 forces monolithic counting",
+    )
+    label.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream the CSV in chunks of N rows (each chunk becomes a "
+        "shard) instead of parsing it whole",
+    )
+    label.add_argument(
         "--envelope",
         action="store_true",
         help="write the versioned repro-label/2 envelope instead of the "
@@ -298,7 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate = commands.add_parser(
         "estimate", help="estimate a pattern count from a label"
     )
-    estimate.add_argument("label", help="label JSON file")
+    estimate.add_argument(
+        "label",
+        nargs="?",
+        help="label JSON file (omit when fitting on the fly via "
+        "--fit-csv, in which case every positional is a binding)",
+    )
     estimate.add_argument(
         "bindings", nargs="*", help="pattern bindings, e.g. gender=Female"
     )
@@ -306,6 +395,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload",
         help="JSON file with an array of {attribute: value} objects; all "
         "patterns are estimated in one batched pass, one per output line",
+    )
+    estimate.add_argument(
+        "--fit-csv",
+        help="fit a label from this CSV first and estimate from it "
+        "(one-shot producer mode, no saved label needed)",
+    )
+    estimate.add_argument(
+        "--bound",
+        type=int,
+        default=50,
+        help="size budget for --fit-csv (default 50)",
+    )
+    estimate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --fit-csv counting (unset = natural shape)",
+    )
+    estimate.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream the --fit-csv file in chunks of N rows",
     )
     estimate.set_defaults(func=_cmd_estimate)
 

@@ -22,7 +22,12 @@ This package implements Sections II and III of the paper:
 """
 
 from repro.core.pattern import Pattern
-from repro.core.counts import PatternCounter
+from repro.core.counts import PatternCounter, as_counter, is_counter_like
+from repro.core.sharding import (
+    ShardedPatternCounter,
+    make_counter,
+    merge_count_tables,
+)
 from repro.core.label import Label, build_label, label_size
 from repro.core.estimator import LabelEstimator, MultiLabelEstimator
 from repro.core.errors import (
@@ -77,6 +82,11 @@ from repro.core.classify import (
 __all__ = [
     "Pattern",
     "PatternCounter",
+    "ShardedPatternCounter",
+    "make_counter",
+    "merge_count_tables",
+    "as_counter",
+    "is_counter_like",
     "Label",
     "build_label",
     "label_size",

@@ -38,9 +38,61 @@ from repro.core.pattern import Pattern, encode_groups
 from repro.dataset.schema import MISSING_CODE
 from repro.dataset.table import Dataset, combine_codes
 
-__all__ = ["PatternCounter"]
+__all__ = ["PatternCounter", "is_counter_like", "as_counter"]
 
 _INT64_MAX = np.iinfo(np.int64).max
+
+#: The duck-typed counter interface every counting backend must serve.
+#: :class:`PatternCounter` is the reference implementation;
+#: :class:`repro.core.sharding.ShardedPatternCounter` is the merged
+#: multi-shard one.  Anything exposing these attributes flows through
+#: the whole stack (search, error evaluation, label construction).
+_COUNTER_ATTRS = (
+    "dataset",
+    "total_rows",
+    "count",
+    "count_many",
+    "counts_for_codes",
+    "value_counts",
+    "fractions",
+    "joint_table",
+    "joint_tables",
+    "label_size",
+    "distinct_full_rows",
+    "pattern_from_codes",
+)
+
+
+def is_counter_like(obj: object) -> bool:
+    """True when ``obj`` serves the counter interface the stack consumes.
+
+    The structural check behind every ``Dataset | counter`` parameter:
+    alternative counting backends (sharded, remote, ...) need not
+    subclass :class:`PatternCounter` — exposing the same query surface
+    is enough.
+    """
+    return all(hasattr(obj, attr) for attr in _COUNTER_ATTRS)
+
+
+def as_counter(source, counter_factory=None):
+    """Resolve ``source`` to a counting backend.
+
+    The shared counter-factory hook of the search and evaluation layers:
+    existing counters (anything :func:`is_counter_like`) pass through
+    untouched; a :class:`~repro.dataset.table.Dataset` is wrapped by
+    ``counter_factory`` when given (e.g. a sharded-counter builder),
+    else by a plain :class:`PatternCounter`.
+    """
+    if isinstance(source, PatternCounter) or is_counter_like(source):
+        return source
+    if isinstance(source, Dataset):
+        if counter_factory is not None:
+            return counter_factory(source)
+        return PatternCounter(source)
+    raise TypeError(
+        f"expected a Dataset or a counter-like object, got "
+        f"{type(source).__name__}"
+    )
 
 
 class PatternCounter:
@@ -289,6 +341,8 @@ class PatternCounter:
         """
         patterns = list(patterns)
         out = np.zeros(len(patterns), dtype=np.int64)
+        if not patterns:
+            return out
         for attrs, combos, indices in encode_groups(
             patterns, self._dataset.schema
         ):

@@ -31,7 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.counts import PatternCounter
+from repro.core.counts import PatternCounter, as_counter
 from repro.core.estimator import LabelEstimator
 from repro.core.label import Label, build_label
 from repro.core.pattern import encode_groups
@@ -232,7 +232,10 @@ def evaluate_label(
     Parameters
     ----------
     counter:
-        Count oracle over the labeled dataset.
+        Count oracle over the labeled dataset — a
+        :class:`PatternCounter`, any counter-like backend (e.g. a
+        :class:`~repro.core.sharding.ShardedPatternCounter`), or a bare
+        :class:`~repro.dataset.table.Dataset` (wrapped on the fly).
     label:
         Either a built :class:`Label` or just the attribute subset ``S``
         (the search only needs the subset — building the full label object
@@ -240,6 +243,7 @@ def evaluate_label(
     pattern_set:
         Defaults to ``P_A`` (:func:`~repro.core.patternsets.full_pattern_set`).
     """
+    counter = as_counter(counter)
     attributes: Sequence[str]
     if isinstance(label, Label):
         attributes = label.attributes
@@ -302,7 +306,9 @@ class BatchLabelEvaluator:
         counter: PatternCounter,
         pattern_set: PatternSet | None = None,
     ) -> None:
-        self._counter = counter
+        # Counter-factory hook: accepts a bare dataset or any
+        # counter-like backend (sharded counters included).
+        self._counter = counter = as_counter(counter)
         if pattern_set is None:
             pattern_set = full_pattern_set(counter)
         self._pattern_set = pattern_set

@@ -17,11 +17,12 @@ it is what a *consumer* of published metadata would run.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.label import Label
+from repro.core.counts import as_counter
+from repro.core.label import Label, build_label
 from repro.core.pattern import Pattern, group_by_attributes
 
 __all__ = ["LabelEstimator", "MultiLabelEstimator"]
@@ -40,6 +41,24 @@ class LabelEstimator:
     def __init__(self, label: Label) -> None:
         self._label = label
         self._attr_set = set(label.attributes)
+
+    @classmethod
+    def from_data(
+        cls,
+        source,
+        attributes: Sequence[str],
+        *,
+        counter_factory: Callable | None = None,
+    ) -> "LabelEstimator":
+        """Producer-side shortcut: build ``L_S(D)`` and wrap it.
+
+        ``source`` is a dataset or any counter-like backend;
+        ``counter_factory`` substitutes the counting backend built for a
+        bare dataset (e.g. ``lambda d: make_counter(d, shards=8)`` from
+        :mod:`repro.core.sharding` for out-of-core data).
+        """
+        counter = as_counter(source, counter_factory)
+        return cls(build_label(counter, attributes))
 
     @property
     def label(self) -> Label:

@@ -23,7 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator, Mapping, Sequence
 
-from repro.core.counts import PatternCounter
+from repro.core.counts import PatternCounter, as_counter
 from repro.core.pattern import Pattern
 from repro.dataset.table import Dataset
 
@@ -272,15 +272,15 @@ def build_label(
     Parameters
     ----------
     source:
-        The dataset (or an existing :class:`PatternCounter` over it, which
-        reuses its caches).
+        The dataset, or any counter-like backend over it (a
+        :class:`PatternCounter`, whose caches are reused, or e.g. a
+        :class:`~repro.core.sharding.ShardedPatternCounter` for
+        partitioned data).
     attributes:
         The subset ``S``; order is normalized to schema order.  May be
         empty for the degenerate value-counts-only label.
     """
-    counter = (
-        source if isinstance(source, PatternCounter) else PatternCounter(source)
-    )
+    counter = as_counter(source)
     dataset = counter.dataset
     schema = dataset.schema
     requested = list(attributes)
@@ -332,9 +332,7 @@ def label_size(
     source: Dataset | PatternCounter, attributes: Sequence[str]
 ) -> int:
     """``|P_S|`` without materializing the label (used by the search)."""
-    counter = (
-        source if isinstance(source, PatternCounter) else PatternCounter(source)
-    )
+    counter = as_counter(source)
     if not attributes:
         return 0
     return counter.label_size(tuple(attributes))

@@ -29,20 +29,25 @@ from repro.core.errors import ErrorSummary, evaluate_label
 from repro.core.label import Label
 from repro.core.patternsets import full_pattern_set
 from repro.core.search import top_down_search
+from repro.core.sharding import ShardedPatternCounter
 from repro.dataset.table import Dataset
 
 __all__ = ["apply_inserts", "apply_deletes", "LabelMaintainer"]
+
+
+def _require_label_attributes(label: Label, rows: Dataset) -> None:
+    if set(rows.attribute_names) != set(label.attribute_order):
+        raise ValueError(
+            "update rows must carry exactly the labeled attributes; "
+            f"got {rows.attribute_names}, expected {label.attribute_order}"
+        )
 
 
 def _delta_counts(
     label: Label, rows: Dataset
 ) -> tuple[dict[tuple[Hashable, ...], int], dict[str, dict[Hashable, int]]]:
     """Per-combination and per-value counts of an update batch."""
-    if set(rows.attribute_names) != set(label.attribute_order):
-        raise ValueError(
-            "update rows must carry exactly the labeled attributes; "
-            f"got {rows.attribute_names}, expected {label.attribute_order}"
-        )
+    _require_label_attributes(label, rows)
     counter = PatternCounter(rows)
     pc_delta: dict[tuple[Hashable, ...], int] = {}
     if label.attributes:
@@ -66,16 +71,40 @@ def _merge_vc(
     vc_delta: dict[str, dict[Hashable, int]],
     sign: int,
 ) -> dict[str, dict[Hashable, int]]:
+    """Merge a batch's value-count delta into a label's ``VC``, exactly.
+
+    Parity discipline: the result must match ``build_label`` over the
+    updated data *as it would be ingested from scratch* — i.e. with
+    active domains inferred from the observed values, which is what
+    ``Dataset.from_columns``/``read_csv`` do.  (A caller who pins a
+    wider schema domain gets 0-count ``VC`` entries from a fresh build;
+    maintained labels deliberately track the observed-domain form, the
+    one that round-trips: insert a batch, delete it again, and the
+    label is byte-identical to where it started.)  Two rules implement
+    that:
+
+    * a *zero* delta is skipped entirely — a batch whose schema pins a
+      wider domain than it uses must not invent 0-count entries;
+    * an entry whose count is driven to exactly 0 by a delete is
+      *dropped*, mirroring how ``apply_deletes`` pops vanished ``PC``
+      combinations — keeping a ``counts[value] = 0`` husk diverged
+      ``vc_size``, serialization and rendering from the fresh build.
+    """
     merged: dict[str, dict[Hashable, int]] = {}
     for attribute in label.attribute_order:
         counts = dict(label.vc.get(attribute, {}))
         for value, count in vc_delta.get(attribute, {}).items():
+            if count == 0:
+                continue
             updated = counts.get(value, 0) + sign * count
             if updated < 0:
                 raise ValueError(
                     f"delete would drive {attribute}={value!r} below zero"
                 )
-            counts[value] = updated
+            if updated == 0:
+                counts.pop(value, None)
+            else:
+                counts[value] = updated
         merged[attribute] = counts
     return merged
 
@@ -85,8 +114,12 @@ def apply_inserts(label: Label, rows: Dataset) -> Label:
 
     Exact: pattern counts and value counts are additive under union (bag
     semantics).  ``rows`` must carry the same attributes as the labeled
-    data (any column order).
+    data (any column order).  An empty batch is a validated no-op: the
+    label comes back unchanged (same object).
     """
+    if rows.n_rows == 0:
+        _require_label_attributes(label, rows)
+        return label
     pc_delta, vc_delta = _delta_counts(label, rows)
     pc = dict(label.pc)
     for key, count in pc_delta.items():
@@ -105,8 +138,12 @@ def apply_deletes(label: Label, rows: Dataset) -> Label:
 
     The caller asserts that every deleted tuple exists in the labeled
     data; a batch that would drive any stored count negative is rejected
-    (the label would no longer describe any relation).
+    (the label would no longer describe any relation).  An empty batch
+    is a validated no-op: the label comes back unchanged (same object).
     """
+    if rows.n_rows == 0:
+        _require_label_attributes(label, rows)
+        return label
     pc_delta, vc_delta = _delta_counts(label, rows)
     pc = dict(label.pc)
     for key, count in pc_delta.items():
@@ -156,6 +193,16 @@ class LabelMaintainer:
     check_every:
         Error re-evaluation cadence, counted in update batches (error
         evaluation touches the data; updates themselves do not).
+    shards:
+        With ``shards > 1`` the maintainer counts through a
+        :class:`~repro.core.sharding.ShardedPatternCounter`: every
+        insert batch becomes a *new shard*, so the existing shards'
+        caches (key tables, joint tables, fractions) survive the update
+        — the incremental path — instead of the full
+        rebind-and-recount a monolithic counter needs.
+    parallel:
+        Build per-shard joint tables in a process pool (only meaningful
+        with ``shards > 1``).
     """
 
     def __init__(
@@ -165,27 +212,41 @@ class LabelMaintainer:
         *,
         drift_factor: float = 2.0,
         check_every: int = 4,
+        shards: int = 1,
+        parallel: bool = False,
     ) -> None:
         if drift_factor < 1.0:
             raise ValueError("drift_factor must be >= 1")
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
-        self._dataset = dataset
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self._bound = bound
         self._drift_factor = drift_factor
         self._check_every = check_every
         self._batches_since_check = 0
         # One counter for the maintainer's lifetime.  Its caches
         # (fractions, label sizes, joint/key tables) describe a snapshot,
-        # so every dataset swap MUST go through _rebind_data — reusing
-        # the counter across snapshots without rebind() serves stale
-        # counts (the bug the rebind hook exists to prevent).
-        self._counter = PatternCounter(dataset)
+        # so every dataset change MUST go through _absorb_batch — reusing
+        # the counter across snapshots without it serves stale counts
+        # (the bug the rebind hook exists to prevent).  The sharded
+        # backend absorbs a batch as a fresh shard; the monolithic one
+        # rebinds to the concatenation and recounts.
+        if shards > 1:
+            self._counter: PatternCounter | ShardedPatternCounter = (
+                ShardedPatternCounter.from_dataset(
+                    dataset, shards, parallel=parallel
+                )
+            )
+        else:
+            self._counter = PatternCounter(dataset)
         self._rebuild()
 
-    def _rebind_data(self, dataset: Dataset) -> None:
-        self._dataset = dataset
-        self._counter.rebind(dataset)
+    def _absorb_batch(self, batch: Dataset) -> None:
+        if isinstance(self._counter, ShardedPatternCounter):
+            self._counter.add_shard(batch)
+        else:
+            self._counter.rebind(self._counter.dataset.concat(batch))
 
     def _rebuild(self) -> None:
         counter = self._counter
@@ -202,20 +263,23 @@ class LabelMaintainer:
 
     @property
     def dataset(self) -> Dataset:
-        """The current relation (immutable snapshots)."""
-        return self._dataset
+        """The current relation (a read-only shard view when sharded)."""
+        return self._counter.dataset
 
     def insert(self, rows: Dataset) -> MaintenanceStatus:
         """Apply an insert batch; periodically re-check drift.
 
         Returns the updated label plus staleness/rebuild flags.  A stale
         check that trips triggers an automatic re-search under the same
-        budget.
+        budget.  An empty batch neither changes the label nor counts
+        toward the drift-check cadence.
         """
-        self._rebind_data(
-            self._dataset.concat(
-                rows.select(list(self._dataset.attribute_names))
+        if rows.n_rows == 0:
+            return MaintenanceStatus(
+                label=self._label, summary=None, stale=False, rebuilt=False
             )
+        self._absorb_batch(
+            rows.select(list(self._counter.dataset.attribute_names))
         )
         self._label = apply_inserts(self._label, rows)
         self._batches_since_check += 1

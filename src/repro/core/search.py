@@ -27,7 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.core.counts import PatternCounter
+from repro.core.counts import PatternCounter, as_counter
 from repro.core.errors import BatchLabelEvaluator, ErrorSummary, Objective
 from repro.core.label import Label, build_label
 from repro.core.lattice import gen_children
@@ -110,12 +110,6 @@ class SearchResult:
         )
 
 
-def _as_counter(source: Dataset | PatternCounter) -> PatternCounter:
-    if isinstance(source, PatternCounter):
-        return source
-    return PatternCounter(source)
-
-
 def _evaluate_candidates(
     counter: PatternCounter,
     candidates: Sequence[tuple[str, ...]],
@@ -163,6 +157,7 @@ def naive_search(
     min_size: int = 2,
     max_size: int | None = None,
     time_limit_seconds: float | None = None,
+    counter_factory: Callable[[Dataset], PatternCounter] | None = None,
 ) -> SearchResult:
     """Level-wise exhaustive search (the paper's naive baseline).
 
@@ -173,6 +168,10 @@ def naive_search(
     level where no label fits, which is sound because label size is
     monotone non-decreasing under attribute addition.
 
+    ``counter_factory`` substitutes the counting backend built for a
+    plain dataset (e.g. a sharded counter for out-of-core data); an
+    already-built counter-like ``source`` is used as-is.
+
     Raises
     ------
     NoFeasibleLabelError
@@ -182,7 +181,7 @@ def naive_search(
     """
     if bound < 1:
         raise ValueError("bound must be positive")
-    counter = _as_counter(source)
+    counter = as_counter(source, counter_factory)
     names = counter.dataset.attribute_names
     if pattern_set is None:
         pattern_set = full_pattern_set(counter)
@@ -235,6 +234,7 @@ def top_down_search(
     objective: Objective = Objective.MAX_ABS,
     prune_parents: bool = True,
     size_fn: Callable[[tuple[str, ...]], int] | None = None,
+    counter_factory: Callable[[Dataset], PatternCounter] | None = None,
 ) -> SearchResult:
     """Algorithm 1: top-down lattice traversal with parent pruning.
 
@@ -256,6 +256,10 @@ def top_down_search(
         Alternative label size measure (default ``|P_S|``).  Must be
         monotone non-decreasing under attribute addition for the pruning
         to stay sound — e.g. :func:`repro.core.sizing.pc_bytes`.
+    counter_factory:
+        Counting-backend hook: builds the counter when ``source`` is a
+        plain dataset (e.g.
+        ``lambda d: make_counter(d, shards=8)`` for a sharded backend).
 
     Raises
     ------
@@ -264,7 +268,7 @@ def top_down_search(
     """
     if bound < 1:
         raise ValueError("bound must be positive")
-    counter = _as_counter(source)
+    counter = as_counter(source, counter_factory)
     names = counter.dataset.attribute_names
     if pattern_set is None:
         pattern_set = full_pattern_set(counter)
@@ -316,6 +320,7 @@ def find_optimal_label(
     algorithm: str = "top-down",
     pattern_set: PatternSet | None = None,
     objective: Objective = Objective.MAX_ABS,
+    counter_factory: Callable[[Dataset], PatternCounter] | None = None,
 ) -> SearchResult:
     """Convenience front door: solve the optimal-label problem.
 
@@ -323,14 +328,24 @@ def find_optimal_label(
     ----------
     algorithm:
         ``"top-down"`` (Algorithm 1, default) or ``"naive"``.
+    counter_factory:
+        Counting-backend hook forwarded to the chosen algorithm.
     """
     if algorithm == "top-down":
         return top_down_search(
-            source, bound, pattern_set=pattern_set, objective=objective
+            source,
+            bound,
+            pattern_set=pattern_set,
+            objective=objective,
+            counter_factory=counter_factory,
         )
     if algorithm == "naive":
         return naive_search(
-            source, bound, pattern_set=pattern_set, objective=objective
+            source,
+            bound,
+            pattern_set=pattern_set,
+            objective=objective,
+            counter_factory=counter_factory,
         )
     raise ValueError(
         f"unknown algorithm {algorithm!r}; expected 'top-down' or 'naive'"

@@ -26,7 +26,12 @@ from repro.dataset.bucketize import (
     bucketize_explicit,
     group_rare_categories,
 )
-from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.csvio import (
+    read_csv,
+    read_csv_chunks,
+    scan_csv_domains,
+    write_csv,
+)
 from repro.dataset.stats import AttributeStats, profile_attributes
 
 __all__ = [
@@ -40,5 +45,7 @@ __all__ = [
     "bucketize_explicit",
     "group_rare_categories",
     "read_csv",
+    "read_csv_chunks",
+    "scan_csv_domains",
     "write_csv",
 ]

@@ -5,24 +5,69 @@ substrate ships a small reader/writer built on the standard library's
 :mod:`csv` module.  All values are read as strings; empty cells become
 missing values.  Callers bucketize numeric columns afterwards via
 :mod:`repro.dataset.bucketize`.
+
+Two reading regimes:
+
+* :func:`read_csv` — materialize the whole file as one dataset;
+* :func:`read_csv_chunks` — stream the file in bounded-memory chunks
+  (each a :class:`Dataset` sharing one pinned schema), for data too big
+  for a single ``list(reader)``.  Domains are resolved either by a first
+  streaming pass (:func:`scan_csv_domains`) or supplied by the caller;
+  the chunks feed :class:`repro.core.sharding.ShardedPatternCounter`
+  directly.
+
+Duplicate header names are rejected up front: column selection is by
+name, and a duplicated name would silently bind the wrong column.
 """
 
 from __future__ import annotations
 
 import csv
+from collections import Counter
 from pathlib import Path
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Iterator, Mapping, Sequence
 
 from repro.dataset.table import Dataset
 
-__all__ = ["read_csv", "write_csv"]
+__all__ = ["read_csv", "read_csv_chunks", "scan_csv_domains", "write_csv"]
+
+DEFAULT_MISSING_TOKENS = ("", "NA", "N/A", "null", "NULL")
+
+
+def _read_header(path: Path, reader) -> list[str]:
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError(f"{path}: empty file, no header row") from None
+    duplicates = sorted(
+        name for name, times in Counter(header).items() if times > 1
+    )
+    if duplicates:
+        raise ValueError(
+            f"{path}: duplicate header names {duplicates}; columns are "
+            "addressed by name, so duplicated names would silently read "
+            "the wrong column — rename them first"
+        )
+    return header
+
+
+def _resolve_columns(
+    path: Path, header: Sequence[str], usecols: Sequence[str] | None
+) -> tuple[list[str], list[int]]:
+    """Selected column names and their positions in the header."""
+    if usecols is not None:
+        unknown = [c for c in usecols if c not in header]
+        if unknown:
+            raise KeyError(f"{path}: no such columns {unknown}")
+        return list(usecols), [header.index(c) for c in usecols]
+    return list(header), list(range(len(header)))
 
 
 def read_csv(
     path: str | Path,
     *,
     usecols: Sequence[str] | None = None,
-    missing_tokens: Sequence[str] = ("", "NA", "N/A", "null", "NULL"),
+    missing_tokens: Sequence[str] = DEFAULT_MISSING_TOKENS,
     domains: Mapping[str, Sequence[Hashable]] | None = None,
 ) -> Dataset:
     """Load a CSV file with a header row into a :class:`Dataset`.
@@ -38,27 +83,21 @@ def read_csv(
     domains:
         Optional explicit active domain per attribute; unlisted attributes
         get the sorted set of observed values.
+
+    Raises
+    ------
+    ValueError
+        Empty file, ragged rows, or duplicate header names (column
+        selection is by name and would silently misread).
     """
     path = Path(path)
     missing = set(missing_tokens)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path}: empty file, no header row") from None
+        header = _read_header(path, reader)
         rows = list(reader)
 
-    if usecols is not None:
-        unknown = [c for c in usecols if c not in header]
-        if unknown:
-            raise KeyError(f"{path}: no such columns {unknown}")
-        positions = [header.index(c) for c in usecols]
-        names = list(usecols)
-    else:
-        positions = list(range(len(header)))
-        names = header
-
+    names, positions = _resolve_columns(path, header, usecols)
     columns: dict[str, list[Hashable]] = {name: [] for name in names}
     for line_number, row in enumerate(rows, start=2):
         if len(row) != len(header):
@@ -70,6 +109,117 @@ def read_csv(
             cell = row[position]
             columns[name].append(None if cell in missing else cell)
     return Dataset.from_columns(columns, domains=domains)
+
+
+def scan_csv_domains(
+    path: str | Path,
+    *,
+    usecols: Sequence[str] | None = None,
+    missing_tokens: Sequence[str] = DEFAULT_MISSING_TOKENS,
+) -> dict[str, tuple[str, ...]]:
+    """Stream a CSV once and collect each column's active domain.
+
+    The first pass of the two-pass chunked reader: memory is bounded by
+    the number of *distinct* values per column, never by the row count.
+    Domains come back sorted exactly like
+    :meth:`Dataset.from_columns <repro.dataset.table.Dataset.from_columns>`
+    sorts inferred domains, so a chunked read over these domains and a
+    monolithic :func:`read_csv` produce identical schemas.
+    """
+    path = Path(path)
+    missing = set(missing_tokens)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = _read_header(path, reader)
+        names, positions = _resolve_columns(path, header, usecols)
+        observed: dict[str, set[str]] = {name: set() for name in names}
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            for name, position in zip(names, positions):
+                cell = row[position]
+                if cell not in missing:
+                    observed[name].add(cell)
+    return {
+        name: tuple(sorted(values, key=repr))
+        for name, values in observed.items()
+    }
+
+
+def read_csv_chunks(
+    path: str | Path,
+    *,
+    chunk_rows: int = 50_000,
+    usecols: Sequence[str] | None = None,
+    missing_tokens: Sequence[str] = DEFAULT_MISSING_TOKENS,
+    domains: Mapping[str, Sequence[Hashable]] | None = None,
+) -> Iterator[Dataset]:
+    """Stream a CSV as bounded-memory :class:`Dataset` chunks.
+
+    Every chunk holds at most ``chunk_rows`` rows and **all chunks share
+    one schema**, so they can be sharded, concatenated, or fed straight
+    into :func:`repro.core.sharding.make_counter` /
+    ``LabelingSession.fit(..., shards=...)``.  When ``domains`` is not
+    given, the file is scanned first (:func:`scan_csv_domains`) — the
+    two-pass default; callers that already know the domains (a published
+    schema, a previous scan) skip the extra pass by supplying them.
+
+    A header-only file yields exactly one 0-row chunk, so the schema
+    survives even for empty data.
+
+    Raises
+    ------
+    ValueError
+        Non-positive ``chunk_rows``, duplicate header names, ragged
+        rows, or caller-supplied ``domains`` that do not cover every
+        selected column (per-chunk domain inference would make chunk
+        schemas diverge).
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    path = Path(path)
+    missing = set(missing_tokens)
+    if domains is None:
+        domains = scan_csv_domains(
+            path, usecols=usecols, missing_tokens=missing_tokens
+        )
+
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = _read_header(path, reader)
+        names, positions = _resolve_columns(path, header, usecols)
+        uncovered = [name for name in names if name not in domains]
+        if uncovered:
+            raise ValueError(
+                f"{path}: chunked reading needs a pinned domain for every "
+                f"column, but {uncovered} are not covered — supply them in "
+                "domains= or leave domains=None to let the reader scan"
+            )
+        pinned = {name: tuple(domains[name]) for name in names}
+
+        buffer: dict[str, list[Hashable]] = {name: [] for name in names}
+        buffered = 0
+        yielded = False
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            for name, position in zip(names, positions):
+                cell = row[position]
+                buffer[name].append(None if cell in missing else cell)
+            buffered += 1
+            if buffered == chunk_rows:
+                yield Dataset.from_columns(buffer, domains=pinned)
+                buffer = {name: [] for name in names}
+                buffered = 0
+                yielded = True
+        if buffered or not yielded:
+            yield Dataset.from_columns(buffer, domains=pinned)
 
 
 def write_csv(dataset: Dataset, path: str | Path) -> None:

@@ -296,3 +296,26 @@ class TestRadixOverflowFallback:
         assert list(counter.count_many(patterns)) == [
             counter.count(p) for p in patterns
         ]
+
+
+class TestEmptyBatchGuards:
+    """Empty query batches are exact no-ops, never edge-case crashes."""
+
+    def test_count_many_of_nothing(self, figure2_counter):
+        result = figure2_counter.count_many([])
+        assert result.size == 0
+        assert result.dtype.kind == "i"
+
+    def test_count_many_of_empty_iterator(self, figure2_counter):
+        assert figure2_counter.count_many(iter([])).size == 0
+
+    def test_joint_tables_of_nothing(self, figure2_counter):
+        assert figure2_counter.joint_tables([]) == {}
+
+    def test_counts_for_codes_of_nothing(self, figure2_counter):
+        import numpy as np
+
+        result = figure2_counter.counts_for_codes(
+            ["gender"], np.empty((0, 1), dtype=np.int32)
+        )
+        assert result.size == 0

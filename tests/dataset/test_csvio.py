@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.csvio import (
+    read_csv,
+    read_csv_chunks,
+    scan_csv_domains,
+    write_csv,
+)
 from repro.dataset.table import Dataset
 
 
@@ -60,6 +65,101 @@ class TestReadCsv:
         path.write_text("")
         with pytest.raises(ValueError, match="empty file"):
             read_csv(path)
+
+    def test_duplicate_headers_rejected(self, tmp_path):
+        """Regression: ``usecols`` resolved names via ``header.index``,
+        silently reading the first of two same-named columns."""
+        path = tmp_path / "dup.csv"
+        path.write_text("a,b,a\n1,2,3\n")
+        with pytest.raises(ValueError, match="duplicate header"):
+            read_csv(path)
+        with pytest.raises(ValueError, match="duplicate header"):
+            read_csv(path, usecols=["a"])
+        with pytest.raises(ValueError, match="duplicate header"):
+            scan_csv_domains(path)
+        with pytest.raises(ValueError, match="duplicate header"):
+            list(read_csv_chunks(path, chunk_rows=1))
+
+
+class TestReadCsvChunks:
+    @pytest.fixture
+    def big_csv(self, tmp_path):
+        path = tmp_path / "big.csv"
+        rows = "".join(
+            f"v{i % 5},w{i % 3}\n" for i in range(25)
+        )
+        path.write_text("a,b\n" + rows)
+        return path
+
+    def test_chunk_sizes_and_row_total(self, big_csv):
+        chunks = list(read_csv_chunks(big_csv, chunk_rows=10))
+        assert [c.n_rows for c in chunks] == [10, 10, 5]
+
+    def test_chunks_share_one_schema(self, big_csv):
+        chunks = list(read_csv_chunks(big_csv, chunk_rows=7))
+        assert len({c.schema for c in chunks}) == 1
+
+    def test_concat_of_chunks_equals_monolithic_read(self, big_csv):
+        whole = read_csv(big_csv)
+        chunks = list(read_csv_chunks(big_csv, chunk_rows=4))
+        merged = chunks[0]
+        for chunk in chunks[1:]:
+            merged = merged.concat(chunk)
+        assert merged == whole
+
+    def test_caller_supplied_domains_skip_the_scan(self, big_csv):
+        domains = scan_csv_domains(big_csv)
+        chunks = list(
+            read_csv_chunks(big_csv, chunk_rows=10, domains=domains)
+        )
+        assert chunks[0].schema == read_csv(big_csv).schema
+
+    def test_uncovered_domains_rejected(self, big_csv):
+        with pytest.raises(ValueError, match="pinned domain"):
+            list(
+                read_csv_chunks(
+                    big_csv, chunk_rows=10, domains={"a": ("v0",)}
+                )
+            )
+
+    def test_header_only_file_yields_one_empty_chunk(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("x,y\n")
+        chunks = list(read_csv_chunks(path, chunk_rows=10))
+        assert len(chunks) == 1
+        assert chunks[0].n_rows == 0
+        assert chunks[0].attribute_names == ("x", "y")
+
+    def test_usecols_and_missing_tokens(self, tmp_path):
+        path = tmp_path / "mt.csv"
+        path.write_text("g,r\nF,NA\nM,x\n")
+        (chunk,) = read_csv_chunks(path, chunk_rows=10, usecols=["r"])
+        assert chunk.column_values("r") == [None, "x"]
+
+    def test_bad_chunk_rows_rejected(self, big_csv):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            list(read_csv_chunks(big_csv, chunk_rows=0))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\nx,y\nz\n")
+        with pytest.raises(ValueError, match="expected 2 cells"):
+            list(read_csv_chunks(path, chunk_rows=10))
+
+
+class TestScanCsvDomains:
+    def test_matches_from_columns_inference(self, csv_file):
+        domains = scan_csv_domains(csv_file)
+        inferred = read_csv(csv_file)
+        assert domains == {
+            name: inferred.schema[name].categories
+            for name in inferred.attribute_names
+        }
+
+    def test_missing_tokens_excluded(self, tmp_path):
+        path = tmp_path / "na.csv"
+        path.write_text("a\nx\nNA\n")
+        assert scan_csv_domains(path) == {"a": ("x",)}
 
 
 class TestRoundTrip:

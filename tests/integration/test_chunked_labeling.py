@@ -1,0 +1,132 @@
+"""End-to-end: out-of-core CSV → chunked ingestion → sharded labeling.
+
+The acceptance scenario of the sharded counting engine: a CSV larger
+than a single chunk is streamed through
+:func:`~repro.dataset.csvio.read_csv_chunks`, fed to
+:class:`~repro.api.session.LabelingSession` as a chunk stream (each
+chunk a shard), and the resulting label must be byte-identical to the
+label fitted over the monolithically loaded file.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    LabelingSession,
+    Pattern,
+    PatternCounter,
+    read_csv,
+    read_csv_chunks,
+    write_csv,
+)
+from repro.core.workload import random_pattern_workload
+from repro.datasets import load_dataset
+
+
+N_ROWS = 2600
+CHUNK_ROWS = 500  # 6 chunks: the file is larger than a single chunk
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("chunked") / "big.csv"
+    write_csv(load_dataset("compas", n_rows=N_ROWS, seed=7), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def monolithic_session(csv_path):
+    return LabelingSession.fit(read_csv(csv_path), bound=40)
+
+
+def test_file_spans_multiple_chunks(csv_path):
+    chunks = list(read_csv_chunks(csv_path, chunk_rows=CHUNK_ROWS))
+    assert len(chunks) == -(-N_ROWS // CHUNK_ROWS) > 1
+    assert sum(c.n_rows for c in chunks) == N_ROWS
+    assert len({c.schema for c in chunks}) == 1
+
+
+def test_chunk_stream_label_matches_monolithic(
+    csv_path, monolithic_session
+):
+    session = LabelingSession.fit(
+        read_csv_chunks(csv_path, chunk_rows=CHUNK_ROWS), bound=40
+    )
+    assert session.artifact == monolithic_session.artifact
+    assert (
+        session.artifact.to_json() == monolithic_session.artifact.to_json()
+    )
+
+
+def test_explicit_shards_knob(csv_path, monolithic_session):
+    session = LabelingSession.fit(
+        read_csv_chunks(csv_path, chunk_rows=CHUNK_ROWS),
+        bound=40,
+        shards=3,
+    )
+    assert session.artifact == monolithic_session.artifact
+
+
+def test_sharded_session_serves_identical_estimates(
+    csv_path, monolithic_session
+):
+    data = read_csv(csv_path)
+    rng = np.random.default_rng(11)
+    workload = random_pattern_workload(
+        PatternCounter(data), 60, rng, min_arity=1, max_arity=3
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+    sharded = LabelingSession.fit(
+        read_csv_chunks(csv_path, chunk_rows=CHUNK_ROWS), bound=40
+    )
+    np.testing.assert_allclose(
+        sharded.estimate_many(patterns),
+        monolithic_session.estimate_many(patterns),
+        rtol=0,
+        atol=0,
+    )
+
+
+def test_save_load_roundtrip_from_chunked_fit(csv_path, tmp_path):
+    session = LabelingSession.fit(
+        read_csv_chunks(csv_path, chunk_rows=CHUNK_ROWS), bound=40
+    )
+    path = session.save(tmp_path / "chunked-label.json")
+    loaded = LabelingSession.load(path)
+    assert loaded.artifact == session.artifact
+    data = read_csv(csv_path)
+    pattern = Pattern({data.attribute_names[0]: data.row(0)[data.attribute_names[0]]})
+    assert loaded.estimate(pattern) == session.estimate(pattern)
+
+
+def test_cli_chunked_label_matches_monolithic(csv_path, tmp_path, capsys):
+    from repro.cli import main
+
+    sharded_out = tmp_path / "sharded.json"
+    mono_out = tmp_path / "mono.json"
+    assert (
+        main(
+            [
+                "label",
+                str(csv_path),
+                "--bound",
+                "40",
+                "--chunk-rows",
+                str(CHUNK_ROWS),
+                "--shards",
+                "4",
+                "-o",
+                str(sharded_out),
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(["label", str(csv_path), "--bound", "40", "-o", str(mono_out)])
+        == 0
+    )
+    assert json.loads(sharded_out.read_text()) == json.loads(
+        mono_out.read_text()
+    )

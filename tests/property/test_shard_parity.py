@@ -1,0 +1,210 @@
+"""Parity properties of the sharded counting backend.
+
+``ShardedPatternCounter`` answers by merging per-shard count tables;
+the merge is exact because every quantity it serves is additive (counts,
+joint tables, value counts) or union-stable (distinct-combination label
+sizes).  These properties pin that claim against the single
+``PatternCounter``, the executable specification: for random relations
+(with and without missing values), every shard count in {1, 2, 3, 7},
+and every dataset generator in ``repro.datasets``, the sharded answers
+must be *identical* — not merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    PatternCounter,
+    ShardedPatternCounter,
+    build_label,
+    top_down_search,
+)
+from repro.core.workload import random_pattern_workload
+from repro.datasets import load_dataset
+
+from tests.property.test_batch_parity import datasets, workloads
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _sharded(data: Dataset, k: int) -> ShardedPatternCounter:
+    return ShardedPatternCounter.from_dataset(data, k)
+
+
+def _subsets_of(draw, data: Dataset):
+    names = list(data.attribute_names)
+    k = draw(st.integers(1, len(names)))
+    return tuple(
+        draw(
+            st.lists(
+                st.sampled_from(names), min_size=k, max_size=k, unique=True
+            )
+        )
+    )
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_counts_match_single_counter(data_strategy, allow_missing):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    patterns = data_strategy.draw(workloads(data))
+    single = PatternCounter(data)
+    expected = list(single.count_many(patterns))
+    for k in SHARD_COUNTS:
+        sharded = _sharded(data, k)
+        assert list(sharded.count_many(patterns)) == expected, k
+        # Scalar path agrees too.
+        assert [sharded.count(p) for p in patterns[:4]] == [
+            single.count(p) for p in patterns[:4]
+        ], k
+        # Repeat batches (promoted per-shard key tables) stay equal.
+        assert list(sharded.count_many(patterns)) == expected, k
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_joint_tables_match_single_counter(data_strategy, allow_missing):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    subset = _subsets_of(data_strategy.draw, data)
+    single = PatternCounter(data)
+    combos, counts = single.joint_table(subset)
+    for k in SHARD_COUNTS:
+        sharded_combos, sharded_counts = _sharded(data, k).joint_table(
+            subset
+        )
+        # Identical content *and* identical (lexicographic) order: a
+        # merged table is indistinguishable from a monolithic one.
+        assert np.array_equal(combos, sharded_combos), k
+        assert np.array_equal(counts, sharded_counts), k
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_value_counts_and_label_sizes_match(data_strategy, allow_missing):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    subset = _subsets_of(data_strategy.draw, data)
+    single = PatternCounter(data)
+    for k in SHARD_COUNTS:
+        sharded = _sharded(data, k)
+        for attribute in data.attribute_names:
+            assert sharded.value_counts(attribute) == single.value_counts(
+                attribute
+            ), (k, attribute)
+            np.testing.assert_array_equal(
+                sharded.fractions(attribute), single.fractions(attribute)
+            )
+        assert sharded.label_size(subset) == single.label_size(subset), k
+        full = single.distinct_full_rows()
+        sharded_full = sharded.distinct_full_rows()
+        assert np.array_equal(full[0], sharded_full[0]), k
+        assert np.array_equal(full[1], sharded_full[1]), k
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_built_labels_match(data_strategy, allow_missing):
+    """Label construction through a sharded counter is byte-identical."""
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    subset = _subsets_of(data_strategy.draw, data)
+    reference = build_label(PatternCounter(data), subset)
+    for k in SHARD_COUNTS:
+        label = build_label(_sharded(data, k), subset)
+        assert label == reference, k
+        assert label.to_json() == reference.to_json(), k
+
+
+@SETTINGS
+@given(st.data())
+def test_add_shard_equals_concat(data_strategy):
+    """The incremental path: appending a shard == recounting the union."""
+    data = data_strategy.draw(datasets())
+    n_extra = data_strategy.draw(st.integers(0, 8))
+    rows = [
+        tuple(
+            data_strategy.draw(
+                st.sampled_from(list(data.schema[a].categories))
+            )
+            for a in data.attribute_names
+        )
+        for _ in range(n_extra)
+    ]
+    aligned = Dataset.from_rows(
+        data.attribute_names,
+        rows,
+        domains={
+            a: data.schema[a].categories for a in data.attribute_names
+        },
+    )
+    sharded = ShardedPatternCounter.from_dataset(data, 2)
+    sharded.add_shard(aligned)
+    reference = PatternCounter(data.concat(aligned))
+    patterns = data_strategy.draw(workloads(data))
+    assert list(sharded.count_many(patterns)) == list(
+        reference.count_many(patterns)
+    )
+    subset = _subsets_of(data_strategy.draw, data)
+    assert sharded.label_size(subset) == reference.label_size(subset)
+    for attribute in data.attribute_names:
+        assert sharded.value_counts(attribute) == reference.value_counts(
+            attribute
+        )
+
+
+# -- parity on every shipped dataset generator ----------------------------------
+
+GENERATORS = ("bluenile", "compas", "creditcard")
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+@pytest.mark.parametrize("k", (2, 3))
+def test_generator_parity(name, k):
+    """Acceptance: sharded == single on every ``repro.datasets`` generator."""
+    data = load_dataset(name, n_rows=600, seed=5)
+    single = PatternCounter(data)
+    sharded = ShardedPatternCounter.from_dataset(data, k)
+
+    rng = np.random.default_rng(5)
+    workload = random_pattern_workload(
+        PatternCounter(data), 40, rng, min_arity=1, max_arity=3
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+    assert list(sharded.count_many(patterns)) == list(
+        single.count_many(patterns)
+    )
+
+    subset = data.attribute_names[:2]
+    assert sharded.label_size(subset) == single.label_size(subset)
+    combos, counts = single.joint_table(subset)
+    sharded_combos, sharded_counts = sharded.joint_table(subset)
+    assert np.array_equal(combos, sharded_combos)
+    assert np.array_equal(counts, sharded_counts)
+    for attribute in data.attribute_names:
+        assert sharded.value_counts(attribute) == single.value_counts(
+            attribute
+        )
+
+
+@pytest.mark.parametrize("name", GENERATORS)
+def test_generator_search_parity(name):
+    """The full search pipeline lands on the same label either way."""
+    data = load_dataset(name, n_rows=500, seed=2)
+    reference = top_down_search(PatternCounter(data), 25)
+    sharded = top_down_search(
+        ShardedPatternCounter.from_dataset(data, 3), 25
+    )
+    assert sharded.attributes == reference.attributes
+    assert sharded.label == reference.label
+    assert sharded.summary.max_abs == pytest.approx(
+        reference.summary.max_abs
+    )

@@ -54,6 +54,27 @@ class TestLabelCommand:
             "marital status",
         ]
 
+    def test_sharded_and_chunked_label_matches_monolithic(
+        self, csv_path, tmp_path, label_path
+    ):
+        out = tmp_path / "sharded.json"
+        code = main(
+            [
+                "label",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--shards",
+                "3",
+                "--chunk-rows",
+                "5",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.read_text() == label_path.read_text()
+
     def test_envelope_flag_writes_v2_format(self, csv_path, tmp_path):
         out = tmp_path / "envelope.json"
         code = main(
@@ -163,6 +184,53 @@ class TestEstimateCommand:
         code = main(["estimate", str(out), "gender=Female"])
         assert code == 0
         assert capsys.readouterr().out.strip().startswith("9.0")
+
+    def test_fit_csv_one_shot_estimate(self, csv_path, capsys):
+        code = main(
+            [
+                "estimate",
+                "--fit-csv",
+                str(csv_path),
+                "--bound",
+                "5",
+                "gender=Female",
+            ]
+        )
+        assert code == 0
+        assert float(capsys.readouterr().out.split()[0]) > 0
+
+    def test_fit_csv_sharded_matches_plain(self, csv_path, capsys):
+        main(["estimate", "--fit-csv", str(csv_path), "--bound", "5",
+              "gender=Female"])
+        plain = capsys.readouterr().out
+        main(["estimate", "--fit-csv", str(csv_path), "--bound", "5",
+              "--shards", "3", "--chunk-rows", "6", "gender=Female"])
+        assert capsys.readouterr().out == plain
+
+    def test_fit_csv_rejects_non_binding_positional(self, csv_path):
+        with pytest.raises(SystemExit, match="bindings"):
+            main(["estimate", "--fit-csv", str(csv_path), "notabinding"])
+
+    def test_estimate_without_label_or_fit_csv(self):
+        with pytest.raises(SystemExit, match="label file"):
+            main(["estimate"])
+
+    def test_shard_flags_without_fit_csv_rejected(self, label_path):
+        with pytest.raises(SystemExit, match="only apply to --fit-csv"):
+            main(["estimate", "--shards", "4", str(label_path),
+                  "gender=Female"])
+        with pytest.raises(SystemExit, match="only apply to --fit-csv"):
+            main(["estimate", "--chunk-rows", "10", str(label_path),
+                  "gender=Female"])
+
+    def test_invalid_shard_values_rejected(self, csv_path):
+        with pytest.raises(SystemExit, match="--shards must be"):
+            main(["label", str(csv_path), "--shards", "0"])
+        with pytest.raises(SystemExit, match="--chunk-rows must be"):
+            main(["label", str(csv_path), "--chunk-rows", "0"])
+        with pytest.raises(SystemExit, match="--shards must be"):
+            main(["estimate", "--fit-csv", str(csv_path), "--shards", "-2",
+                  "gender=Female"])
 
     def test_unknown_kind_is_a_clean_error(self, tmp_path):
         bad = tmp_path / "bad.json"
