@@ -16,6 +16,12 @@ the monolithic counter on identical workloads — parity is asserted, and
 the recorded ratio is the steady-state cost of answering through merged
 per-shard tables.
 
+The ``serve_throughput`` scenario times the **serving layer**
+(``repro.serve``): concurrent client threads submitting single-pattern
+requests through the ``MicroBatcher`` vs the naive per-request scalar
+loop, byte-identical answers asserted.  Its speedup column is the
+acceptance bar for micro-batched serving (must stay >= 5x).
+
 Methodology: each path runs ``--rounds`` times on a *persistent*
 counter/estimator (caches warm up across rounds, exactly as they do in
 a long-lived serving process) and the **median** wall time is reported
@@ -34,6 +40,7 @@ import argparse
 import json
 import statistics
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Callable
@@ -258,6 +265,85 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         a_key="single_median_s",
         b_key="sharded_median_s",
     )
+
+    # 7. The serving layer: N client threads hammering the micro-batcher
+    #    vs the naive per-request loop (one scalar Est(p, l) call per
+    #    request — what a server without the batcher would do).  Traffic
+    #    is duplicate-heavy (requests drawn from a distinct-pattern
+    #    pool, the shape of real query traffic), the label is a
+    #    serving-scale synopsis (a larger |PC| than the fit scenarios:
+    #    the scalar path scans PC per request, the batch kernel resolves
+    #    against cached marginal tables), and the batcher additionally
+    #    collapses duplicates within each coalesced batch.  Parity is
+    #    byte-identical — asserted with == below, not just allclose.
+    from repro.serve.batching import MicroBatcher  # noqa: E402
+
+    serve_bound = 300
+    serve_session = LabelingSession.fit(dataset, serve_bound)
+    serve_snapshot = serve_session.snapshot("bench")
+    n_clients = 8
+    n_requests = serving_queries * 4
+    request_pool = [
+        serving.pattern(i) for i in range(len(serving))
+    ]
+    request_patterns = [
+        request_pool[i]
+        for i in rng.integers(0, len(request_pool), size=n_requests)
+    ]
+
+    def naive_serve() -> list[float]:
+        return [serve_snapshot.estimate(p) for p in request_patterns]
+
+    batcher = MicroBatcher(window=0.001, max_batch=4096)
+
+    def batched_serve() -> list[float]:
+        results: list[float] = [0.0] * len(request_patterns)
+        chunk = (len(request_patterns) + n_clients - 1) // n_clients
+
+        def client(lo: int, hi: int) -> None:
+            tickets = [
+                (i, batcher.submit(serve_snapshot, (request_patterns[i],)))
+                for i in range(lo, hi)
+            ]
+            for i, ticket in tickets:
+                results[i] = ticket.result(timeout=60.0)[0]
+
+        clients = [
+            threading.Thread(
+                target=client,
+                args=(lo, min(lo + chunk, len(request_patterns))),
+            )
+            for lo in range(0, len(request_patterns), chunk)
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        return results
+
+    if naive_serve() != batched_serve():
+        raise AssertionError(
+            "serve_throughput: batched serving is not byte-identical to "
+            "the per-request loop"
+        )
+    scenarios["serve_throughput/microbatch"] = _scenario(
+        "serve_throughput/microbatch",
+        naive_serve,
+        batched_serve,
+        rounds,
+        {
+            "rows": rows,
+            "requests": n_requests,
+            "distinct_patterns": len(request_pool),
+            "client_threads": n_clients,
+            "label_size": serve_session.size,
+            "bound": serve_bound,
+            "byte_identical": True,
+        },
+        a_key="naive_median_s",
+        b_key="batched_median_s",
+    )
+    batcher.close()
 
     return {
         "version": 1,

@@ -38,8 +38,16 @@ the :mod:`repro.api` registries:
 >>> make_estimator("independence", data).estimate(Pattern({"gender": "F"}))
 3.0
 
-See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
-full system inventory.
+And a fitted label serves concurrent consumers over HTTP (micro-batched
+estimation, versioned snapshots, live maintenance — see
+:mod:`repro.serve` and DESIGN.md, "The serving layer"):
+
+>>> service = session.serve(name="demo")  # doctest: +SKIP
+>>> # POST {service.url}/labels/demo/estimate  {"pattern": {...}}
+
+See ``examples/quickstart.py`` for a guided tour, ``examples/
+label_server.py`` for the serving demo, and ``DESIGN.md`` for the full
+system inventory.
 """
 
 from repro.core import (

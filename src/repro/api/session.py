@@ -15,14 +15,28 @@ modules below implement piecemeal:
 later), so the session works identically for subset labels and flexible
 labels; ``save``/``load`` go through the versioned artifact envelope, so
 a consumer session never needs the data.
+
+Concurrency contract: the session keeps its (artifact, estimator) pair
+in **one** attribute that :meth:`update` swaps atomically, and every
+read path resolves that pair exactly once.  An ``estimate_many`` running
+concurrently with an ``update`` therefore answers entirely from the
+snapshot it started on — before this, ``update`` replaced the artifact
+and the estimator in two steps and a concurrent reader could observe
+the torn pair.  :meth:`snapshot` exposes the frozen pair as a
+:class:`~repro.serve.store.LabelSnapshot`, and :meth:`serve` puts it
+behind the :mod:`repro.serve` HTTP surface.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.serve.service import LabelService
+    from repro.serve.store import LabelSnapshot
 
 from repro.api.artifacts import (
     MultiLabelBundle,
@@ -67,10 +81,13 @@ class LabelingSession:
             raise SessionError(
                 f"unsupported artifact type {type(artifact).__name__!r}"
             )
-        self._artifact = artifact
+        # The (artifact, estimator, version) triple lives in ONE
+        # attribute and is swapped whole: readers resolve it once per
+        # call, so a concurrent update() can never hand them a torn
+        # pair — or an artifact labeled with another state's version.
+        self._state = (artifact, estimator_from_artifact(artifact), 1)
         self._result = result
         self._strategy = strategy
-        self._estimator = estimator_from_artifact(artifact)
 
     # -- construction -----------------------------------------------------------
 
@@ -132,19 +149,25 @@ class LabelingSession:
     @property
     def artifact(self) -> Label | FlexibleLabel | MultiLabelBundle:
         """The label object backing this session."""
-        return self._artifact
+        return self._state[0]
 
     @property
     def estimator(self):
         """The backend estimator (satisfies ``CardinalityEstimator``)."""
-        return self._estimator
+        return self._state[1]
+
+    @property
+    def version(self) -> int:
+        """Monotonic state version; each :meth:`update` increments it."""
+        return self._state[2]
 
     @property
     def kind(self) -> str:
         """Artifact kind: ``label``, ``flexible``, or ``multi``."""
-        if isinstance(self._artifact, Label):
+        artifact = self._state[0]
+        if isinstance(artifact, Label):
             return "label"
-        if isinstance(self._artifact, FlexibleLabel):
+        if isinstance(artifact, FlexibleLabel):
             return "flexible"
         return "multi"
 
@@ -161,9 +184,10 @@ class LabelingSession:
     @property
     def size(self) -> int:
         """``|PC|`` of the artifact (summed over a multi-label bundle)."""
-        if isinstance(self._artifact, MultiLabelBundle):
-            return sum(label.size for label in self._artifact.labels)
-        return self._artifact.size
+        artifact = self._state[0]
+        if isinstance(artifact, MultiLabelBundle):
+            return sum(label.size for label in artifact.labels)
+        return artifact.size
 
     def __repr__(self) -> str:
         return (
@@ -175,7 +199,8 @@ class LabelingSession:
 
     def estimate(self, pattern: Pattern) -> float:
         """Estimated count of tuples satisfying ``pattern``."""
-        return float(self._estimator.estimate(pattern))
+        estimator = self._state[1]
+        return float(estimator.estimate(pattern))
 
     def estimate_many(
         self, workload: PatternSet | Iterable[Pattern]
@@ -192,7 +217,8 @@ class LabelingSession:
         """
         if not isinstance(workload, PatternSet):
             workload = list(workload)
-        return _estimate_many(self._estimator, workload)
+        estimator = self._state[1]  # one read: a consistent snapshot
+        return _estimate_many(estimator, workload)
 
     def evaluate(self, workload: PatternSet) -> ErrorSummary:
         """Error summary of this label over a workload with true counts."""
@@ -215,37 +241,98 @@ class LabelingSession:
         flexible label's overlapping counts cannot be updated from batch
         deltas alone.
 
+        Safe to interleave with reads: the new label *and* its estimator
+        are built off to the side and swapped in as one assignment, so a
+        concurrent ``estimate``/``estimate_many``/``save`` answers
+        entirely from either the old state or the new one — never a
+        mixture.  (Concurrent ``update`` calls themselves are not
+        serialized here; route multi-writer maintenance through
+        :meth:`repro.serve.store.LabelStore.update`.)
+
         Returns ``self`` (the session is updated in place).
         """
         if inserted is None and deleted is None:
             raise SessionError(
                 "update() needs at least one of inserted= or deleted="
             )
-        if not isinstance(self._artifact, Label):
+        artifact, _, version = self._state
+        if not isinstance(artifact, Label):
             raise SessionError(
                 f"maintenance is only supported for subset labels, not "
                 f"{self.kind!r} artifacts"
             )
-        label = self._artifact
+        label = artifact
         if inserted is not None:
             label = apply_inserts(label, inserted)
         if deleted is not None:
             label = apply_deletes(label, deleted)
-        self._artifact = label
-        self._estimator = estimator_from_artifact(label)
+        # Atomic swap: every piece of the state changes together.
+        self._state = (label, estimator_from_artifact(label), version + 1)
         self._result = None  # search stats no longer describe this label
         return self
+
+    # -- serving ----------------------------------------------------------------
+
+    def snapshot(self, name: str = "label") -> "LabelSnapshot":
+        """Freeze the current state as an immutable serving snapshot.
+
+        The returned :class:`~repro.serve.store.LabelSnapshot` pairs the
+        artifact with its estimator and never changes — later
+        :meth:`update` calls swap the *session's* state but leave every
+        handed-out snapshot answering its own version.  The snapshot
+        ``version`` mirrors :attr:`version` at freeze time.
+        """
+        from repro.serve.store import DEFAULT_BACKENDS, LabelSnapshot
+
+        artifact, estimator, version = self._state
+        return LabelSnapshot(
+            name=name,
+            version=version,
+            artifact=artifact,
+            estimator=estimator,
+            estimator_name=DEFAULT_BACKENDS[self.kind],
+        )
+
+    def serve(
+        self,
+        *,
+        name: str = "label",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = 0.001,
+        max_batch: int = 1024,
+        start: bool = True,
+    ) -> "LabelService":
+        """Publish this session's label behind an HTTP serving surface.
+
+        Builds a :class:`~repro.serve.service.LabelService`, publishes
+        the current artifact under ``name``, and (by default) starts
+        serving on a background thread — ``service.url`` is ready to
+        query.  Further labels can be published into ``service.store``;
+        maintenance through ``POST /labels/<name>/update`` (or
+        ``service.store.update``) versions the *served* label without
+        touching this session.  Call ``service.stop()`` when done.
+        """
+        from repro.serve.service import LabelService
+
+        service = LabelService(
+            host=host, port=port, window=window, max_batch=max_batch
+        )
+        service.store.publish(name, self._state[0])
+        if start:
+            service.start()
+        return service
 
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
         """Write the artifact envelope to ``path``; returns the path."""
         path = Path(path)
-        dump_artifact(self._artifact, path)
+        dump_artifact(self._state[0], path)
         return path
 
     def to_artifact(self) -> dict[str, Any]:
         """The versioned envelope as a dict (see :mod:`repro.api.artifacts`)."""
         from repro.api.artifacts import to_artifact
 
-        return to_artifact(self._artifact)
+        return to_artifact(self._state[0])

@@ -22,7 +22,14 @@ CSV file"; this module is that workflow as a tool, built on the
 * ``python -m repro estimate label.json --workload queries.json`` —
   batch-estimate a whole workload file (a JSON array of
   ``{"attr": "value", ...}`` objects) through the backend's batched
-  ``estimate_many`` path, one estimate per output line;
+  ``estimate_many`` path, one estimate per output line (``--json`` for a
+  machine-readable object instead);
+* ``python -m repro serve label.json [more.json ...] --port 8321`` —
+  publish stored labels behind the :mod:`repro.serve` HTTP endpoint
+  (concurrent readers, micro-batched estimation, live ``update``);
+* ``python -m repro query http://host:port gender=F`` — estimate against
+  a running server (``--list`` to see what it serves, ``--workload`` for
+  a batch, ``--json`` for the raw response);
 * ``python -m repro profile data.csv --sensitive gender,race`` — run the
   fitness-for-use warnings against a CSV.
 
@@ -32,6 +39,12 @@ JSON.  A plain subset label is still written in the legacy bare format
 by default (so published labels keep their long-lived shape); pass
 ``--envelope`` to write the v2 envelope, which is the only format that
 can carry flexible labels.
+
+Failures exit with a *distinct* code per failure class (and one line on
+stderr), so scripts can tell a missing file from a malformed one without
+parsing messages: 2 usage (argparse's own convention), 3 missing input
+file, 4 malformed input file, 5 pattern/workload does not match the
+label, 6 server unreachable, 7 server answered with an error.
 """
 
 from __future__ import annotations
@@ -40,7 +53,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import NoReturn, Sequence
 
 from repro.api import (
     ApiError,
@@ -65,20 +78,57 @@ from repro.labeling.render import (
 from repro.labeling.report import generate_report
 from repro.labeling.warnings import profile_dataset
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_USAGE",
+    "EXIT_MISSING_FILE",
+    "EXIT_MALFORMED",
+    "EXIT_MISMATCH",
+    "EXIT_UNAVAILABLE",
+    "EXIT_REMOTE",
+]
+
+# Distinct exit code per failure class (2 is argparse's own usage code).
+EXIT_USAGE = 2  # bad flag combination / malformed bindings
+EXIT_MISSING_FILE = 3  # an input file does not exist
+EXIT_MALFORMED = 4  # an input file exists but cannot be parsed
+EXIT_MISMATCH = 5  # pattern/workload does not match the label
+EXIT_UNAVAILABLE = 6  # query: the server cannot be reached
+EXIT_REMOTE = 7  # query: the server answered with an error response
+
+
+class CliError(SystemExit):
+    """A CLI failure carrying both a message and its distinct exit code.
+
+    ``str(exc)`` is the message (what tests match on); ``exc.code`` is
+    the integer the process exits with.  The message is printed to
+    stderr at raise time because the interpreter only auto-prints
+    ``SystemExit`` payloads that *are* the exit status.
+    """
+
+    def __init__(self, message: str, exit_code: int) -> None:
+        super().__init__(message)
+        self.code = exit_code
+
+
+def _fail(message: str, exit_code: int) -> NoReturn:
+    print(f"repro: {message}", file=sys.stderr)
+    raise CliError(message, exit_code)
 
 
 def _parse_assignments(tokens: Sequence[str]) -> Pattern:
     assignments = {}
     for token in tokens:
         if "=" not in token:
-            raise SystemExit(
-                f"pattern bindings look like attr=value, got {token!r}"
+            _fail(
+                f"pattern bindings look like attr=value, got {token!r}",
+                EXIT_USAGE,
             )
         attribute, _, value = token.partition("=")
         assignments[attribute] = value
     if not assignments:
-        raise SystemExit("at least one attr=value binding is required")
+        _fail("at least one attr=value binding is required", EXIT_USAGE)
     return Pattern(assignments)
 
 
@@ -86,25 +136,38 @@ def _load_artifact_or_exit(path: str):
     try:
         return load_artifact(path)
     except FileNotFoundError:
-        raise SystemExit(f"no such label file: {path}")
+        _fail(f"no such label file: {path}", EXIT_MISSING_FILE)
     except ApiError as exc:
-        raise SystemExit(f"cannot read label artifact {path!r}: {exc}")
+        _fail(
+            f"cannot read label artifact {path!r}: {exc}", EXIT_MALFORMED
+        )
+
+
+def _read_csv_or_exit(path: str):
+    try:
+        return read_csv(path)
+    except FileNotFoundError:
+        _fail(f"no such CSV file: {path}", EXIT_MISSING_FILE)
+    except (ValueError, OSError) as exc:
+        _fail(f"cannot read CSV file {path!r}: {exc}", EXIT_MALFORMED)
 
 
 def _csv_source(args: argparse.Namespace, path: str):
     """The dataset source for a fit: whole-file or streamed chunks."""
+    if not Path(path).exists():
+        _fail(f"no such CSV file: {path}", EXIT_MISSING_FILE)
     if args.chunk_rows:
         # Chunk stream: each chunk becomes a shard of the counter.
         return read_csv_chunks(path, chunk_rows=args.chunk_rows)
-    return read_csv(path)
+    return _read_csv_or_exit(path)
 
 
 def _validate_fit_flags(args: argparse.Namespace) -> None:
     if args.shards is not None and args.shards < 1:
-        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        _fail(f"--shards must be >= 1, got {args.shards}", EXIT_USAGE)
     if args.chunk_rows is not None and args.chunk_rows < 1:
-        raise SystemExit(
-            f"--chunk-rows must be >= 1, got {args.chunk_rows}"
+        _fail(
+            f"--chunk-rows must be >= 1, got {args.chunk_rows}", EXIT_USAGE
         )
 
 
@@ -114,12 +177,20 @@ def _fit_session(args: argparse.Namespace, path: str) -> LabelingSession:
     # whole-file read, one shard per chunk with --chunk-rows); an
     # explicit value — including 1, the collapse-to-monolithic spelling
     # — is forwarded as-is.
-    return LabelingSession.fit(
-        _csv_source(args, path),
-        args.bound,
-        strategy=getattr(args, "algorithm", "top_down"),
-        shards=args.shards,
-    )
+    try:
+        return LabelingSession.fit(
+            _csv_source(args, path),
+            args.bound,
+            strategy=getattr(args, "algorithm", "top_down"),
+            shards=args.shards,
+        )
+    except ApiError:
+        raise  # registry/strategy misuse, not a file problem
+    except (ValueError, OSError) as exc:
+        # The chunked reader parses lazily, so a malformed CSV can
+        # surface here rather than in _read_csv_or_exit; same failure
+        # class, same exit code.
+        _fail(f"cannot read CSV file {path!r}: {exc}", EXIT_MALFORMED)
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
@@ -155,10 +226,11 @@ def _cmd_label(args: argparse.Namespace) -> int:
 def _cmd_card(args: argparse.Namespace) -> int:
     artifact = _load_artifact_or_exit(args.label)
     if not isinstance(artifact, Label):
-        raise SystemExit(
+        _fail(
             "the nutrition card renders subset labels only; this artifact "
             f"is of kind {type(artifact).__name__!r} — use "
-            "'repro estimate' to query it"
+            "'repro estimate' to query it",
+            EXIT_MISMATCH,
         )
     renderer = {
         "text": render_label_text,
@@ -167,7 +239,7 @@ def _cmd_card(args: argparse.Namespace) -> int:
     }[args.format]
     summary = None
     if args.csv:
-        counter = PatternCounter(read_csv(args.csv))
+        counter = PatternCounter(_read_csv_or_exit(args.csv))
         summary = evaluate_label(counter, artifact)
     print(renderer(artifact, summary))
     return 0
@@ -177,45 +249,53 @@ def _load_workload_or_exit(path: str) -> list[Pattern]:
     try:
         payload = json.loads(Path(path).read_text())
     except FileNotFoundError:
-        raise SystemExit(f"no such workload file: {path}")
+        _fail(f"no such workload file: {path}", EXIT_MISSING_FILE)
     except OSError as exc:
-        raise SystemExit(f"cannot read workload file {path!r}: {exc}")
+        _fail(f"cannot read workload file {path!r}: {exc}", EXIT_MALFORMED)
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"workload file {path!r} is not valid JSON: {exc}")
+        _fail(
+            f"workload file {path!r} is not valid JSON: {exc}",
+            EXIT_MALFORMED,
+        )
     if not isinstance(payload, list) or not payload:
-        raise SystemExit(
+        _fail(
             f"workload file {path!r} must be a non-empty JSON array of "
-            '{"attribute": "value", ...} objects'
+            '{"attribute": "value", ...} objects',
+            EXIT_MALFORMED,
         )
     patterns = []
     for position, entry in enumerate(payload):
         if not isinstance(entry, dict) or not entry:
-            raise SystemExit(
+            _fail(
                 f"workload file {path!r}: entry {position} must be a "
                 "non-empty JSON object of attribute/value bindings, got "
-                f"{entry!r}"
+                f"{entry!r}",
+                EXIT_MALFORMED,
             )
         try:
             patterns.append(Pattern(entry))
         except (TypeError, ValueError) as exc:
-            raise SystemExit(
+            _fail(
                 f"workload file {path!r}: entry {position} is not a valid "
-                f"pattern: {exc}"
+                f"pattern: {exc}",
+                EXIT_MALFORMED,
             )
     return patterns
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
     if args.workload and args.bindings:
-        raise SystemExit(
-            "give either inline attr=value bindings or --workload, not both"
+        _fail(
+            "give either inline attr=value bindings or --workload, not both",
+            EXIT_USAGE,
         )
     if not args.fit_csv and (
         args.shards is not None or args.chunk_rows is not None
     ):
-        raise SystemExit(
+        _fail(
             "--shards/--chunk-rows only apply to --fit-csv fits; a saved "
-            "label artifact needs no counting"
+            "label artifact needs no counting",
+            EXIT_USAGE,
         )
     if args.fit_csv:
         # One-shot producer path: fit a label straight from a CSV
@@ -224,56 +304,70 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         bindings = ([args.label] if args.label else []) + list(args.bindings)
         bad = [token for token in bindings if "=" not in token]
         if bad:
-            raise SystemExit(
+            _fail(
                 f"with --fit-csv the positional arguments are pattern "
-                f"bindings (attr=value), got {bad[0]!r}"
+                f"bindings (attr=value), got {bad[0]!r}",
+                EXIT_USAGE,
             )
         if args.workload and bindings:
-            raise SystemExit(
+            _fail(
                 "give either inline attr=value bindings or --workload, "
-                "not both"
+                "not both",
+                EXIT_USAGE,
             )
         session = _fit_session(args, args.fit_csv)
         estimator = session.estimator
         args = argparse.Namespace(**{**vars(args), "bindings": bindings})
     else:
         if not args.label:
-            raise SystemExit(
-                "estimate needs a label file (or --fit-csv data.csv)"
+            _fail(
+                "estimate needs a label file (or --fit-csv data.csv)",
+                EXIT_USAGE,
             )
         artifact = _load_artifact_or_exit(args.label)
         try:
             estimator = estimator_from_artifact(artifact)
         except ApiError as exc:
-            raise SystemExit(f"cannot estimate from this artifact: {exc}")
+            _fail(
+                f"cannot estimate from this artifact: {exc}", EXIT_MALFORMED
+            )
 
     if args.workload:
         patterns = _load_workload_or_exit(args.workload)
         try:
             estimates = estimate_many(estimator, patterns)
         except KeyError as exc:
-            raise SystemExit(f"workload does not match the label: {exc}")
-        for estimate in estimates:
-            print(f"{estimate:.1f}")
+            _fail(
+                f"workload does not match the label: {exc}", EXIT_MISMATCH
+            )
+        if args.json:
+            print(json.dumps({"estimates": estimates}))
+        else:
+            for estimate in estimates:
+                print(f"{estimate:.1f}")
         return 0
 
     pattern = _parse_assignments(args.bindings)
     try:
         estimate = estimator.estimate(pattern)
     except KeyError as exc:
-        raise SystemExit(f"pattern does not match the label: {exc}")
-    exact = (
-        " (exact)"
-        if isinstance(estimator, LabelEstimator)
-        and estimator.is_exact_for(pattern)
-        else ""
-    )
-    print(f"{estimate:.1f}{exact}")
+        _fail(f"pattern does not match the label: {exc}", EXIT_MISMATCH)
+    is_exact = isinstance(
+        estimator, LabelEstimator
+    ) and estimator.is_exact_for(pattern)
+    if args.json:
+        print(
+            json.dumps(
+                {"estimates": [float(estimate)], "exact": is_exact}
+            )
+        )
+    else:
+        print(f"{estimate:.1f}{' (exact)' if is_exact else ''}")
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    dataset = read_csv(args.csv)
+    dataset = _read_csv_or_exit(args.csv)
     sensitive = [name.strip() for name in args.sensitive.split(",")]
     warnings = profile_dataset(
         dataset,
@@ -290,7 +384,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    dataset = read_csv(args.csv)
+    dataset = _read_csv_or_exit(args.csv)
     sensitive = (
         [name.strip() for name in args.sensitive.split(",")]
         if args.sensitive
@@ -308,6 +402,150 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(document)
+    return 0
+
+
+def _service_from_args(args: argparse.Namespace):
+    """Build (not start) the LabelService a ``serve`` invocation asks for.
+
+    Split out of :func:`_cmd_serve` so tests can assemble the exact
+    service without blocking on ``serve_forever``.
+    """
+    from repro.serve.service import LabelService
+
+    if args.window_ms < 0:
+        _fail(f"--window-ms must be >= 0, got {args.window_ms}", EXIT_USAGE)
+    if args.max_batch < 1:
+        _fail(f"--max-batch must be >= 1, got {args.max_batch}", EXIT_USAGE)
+    names = []
+    artifacts = []
+    for path in args.labels:
+        artifact = _load_artifact_or_exit(path)
+        name = Path(path).stem
+        if name in names:
+            _fail(
+                f"two label files share the served name {name!r}; rename "
+                "one of the files",
+                EXIT_USAGE,
+            )
+        names.append(name)
+        artifacts.append(artifact)
+    try:
+        service = LabelService(
+            host=args.host,
+            port=args.port,
+            window=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        _fail(
+            f"cannot bind {args.host}:{args.port}: {exc}", EXIT_UNAVAILABLE
+        )
+    for name, artifact in zip(names, artifacts):
+        service.store.publish(name, artifact)
+    return service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _service_from_args(args)
+    print(
+        f"serving {len(service.store)} label(s) "
+        f"[{', '.join(service.store.names())}] at {service.url} — Ctrl-C "
+        "to stop",
+        file=sys.stderr,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("stopping", file=sys.stderr)
+    finally:
+        service.stop()
+    return 0
+
+
+def _http_json(request, timeout: float):
+    """POST/GET a urllib request; map failures to distinct exit codes."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            message = payload["error"]["message"]
+            code = payload["error"]["code"]
+        except Exception:  # noqa: BLE001 — non-JSON error body
+            message, code = exc.reason, str(exc.code)
+        _fail(f"server rejected the request ({code}): {message}", EXIT_REMOTE)
+    except (urllib.error.URLError, TimeoutError, ConnectionError) as exc:
+        reason = getattr(exc, "reason", exc)
+        _fail(f"cannot reach the server: {reason}", EXIT_UNAVAILABLE)
+    except json.JSONDecodeError as exc:
+        _fail(f"server sent invalid JSON: {exc}", EXIT_REMOTE)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import urllib.parse
+    import urllib.request
+
+    from repro.serve.protocol import EstimateRequest
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+
+    if args.list:
+        catalog = _http_json(base + "/labels", args.timeout)
+        if args.json:
+            print(json.dumps(catalog))
+        else:
+            for entry in catalog.get("labels", []):
+                print(
+                    f"{entry['name']}  v{entry['version']}  "
+                    f"kind={entry['kind']}  |PC|={entry['size']}  "
+                    f"|D|={entry['total']}"
+                )
+        return 0
+
+    if args.workload and args.bindings:
+        _fail(
+            "give either inline attr=value bindings or --workload, not both",
+            EXIT_USAGE,
+        )
+
+    name = args.label
+    if name is None:
+        served = _http_json(base + "/labels", args.timeout).get("labels", [])
+        if len(served) != 1:
+            _fail(
+                "the server publishes "
+                f"{[entry['name'] for entry in served]}; pick one with "
+                "--label",
+                EXIT_USAGE,
+            )
+        name = served[0]["name"]
+
+    if args.workload:
+        patterns = _load_workload_or_exit(args.workload)
+    else:
+        patterns = [_parse_assignments(args.bindings)]
+    body = EstimateRequest(label=name, patterns=tuple(patterns)).to_payload()
+    quoted = urllib.parse.quote(name, safe="")
+    request = urllib.request.Request(
+        f"{base}/labels/{quoted}/estimate",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    payload = _http_json(request, args.timeout)
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        for estimate in payload["estimates"]:
+            print(f"{estimate:.1f}")
     return 0
 
 
@@ -419,7 +657,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream the --fit-csv file in chunks of N rows",
     )
+    estimate.add_argument(
+        "--json",
+        action="store_true",
+        help='machine-readable output: {"estimates": [...]} (single '
+        'patterns additionally carry "exact")',
+    )
     estimate.set_defaults(func=_cmd_estimate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="publish stored labels behind the HTTP serving endpoint",
+    )
+    serve.add_argument(
+        "labels",
+        nargs="+",
+        help="label artifact files; each serves under its file stem "
+        "(label.json -> /labels/label)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port (default 8321; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=1.0,
+        help="micro-batch coalescing window in milliseconds (default 1.0; "
+        "0 flushes immediately)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="pattern count that cuts the window short (default 1024)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="estimate against a running 'repro serve' endpoint"
+    )
+    query.add_argument(
+        "url", help="server base URL, e.g. http://127.0.0.1:8321"
+    )
+    query.add_argument(
+        "bindings", nargs="*", help="pattern bindings, e.g. gender=Female"
+    )
+    query.add_argument(
+        "--label",
+        help="served label name (default: the only published label)",
+    )
+    query.add_argument(
+        "--workload",
+        help="JSON workload file (array of {attribute: value} objects), "
+        "sent as one batched request",
+    )
+    query.add_argument(
+        "--list",
+        action="store_true",
+        help="list the served labels instead of estimating",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the server's raw JSON response",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="HTTP timeout in seconds (default 10)",
+    )
+    query.set_defaults(func=_cmd_query)
 
     profile = commands.add_parser(
         "profile", help="fitness-for-use warnings for a CSV file"

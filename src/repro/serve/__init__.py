@@ -1,0 +1,62 @@
+"""``repro.serve`` — the concurrent label-serving layer.
+
+The paper's deployment story is a published label answering selectivity
+queries *without* the data; this package is that story under traffic:
+
+* :mod:`~repro.serve.protocol` — explicit request/response dataclasses
+  (``EstimateRequest`` / ``EstimateResponse`` / ``ErrorResponse``) and
+  the :class:`~repro.serve.protocol.ServeError` hierarchy;
+* :mod:`~repro.serve.store` — :class:`LabelStore`: named, versioned,
+  immutable snapshots with copy-on-write publish (maintainers never
+  block readers);
+* :mod:`~repro.serve.batching` — :class:`MicroBatcher`: concurrent
+  requests coalesce into one batch-kernel call, byte-identical to the
+  scalar path;
+* :mod:`~repro.serve.service` — :class:`LabelService`: the stdlib
+  ``ThreadingHTTPServer`` JSON endpoint (``GET /labels``, ``GET
+  /labels/<name>/card``, ``POST /labels/<name>/estimate``, ``POST
+  /labels/<name>/update``).
+
+>>> from repro.serve import LabelService
+>>> service = LabelService()
+>>> service.store.publish("demo", label)        # doctest: +SKIP
+>>> with service:                               # doctest: +SKIP
+...     print(service.url)                      # ephemeral port
+
+or, one hop from a fitted session::
+
+    service = LabelingSession.fit(data, bound=50).serve(name="demo")
+"""
+
+from repro.serve.batching import BatcherStats, EstimateTicket, MicroBatcher
+from repro.serve.protocol import (
+    BadRequestError,
+    ErrorResponse,
+    EstimateRequest,
+    EstimateResponse,
+    ServeError,
+    UnknownLabelError,
+    UnsupportedOperationError,
+)
+from repro.serve.service import LabelService
+from repro.serve.store import LabelSnapshot, LabelStore
+
+__all__ = [
+    # protocol
+    "ServeError",
+    "UnknownLabelError",
+    "BadRequestError",
+    "UnsupportedOperationError",
+    "EstimateRequest",
+    "EstimateResponse",
+    "ErrorResponse",
+    # store
+    "LabelSnapshot",
+    "LabelStore",
+    # batching
+    "MicroBatcher",
+    "EstimateTicket",
+    "BatcherStats",
+    # service
+    "LabelService",
+]

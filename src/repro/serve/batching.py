@@ -1,0 +1,292 @@
+"""Micro-batched estimation: coalesce concurrent requests into one kernel call.
+
+A serving process answering one request at a time pays the scalar
+estimation path per pattern (an ``O(|PC|)`` label scan each) plus all
+per-call overhead.  The PR 2 batch kernel answers a *workload* orders of
+magnitude faster — but only if someone assembles a workload.  The
+:class:`MicroBatcher` is that someone: concurrent callers submit their
+patterns, a single worker thread coalesces everything that arrives
+within a small time/size window into one ``estimate_many`` call per
+snapshot, and each caller gets exactly its own answers back.
+
+Two properties matter more than the mechanism:
+
+* **Byte-identical answers.**  The batcher routes through
+  ``LabelSnapshot.estimate_many`` (the registry's batched dispatch),
+  whose parity with the scalar ``estimate`` path is the batch kernel's
+  contract — a response never depends on which other requests happened
+  to share the batch.  Duplicate patterns inside one batch are
+  collapsed to a single kernel evaluation (request collapsing — hot
+  patterns dominate real traffic) and fanned back out, which is
+  observable only in the stats.
+* **Snapshot affinity.**  Requests are grouped by the *snapshot object*
+  they were admitted with, so a publish happening mid-batch cannot mix
+  versions: every request is answered entirely from the snapshot its
+  caller resolved.
+
+The window trade-off (see DESIGN.md): a worker that flushes the moment
+it sees one request degenerates to the naive loop under low concurrency,
+while a long linger adds latency for no benefit once batches are full.
+The worker therefore lingers at most ``window`` seconds after the first
+admission *and only while* the pending batch is below ``max_batch``
+patterns; under sustained load the queue refills while the previous
+batch computes, so the linger rarely fires at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pattern import Pattern
+from repro.serve.protocol import ServeError
+from repro.serve.store import LabelSnapshot
+
+__all__ = ["MicroBatcher", "EstimateTicket", "BatcherStats"]
+
+
+class BatcherClosedError(ServeError, RuntimeError):
+    """Submit after close: the worker is gone, the request cannot run."""
+
+    code = "unavailable"
+    status = 503
+
+
+class EstimateTicket:
+    """A caller's claim on one submitted request.
+
+    ``result()`` blocks until the worker flushes the batch the request
+    rode in, then returns this request's estimates (in submission
+    order).  Tickets of one flush share a single :class:`threading.Event`
+    — completion costs one ``set()`` per flush, not one per request.
+    """
+
+    __slots__ = ("snapshot", "patterns", "_event", "_values", "_error", "batched")
+
+    def __init__(
+        self, snapshot: LabelSnapshot, patterns: tuple[Pattern, ...]
+    ) -> None:
+        self.snapshot = snapshot
+        self.patterns = patterns
+        self._event: threading.Event | None = None
+        self._values: list[float] | None = None
+        self._error: BaseException | None = None
+        #: Patterns the coalesced batch carried for this snapshot
+        #: (set at flush; an observability field).
+        self.batched: int = 0
+
+    def result(self, timeout: float | None = None) -> list[float]:
+        """This request's estimates; raises what the flush raised."""
+        event = self._event
+        assert event is not None, "ticket was never submitted"
+        if not event.wait(timeout):
+            raise TimeoutError(
+                f"estimate batch did not complete within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._values is not None
+        return self._values
+
+    def done(self) -> bool:
+        return self._event is not None and self._event.is_set()
+
+
+@dataclass
+class BatcherStats:
+    """Counters the worker maintains (read them for monitoring/benches)."""
+
+    requests: int = 0
+    patterns: int = 0
+    flushes: int = 0
+    kernel_calls: int = 0
+    collapsed_duplicates: int = 0
+    largest_batch: int = 0
+
+
+class MicroBatcher:
+    """Coalesce concurrent estimate requests into batched kernel calls.
+
+    Parameters
+    ----------
+    window:
+        Maximum seconds the worker lingers after the first pending
+        request, waiting for concurrent callers to join the batch.  0
+        flushes immediately (per-arrival batching only — whatever queued
+        while the previous batch computed still coalesces).
+    max_batch:
+        Pattern-count threshold that cuts the linger short and bounds
+        one flush's kernel call.
+    """
+
+    def __init__(self, *, window: float = 0.001, max_batch: int = 1024) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._window = window
+        self._max_batch = max_batch
+        self._cond = threading.Condition()
+        self._pending: list[EstimateTicket] = []
+        self._pending_patterns = 0
+        # Completion event of the batch currently accumulating; tickets
+        # grab a reference at submit time, _take_batch swaps in a fresh
+        # one, _flush sets the old one — one Event per flush, shared by
+        # every ticket that rode it.
+        self._flush_event = threading.Event()
+        self._closed = False
+        self.stats = BatcherStats()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- caller side ------------------------------------------------------------
+
+    def submit(
+        self, snapshot: LabelSnapshot, patterns: Sequence[Pattern]
+    ) -> EstimateTicket:
+        """Enqueue one request; returns immediately with its ticket."""
+        ticket = EstimateTicket(snapshot, tuple(patterns))
+        if not ticket.patterns:
+            raise ValueError("a request must carry at least one pattern")
+        with self._cond:
+            if self._closed:
+                raise BatcherClosedError("the micro-batcher is closed")
+            ticket._event = self._flush_event
+            self._pending.append(ticket)
+            self._pending_patterns += len(ticket.patterns)
+            self._cond.notify_all()
+        return ticket
+
+    def estimate(
+        self,
+        snapshot: LabelSnapshot,
+        patterns: Sequence[Pattern],
+        *,
+        timeout: float | None = 30.0,
+    ) -> list[float]:
+        """Submit and wait: the blocking convenience wrapper."""
+        return self.submit(snapshot, patterns).result(timeout)
+
+    def close(self, *, timeout: float | None = 5.0) -> None:
+        """Stop admitting requests; drain what is pending, stop the worker."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker side ------------------------------------------------------------
+
+    def _take_batch(
+        self,
+    ) -> tuple[list[EstimateTicket], threading.Event] | None:
+        """Wait for work, linger up to the window, take the batch.
+
+        Returns ``None`` exactly once: when the batcher is closed and
+        fully drained.
+        """
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            if self._window > 0 and not self._closed:
+                deadline = time.monotonic() + self._window
+                while self._pending_patterns < self._max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cond.wait(remaining)
+            batch = self._pending
+            event = self._flush_event
+            self._pending = []
+            self._pending_patterns = 0
+            self._flush_event = threading.Event()
+            return batch, event
+
+    def _run(self) -> None:
+        while True:
+            taken = self._take_batch()
+            if taken is None:
+                return
+            self._flush(*taken)
+
+    def _flush(
+        self, batch: list[EstimateTicket], event: threading.Event
+    ) -> None:
+        """Answer every ticket of one batch, grouped by snapshot.
+
+        One completion event serves the whole flush; a failing group
+        poisons only its own tickets.
+        """
+        groups: dict[int, list[EstimateTicket]] = {}
+        for ticket in batch:
+            groups.setdefault(id(ticket.snapshot), []).append(ticket)
+
+        stats = self.stats
+        stats.requests += len(batch)
+        stats.flushes += 1
+        try:
+            for tickets in groups.values():
+                snapshot = tickets[0].snapshot
+                # Collapse duplicates: one kernel slot per distinct
+                # pattern, every ticket scatters from the shared answers.
+                index_of: dict[Pattern, int] = {}
+                unique: list[Pattern] = []
+                positions: list[list[int]] = []
+                for ticket in tickets:
+                    slots = []
+                    for pattern in ticket.patterns:
+                        slot = index_of.get(pattern)
+                        if slot is None:
+                            slot = len(unique)
+                            index_of[pattern] = slot
+                            unique.append(pattern)
+                        slots.append(slot)
+                    positions.append(slots)
+                group_patterns = sum(len(t.patterns) for t in tickets)
+                stats.patterns += group_patterns
+                stats.collapsed_duplicates += group_patterns - len(unique)
+                stats.largest_batch = max(stats.largest_batch, group_patterns)
+                try:
+                    # max_batch bounds each kernel call: a backlog that
+                    # piled up during the previous flush is answered in
+                    # slices, never as one unbounded estimate_many.
+                    values = []
+                    for start in range(0, len(unique), self._max_batch):
+                        values.extend(
+                            snapshot.estimate_many(
+                                unique[start : start + self._max_batch]
+                            )
+                        )
+                        stats.kernel_calls += 1
+                except Exception:
+                    # One bad pattern must not poison its batch
+                    # neighbours: retry each request alone and pin the
+                    # error on the requests that actually own it.
+                    for ticket in tickets:
+                        try:
+                            ticket._values = snapshot.estimate_many(
+                                list(ticket.patterns)
+                            )
+                            ticket.batched = len(ticket.patterns)
+                            stats.kernel_calls += 1
+                        except Exception as exc:  # noqa: BLE001 — forwarded
+                            ticket._error = exc
+                    continue
+                for ticket, slots in zip(tickets, positions):
+                    ticket._values = [values[slot] for slot in slots]
+                    ticket.batched = group_patterns
+        finally:
+            event.set()

@@ -1,0 +1,358 @@
+"""Stdlib HTTP endpoint: labels as a concurrent JSON serving surface.
+
+``ThreadingHTTPServer`` (one thread per connection, stdlib only) in
+front of the :class:`~repro.serve.store.LabelStore` and the
+:class:`~repro.serve.batching.MicroBatcher`:
+
+* ``GET  /labels`` — catalog of published labels (name, version, kind,
+  ``|PC|``, ``|D|``, estimator backend);
+* ``GET  /labels/<name>`` — one label's catalog entry;
+* ``GET  /labels/<name>/card`` — the nutrition card (``?format=text|
+  markdown|html``; subset labels only);
+* ``POST /labels/<name>/estimate`` — body ``{"pattern": {...}}`` or
+  ``{"patterns": [...]}``; concurrent requests coalesce in the
+  micro-batcher and the response reports the snapshot ``version`` the
+  estimates describe;
+* ``POST /labels/<name>/update`` — body ``{"inserted": [rows...],
+  "deleted": [rows...]}`` (each row an ``{attribute: value}`` object
+  over exactly the label's attributes); maintains the label exactly and
+  publishes the next version without ever blocking readers.
+
+Every handler resolves its snapshot *once* and answers entirely from it,
+so a concurrent publish can never mix versions inside one response.
+Errors come back as :class:`~repro.serve.protocol.ErrorResponse` JSON
+with the matching HTTP status.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.core.label import Label
+from repro.dataset.table import Dataset
+from repro.labeling.render import (
+    render_label_html,
+    render_label_markdown,
+    render_label_text,
+)
+from repro.serve.batching import MicroBatcher
+from repro.serve.protocol import (
+    BadRequestError,
+    ErrorResponse,
+    EstimateRequest,
+    EstimateResponse,
+    UnsupportedOperationError,
+)
+from repro.serve.store import LabelSnapshot, LabelStore
+
+__all__ = ["LabelService"]
+
+_CARD_RENDERERS = {
+    "text": ("text/plain; charset=utf-8", render_label_text),
+    "markdown": ("text/markdown; charset=utf-8", render_label_markdown),
+    "html": ("text/html; charset=utf-8", render_label_html),
+}
+
+
+def _rows_dataset(
+    entries: Any, snapshot: LabelSnapshot, field: str
+) -> Dataset:
+    """An update batch (JSON array of row objects) as a Dataset.
+
+    Rows must bind exactly the label's attributes — the same contract
+    :func:`repro.core.maintenance.apply_inserts` enforces, checked here
+    first so the error names the offending row.
+    """
+    if not isinstance(snapshot.artifact, Label):
+        raise UnsupportedOperationError(
+            f"label {snapshot.name!r} is of kind {snapshot.kind!r}; exact "
+            "maintenance is only supported for subset labels"
+        )
+    if not isinstance(entries, list) or not entries:
+        raise BadRequestError(
+            f"'{field}' must be a non-empty JSON array of "
+            "{attribute: value} row objects"
+        )
+    attributes = snapshot.artifact.attribute_order
+    rows = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise BadRequestError(
+                f"'{field}' row {position} must be a JSON object, got "
+                f"{entry!r}"
+            )
+        if set(entry) != set(attributes):
+            raise BadRequestError(
+                f"'{field}' row {position} must bind exactly the label's "
+                f"attributes {sorted(attributes)}, got {sorted(entry)}"
+            )
+        rows.append(tuple(entry[attribute] for attribute in attributes))
+    return Dataset.from_rows(list(attributes), rows)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route dispatch; the service instance hangs off the server."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.service.verbose:
+            super().log_message(format, *args)
+
+    def _send(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._send(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _send_error_response(self, exc: BaseException) -> None:
+        error = ErrorResponse.from_exception(exc)
+        self._send_json(error.status, error.to_payload())
+
+    def _read_body(self) -> bytes:
+        """Drain the request body unconditionally.
+
+        Called before any routing decision: an error response that
+        leaves body bytes unread would desynchronize an HTTP/1.1
+        keep-alive connection (the next request would be parsed from
+        the middle of this one's payload).
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    @staticmethod
+    def _parse_json_body(raw: bytes) -> Any:
+        if not raw:
+            raise BadRequestError("request body is empty; send JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
+
+    def _route(self) -> tuple[list[str], dict[str, list[str]]]:
+        parsed = urlparse(self.path)
+        parts = [
+            unquote(part) for part in parsed.path.split("/") if part
+        ]
+        return parts, parse_qs(parsed.query)
+
+    # -- methods ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            parts, query = self._route()
+            service = self.server.service
+            if parts == ["labels"]:
+                self._send_json(200, {"labels": service.store.catalog()})
+                return
+            if len(parts) == 2 and parts[0] == "labels":
+                snapshot = service.store.get(parts[1])
+                self._send_json(200, snapshot.describe())
+                return
+            if len(parts) == 3 and parts[0] == "labels" and parts[2] == "card":
+                snapshot = service.store.get(parts[1])
+                if not isinstance(snapshot.artifact, Label):
+                    raise UnsupportedOperationError(
+                        "the nutrition card renders subset labels only; "
+                        f"label {snapshot.name!r} is of kind "
+                        f"{snapshot.kind!r}"
+                    )
+                fmt = query.get("format", ["text"])[0]
+                if fmt not in _CARD_RENDERERS:
+                    raise BadRequestError(
+                        f"unknown card format {fmt!r}; pick one of "
+                        f"{sorted(_CARD_RENDERERS)}"
+                    )
+                content_type, renderer = _CARD_RENDERERS[fmt]
+                self._send(
+                    200,
+                    renderer(snapshot.artifact).encode("utf-8"),
+                    content_type,
+                )
+                return
+            raise BadRequestError(f"no such endpoint: GET {self.path}")
+        except Exception as exc:  # noqa: BLE001 — wire boundary
+            self._send_error_response(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        raw = self._read_body()  # always drained, even for bad routes
+        try:
+            parts, _ = self._route()
+            service = self.server.service
+            if len(parts) == 3 and parts[0] == "labels":
+                if parts[2] == "estimate":
+                    self._handle_estimate(service, parts[1], raw)
+                    return
+                if parts[2] == "update":
+                    self._handle_update(service, parts[1], raw)
+                    return
+            raise BadRequestError(f"no such endpoint: POST {self.path}")
+        except Exception as exc:  # noqa: BLE001 — wire boundary
+            self._send_error_response(exc)
+
+    # -- endpoints --------------------------------------------------------------
+
+    def _handle_estimate(
+        self, service: "LabelService", name: str, raw: bytes
+    ) -> None:
+        # Resolve the snapshot once; the whole request — batching,
+        # estimation, the version in the response — uses this object, so
+        # a concurrent publish cannot tear the answer.
+        snapshot = service.store.get(name)
+        request = EstimateRequest.from_payload(
+            name, self._parse_json_body(raw)
+        )
+        ticket = service.batcher.submit(snapshot, request.patterns)
+        values = ticket.result(timeout=service.request_timeout)
+        response = EstimateResponse(
+            label=name,
+            version=snapshot.version,
+            estimates=tuple(values),
+            batched=ticket.batched,
+        )
+        self._send_json(200, response.to_payload())
+
+    def _handle_update(
+        self, service: "LabelService", name: str, raw: bytes
+    ) -> None:
+        body = self._parse_json_body(raw)
+        if not isinstance(body, Mapping):
+            raise BadRequestError(
+                f"request body must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        unknown = set(body) - {"inserted", "deleted"}
+        if unknown:
+            raise BadRequestError(
+                f"unknown update fields {sorted(unknown)}; an update "
+                "carries 'inserted' and/or 'deleted' row arrays"
+            )
+        snapshot = service.store.get(name)
+        inserted = (
+            _rows_dataset(body["inserted"], snapshot, "inserted")
+            if "inserted" in body
+            else None
+        )
+        deleted = (
+            _rows_dataset(body["deleted"], snapshot, "deleted")
+            if "deleted" in body
+            else None
+        )
+        published = service.store.update(
+            name, inserted=inserted, deleted=deleted
+        )
+        self._send_json(200, published.describe())
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "LabelService"
+
+
+class LabelService:
+    """The serving surface: a store, a batcher, and an HTTP frontend.
+
+    Parameters
+    ----------
+    store:
+        Share one :class:`LabelStore` between the service and an
+        in-process maintainer; a fresh store is created when omitted.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`port` / :attr:`url` after construction).
+    window / max_batch:
+        Micro-batcher knobs (see :class:`MicroBatcher`).
+    request_timeout:
+        Upper bound one HTTP estimate waits on its batch.
+
+    Usable as a context manager; :meth:`start` serves in a background
+    thread, :meth:`serve_forever` serves in the calling thread (the CLI
+    path).
+    """
+
+    def __init__(
+        self,
+        store: LabelStore | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = 0.001,
+        max_batch: int = 1024,
+        request_timeout: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        self.store = store if store is not None else LabelStore()
+        self.batcher = MicroBatcher(window=window, max_batch=max_batch)
+        self.request_timeout = request_timeout
+        self.verbose = verbose
+        self._server = _Server((host, port), _Handler)
+        self._server.service = self
+        self._thread: threading.Thread | None = None
+
+    # -- addressing -------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "LabelService":
+        """Serve in a daemon thread; idempotent, returns self."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-label-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until interrupted (CLI mode)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Shut down the HTTP server and drain the batcher."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.batcher.close()
+
+    def __enter__(self) -> "LabelService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,214 @@
+"""MicroBatcher: coalescing, byte-identical parity, failure isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Pattern, build_label
+from repro.serve import LabelStore, MicroBatcher
+from repro.serve.batching import BatcherClosedError
+
+
+@pytest.fixture
+def snapshot(figure2_counter):
+    store = LabelStore()
+    return store.publish(
+        "compas", build_label(figure2_counter, ("age group", "gender"))
+    )
+
+
+def _mixed_patterns():
+    return [
+        Pattern({"gender": "Female"}),
+        Pattern({"age group": "under 20", "gender": "Male"}),
+        Pattern({"race": "Hispanic"}),
+        Pattern({"marital status": "divorced", "gender": "Female"}),
+        Pattern({"age group": "20-39"}),
+    ]
+
+
+class TestParity:
+    def test_single_request_byte_identical_to_scalar(self, snapshot):
+        patterns = _mixed_patterns()
+        with MicroBatcher(window=0.0) as batcher:
+            batched = batcher.estimate(snapshot, patterns)
+        assert batched == [snapshot.estimate(p) for p in patterns]
+
+    def test_concurrent_requests_byte_identical_to_scalar(self, snapshot):
+        """The micro-batch parity bar: whatever rode together, every
+        response equals the direct per-pattern ``estimate`` call."""
+        patterns = _mixed_patterns() * 8
+        results: dict[int, list[float]] = {}
+        barrier = threading.Barrier(8)
+
+        with MicroBatcher(window=0.005) as batcher:
+
+            def client(slot: int) -> None:
+                barrier.wait()  # maximize coalescing
+                chunk = patterns[slot * 5 : slot * 5 + 5]
+                results[slot] = batcher.estimate(snapshot, chunk)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+        for slot in range(8):
+            chunk = patterns[slot * 5 : slot * 5 + 5]
+            assert results[slot] == [snapshot.estimate(p) for p in chunk]
+
+    def test_response_independent_of_batch_composition(self, snapshot):
+        """A pattern's answer never depends on its batch neighbours."""
+        pattern = Pattern({"gender": "Female"})
+        with MicroBatcher(window=0.0) as batcher:
+            alone = batcher.estimate(snapshot, [pattern])
+            crowded = batcher.estimate(
+                snapshot, _mixed_patterns() + [pattern]
+            )
+        assert alone[0] == crowded[-1] == snapshot.estimate(pattern)
+
+
+class TestCoalescing:
+    def test_duplicates_collapse_to_one_kernel_slot(self, snapshot):
+        pattern = Pattern({"gender": "Female"})
+        with MicroBatcher(window=0.05) as batcher:
+            values = batcher.estimate(snapshot, [pattern] * 10)
+        assert values == [snapshot.estimate(pattern)] * 10
+        assert batcher.stats.collapsed_duplicates == 9
+        assert batcher.stats.patterns == 10
+
+    def test_concurrent_submissions_share_flushes(self, snapshot):
+        patterns = _mixed_patterns()
+        with MicroBatcher(window=0.05, max_batch=4096) as batcher:
+            barrier = threading.Barrier(6)
+
+            def client() -> None:
+                barrier.wait()
+                batcher.estimate(snapshot, patterns)
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            stats = batcher.stats
+        assert stats.requests == 6
+        # at least some requests coalesced: fewer flushes than requests
+        assert stats.flushes < stats.requests
+        assert stats.largest_batch > len(patterns)
+        assert stats.collapsed_duplicates > 0  # 6 clients, same patterns
+
+    def test_ticket_reports_batch_size(self, snapshot):
+        with MicroBatcher(window=0.0) as batcher:
+            ticket = batcher.submit(snapshot, _mixed_patterns())
+            ticket.result(timeout=10)
+        assert ticket.batched >= len(_mixed_patterns())
+        assert ticket.done()
+
+
+class TestFailures:
+    def test_unknown_value_of_labeled_attribute_estimates_zero(
+        self, snapshot
+    ):
+        # Not an error: an unseen value of an attribute in S has a true
+        # count of 0, and both the scalar and the batched path say so.
+        unseen = Pattern({"gender": "Unseen"})
+        with MicroBatcher(window=0.0) as batcher:
+            assert batcher.estimate(snapshot, [unseen]) == [0.0]
+        assert snapshot.estimate(unseen) == 0.0
+
+    def test_unknown_attribute_raises_in_caller(self, snapshot):
+        with MicroBatcher(window=0.0) as batcher:
+            with pytest.raises(KeyError, match="not recorded"):
+                batcher.estimate(snapshot, [Pattern({"nope": "zzz"})])
+
+    def test_failing_request_does_not_poison_the_batch(self, snapshot):
+        """The error lands only on the request that owns the bad
+        pattern; co-batched good requests still get their answers."""
+        good = Pattern({"gender": "Female"})
+        with MicroBatcher(window=0.05) as batcher:
+            bad_ticket = batcher.submit(
+                snapshot, (Pattern({"nope": "zzz"}),)
+            )
+            good_ticket = batcher.submit(snapshot, (good,))
+            with pytest.raises(KeyError, match="not recorded"):
+                bad_ticket.result(timeout=10)
+            assert good_ticket.result(timeout=10) == [
+                snapshot.estimate(good)
+            ]
+
+    def test_empty_request_rejected(self, snapshot):
+        with MicroBatcher(window=0.0) as batcher:
+            with pytest.raises(ValueError, match="at least one pattern"):
+                batcher.submit(snapshot, ())
+
+    def test_submit_after_close(self, snapshot):
+        batcher = MicroBatcher(window=0.0)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(snapshot, (Pattern({"gender": "Female"}),))
+
+    def test_close_drains_pending(self, snapshot):
+        batcher = MicroBatcher(window=0.2)
+        ticket = batcher.submit(snapshot, (Pattern({"gender": "Female"}),))
+        batcher.close()
+        assert ticket.result(timeout=10) == [
+            snapshot.estimate(Pattern({"gender": "Female"}))
+        ]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            MicroBatcher(window=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(max_batch=0)
+
+
+class TestSnapshotAffinity:
+    def test_batch_spanning_two_versions_answers_each_from_its_own(
+        self, snapshot, figure2_counter
+    ):
+        """Requests admitted with different snapshots never mix, even
+        inside one coalesced flush."""
+        store = LabelStore()
+        old = store.publish(
+            "compas", build_label(figure2_counter, ("age group", "gender"))
+        )
+        from repro import Dataset
+
+        new = store.update(
+            "compas",
+            inserted=Dataset.from_rows(
+                ["gender", "age group", "race", "marital status"],
+                [("Female", "under 20", "Hispanic", "single")] * 3,
+            ),
+        )
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        with MicroBatcher(window=0.05) as batcher:
+            old_ticket = batcher.submit(old, (pattern,))
+            new_ticket = batcher.submit(new, (pattern,))
+            assert old_ticket.result(10) == [old.estimate(pattern)]
+            assert new_ticket.result(10) == [new.estimate(pattern)]
+        assert new.estimate(pattern) == old.estimate(pattern) + 3
+
+
+class TestMaxBatchBound:
+    def test_backlog_is_answered_in_bounded_kernel_calls(self, snapshot):
+        """A pile-up larger than max_batch must be sliced, never handed
+        to estimate_many as one unbounded call."""
+        patterns = [
+            Pattern({"gender": g, "age group": a, "race": r})
+            for g in ("Female", "Male")
+            for a in ("under 20", "20-39")
+            for r in ("Hispanic", "Caucasian", "African-American")
+        ]
+        with MicroBatcher(window=0.05, max_batch=5) as batcher:
+            values = batcher.estimate(snapshot, patterns)
+            kernel_calls = batcher.stats.kernel_calls
+        assert values == [snapshot.estimate(p) for p in patterns]
+        assert kernel_calls >= 3  # 12 distinct patterns / max_batch 5

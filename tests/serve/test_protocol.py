@@ -1,0 +1,99 @@
+"""Protocol dataclasses: parsing, validation, and the error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Pattern
+from repro.serve import (
+    BadRequestError,
+    ErrorResponse,
+    EstimateRequest,
+    EstimateResponse,
+    ServeError,
+    UnknownLabelError,
+    UnsupportedOperationError,
+)
+
+
+class TestEstimateRequest:
+    def test_single_pattern_payload(self):
+        request = EstimateRequest.from_payload(
+            "demo", {"pattern": {"gender": "F"}}
+        )
+        assert request.label == "demo"
+        assert request.patterns == (Pattern({"gender": "F"}),)
+        assert request.to_payload() == {"pattern": {"gender": "F"}}
+
+    def test_multi_pattern_payload(self):
+        request = EstimateRequest.from_payload(
+            "demo", {"patterns": [{"a": "1"}, {"b": "2"}]}
+        )
+        assert len(request.patterns) == 2
+        assert request.to_payload() == {
+            "patterns": [{"a": "1"}, {"b": "2"}]
+        }
+
+    @pytest.mark.parametrize(
+        "payload, message",
+        [
+            ({}, "exactly one of"),
+            ({"pattern": {}, "patterns": []}, "exactly one of"),
+            ({"patterns": []}, "non-empty JSON array"),
+            ({"patterns": "x"}, "non-empty JSON array"),
+            ({"pattern": {}}, "non-empty JSON object"),
+            ({"patterns": [{"a": "1"}, 7]}, "pattern 1"),
+            ("not a mapping", "JSON object"),
+        ],
+    )
+    def test_rejects_malformed_payloads(self, payload, message):
+        with pytest.raises(BadRequestError, match=message):
+            EstimateRequest.from_payload("demo", payload)
+
+    def test_empty_name_and_patterns_rejected(self):
+        with pytest.raises(BadRequestError, match="name a label"):
+            EstimateRequest(label="", patterns=(Pattern({"a": "1"}),))
+        with pytest.raises(BadRequestError, match="at least one pattern"):
+            EstimateRequest(label="demo", patterns=())
+
+
+class TestEstimateResponse:
+    def test_round_trip(self):
+        response = EstimateResponse(
+            label="demo", version=3, estimates=(1.0, 2.5), batched=7
+        )
+        assert EstimateResponse.from_payload(response.to_payload()) == response
+
+    def test_malformed_payload(self):
+        with pytest.raises(BadRequestError, match="malformed"):
+            EstimateResponse.from_payload({"label": "x"})
+
+
+class TestErrorResponse:
+    def test_serve_errors_carry_their_own_code_and_status(self):
+        error = ErrorResponse.from_exception(UnknownLabelError("nope"))
+        assert (error.code, error.status) == ("not_found", 404)
+        error = ErrorResponse.from_exception(
+            UnsupportedOperationError("flexible")
+        )
+        assert (error.code, error.status) == ("unsupported", 409)
+        error = ErrorResponse.from_exception(BadRequestError("bad"))
+        assert (error.code, error.status) == ("bad_request", 400)
+
+    def test_estimator_key_errors_read_as_bad_request(self):
+        error = ErrorResponse.from_exception(KeyError("value not recorded"))
+        assert error.status == 400
+        assert error.message == "value not recorded"
+
+    def test_unexpected_exceptions_are_internal(self):
+        error = ErrorResponse.from_exception(RuntimeError("boom"))
+        assert (error.code, error.status) == ("internal", 500)
+
+    def test_payload_shape(self):
+        payload = ErrorResponse("bad_request", "msg").to_payload()
+        assert payload == {"error": {"code": "bad_request", "message": "msg"}}
+
+    def test_unknown_label_str_is_plain(self):
+        # KeyError.__str__ would repr() the message; ours must not
+        assert str(UnknownLabelError("no label 'x'")) == "no label 'x'"
+        assert isinstance(UnknownLabelError("x"), ServeError)

@@ -1,0 +1,148 @@
+"""Regression tests: ``LabelingSession.update`` vs concurrent reads.
+
+Before the serving layer, ``update()`` replaced the session's artifact
+and its estimator in two separate attribute assignments; a reader
+interleaving between them could observe the *new* artifact paired with
+the *old* estimator (or estimate through a mid-swap mixture).  The
+session now keeps the pair in one atomically-swapped state and every
+read resolves it exactly once — these tests pin that contract.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Dataset, LabelingSession, Pattern, PatternCounter, build_label
+
+
+@pytest.fixture
+def session(figure2) -> LabelingSession:
+    return LabelingSession(
+        build_label(PatternCounter(figure2), ("age group", "gender"))
+    )
+
+
+def _row():
+    return Dataset.from_rows(
+        ["gender", "age group", "race", "marital status"],
+        [("Female", "under 20", "Hispanic", "single")],
+    )
+
+
+class TestAtomicSwap:
+    def test_update_swaps_artifact_and_estimator_together(self, session):
+        old_artifact = session.artifact
+        old_estimator = session.estimator
+        session.update(inserted=_row())
+        # the pair always matches: the estimator serves the artifact
+        assert session.estimator.label is session.artifact
+        assert session.artifact is not old_artifact
+        # the superseded pair still answers its own version
+        assert old_estimator.label is old_artifact
+        assert old_artifact.total == 18
+        assert session.artifact.total == 19
+
+    def test_update_bumps_version(self, session):
+        assert session.version == 1
+        session.update(inserted=_row())
+        assert session.version == 2
+        session.update(deleted=_row())
+        assert session.version == 3
+
+    def test_snapshot_is_isolated_from_later_updates(self, session):
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        snapshot = session.snapshot("frozen")
+        before = snapshot.estimate(pattern)
+        session.update(inserted=_row())
+        # the session moved on; the handed-out snapshot did not
+        assert session.estimate(pattern) == before + 1.0
+        assert snapshot.estimate(pattern) == before
+        assert snapshot.version == 1
+        assert session.version == 2
+
+    def test_snapshot_carries_registry_backend_name(self, session):
+        assert session.snapshot().estimator_name == "label"
+
+
+class TestInterleavedUpdateAndEstimate:
+    """The documented mutate-while-reading stress.
+
+    A maintainer thread applies insert batches while reader threads run
+    ``estimate_many``.  Every insert adds exactly one ``Female/under
+    20`` row, so any value outside ``{base, base+1, ..., base+N}`` —
+    or a pair of per-call answers that disagree with *each other* —
+    would prove a torn read.  (The label covers both queried attributes,
+    so every estimate is exact for whatever state it ran against.)
+    """
+
+    N_UPDATES = 50
+
+    def test_estimate_many_never_sees_a_torn_state(self, session):
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        base = session.estimate(pattern)
+        valid = {base + i for i in range(self.N_UPDATES + 1)}
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                first, second = session.estimate_many([pattern, pattern])
+                if first != second:
+                    failures.append(
+                        f"one call, two versions: {first} != {second}"
+                    )
+                    return
+                if first not in valid:
+                    failures.append(f"impossible estimate {first}")
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(self.N_UPDATES):
+                session.update(inserted=_row())
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+        assert not failures, failures[0]
+        assert session.estimate(pattern) == base + self.N_UPDATES
+
+    def test_reader_pair_consistency_under_updates(self, session):
+        """artifact/estimator resolved via the public properties always
+        come from ONE published state when read through snapshot()."""
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                snapshot = session.snapshot()
+                if snapshot.estimator.label is not snapshot.artifact:
+                    failures.append("torn artifact/estimator pair")
+                    return
+                # a frozen snapshot agrees with its own artifact
+                expected = float(snapshot.artifact.total)
+                got = snapshot.estimate(
+                    Pattern({"gender": "Female"})
+                ) + snapshot.estimate(Pattern({"gender": "Male"}))
+                if got != expected:
+                    failures.append(
+                        f"snapshot disagrees with itself: {got} != "
+                        f"{expected}"
+                    )
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(self.N_UPDATES):
+                session.update(inserted=_row())
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+        assert not failures, failures[0]

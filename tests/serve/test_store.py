@@ -1,0 +1,265 @@
+"""LabelStore: versioned snapshots, copy-on-write publish, isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Dataset, PatternCounter, Pattern, build_label
+from repro.core.flexlabel import greedy_flexible_label
+from repro.serve import (
+    BadRequestError,
+    LabelStore,
+    UnknownLabelError,
+    UnsupportedOperationError,
+)
+
+GENDER_AGE = ("age group", "gender")
+
+
+@pytest.fixture
+def label(figure2_counter):
+    return build_label(figure2_counter, GENDER_AGE)
+
+
+@pytest.fixture
+def store(label) -> LabelStore:
+    store = LabelStore()
+    store.publish("compas", label)
+    return store
+
+
+def _row(gender="Female", age="under 20", race="Hispanic", marital="single"):
+    return Dataset.from_rows(
+        ["gender", "age group", "race", "marital status"],
+        [(gender, age, race, marital)],
+    )
+
+
+class TestPublishAndGet:
+    def test_publish_returns_versioned_snapshot(self, store):
+        snapshot = store.get("compas")
+        assert snapshot.name == "compas"
+        assert snapshot.version == 1
+        assert snapshot.kind == "label"
+        assert snapshot.estimator_name == "label"
+        assert snapshot.total == 18
+
+    def test_republish_increments_version(self, store, label):
+        assert store.publish("compas", label).version == 2
+        assert store.publish("compas", label).version == 3
+
+    def test_versions_are_per_name(self, store, label):
+        assert store.publish("other", label).version == 1
+        assert store.get("compas").version == 1
+
+    def test_get_unknown_name(self, store):
+        with pytest.raises(UnknownLabelError, match="no label 'nope'"):
+            store.get("nope")
+
+    def test_catalog_and_names_sorted(self, store, label):
+        store.publish("aaa", label)
+        assert store.names() == ["aaa", "compas"]
+        catalog = store.catalog()
+        assert [entry["name"] for entry in catalog] == ["aaa", "compas"]
+        assert catalog[1]["version"] == 1
+        assert catalog[1]["size"] == label.size
+        assert "compas" in store and len(store) == 2
+
+    def test_drop(self, store):
+        store.drop("compas")
+        assert "compas" not in store
+        with pytest.raises(UnknownLabelError):
+            store.drop("compas")
+
+    def test_unpublishable_artifact(self, store):
+        with pytest.raises(BadRequestError, match="unsupported artifact"):
+            store.publish("bad", object())
+
+    def test_registry_driven_estimator_rejects_bad_backend(self, label):
+        store = LabelStore()
+        with pytest.raises(BadRequestError, match="cannot build estimator"):
+            store.publish("x", label, estimator="sampling")
+        with pytest.raises(BadRequestError, match="cannot build estimator"):
+            store.publish("x", label, estimator="does_not_exist")
+
+    def test_flexible_label_served_through_registry(self, figure2_counter):
+        store = LabelStore()
+        flexible = greedy_flexible_label(figure2_counter, 6)
+        snapshot = store.publish("flex", flexible)
+        assert snapshot.kind == "flexible"
+        assert snapshot.estimator_name == "flexible"
+        assert snapshot.estimate(Pattern({"gender": "Female"})) >= 0.0
+
+
+class TestSnapshotEstimation:
+    def test_estimate_matches_direct_estimator(self, store, figure2):
+        snapshot = store.get("compas")
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        truth = PatternCounter(figure2).count(pattern)
+        assert snapshot.estimate(pattern) == float(truth)
+
+    def test_estimate_many_byte_identical_to_scalar(self, store, figure2):
+        snapshot = store.get("compas")
+        counter = PatternCounter(figure2)
+        patterns = [
+            Pattern({"gender": "Female"}),
+            Pattern({"age group": "20-39", "race": "Hispanic"}),
+            Pattern({"marital status": "single"}),
+            Pattern({"gender": "Male", "age group": "under 20"}),
+        ]
+        assert snapshot.estimate_many(patterns) == [
+            snapshot.estimate(p) for p in patterns
+        ]
+        del counter
+
+
+class TestUpdate:
+    def test_insert_publishes_new_version(self, store):
+        before = store.get("compas")
+        after = store.update("compas", inserted=_row())
+        assert after.version == 2
+        assert after.total == 19
+        assert store.get("compas") is after
+        # copy-on-write: the superseded snapshot is untouched
+        assert before.total == 18
+        assert before.artifact.total == 18
+
+    def test_update_is_exact(self, store, figure2):
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        before = store.get("compas").estimate(pattern)
+        after = store.update("compas", inserted=_row()).estimate(pattern)
+        assert after == before + 1.0
+
+    def test_insert_then_delete_round_trips(self, store):
+        original = store.get("compas")
+        batch = _row()
+        store.update("compas", inserted=batch)
+        final = store.update("compas", deleted=batch)
+        assert final.version == 3
+        assert final.artifact == original.artifact
+
+    def test_update_needs_a_batch(self, store):
+        with pytest.raises(BadRequestError, match="at least one of"):
+            store.update("compas")
+
+    def test_update_rejects_impossible_delete(self, store):
+        huge = Dataset.from_rows(
+            ["gender", "age group", "race", "marital status"],
+            [("Nobody", "none", "none", "none")],
+        )
+        with pytest.raises(BadRequestError, match="update batch rejected"):
+            store.update("compas", deleted=huge)
+
+    def test_update_unsupported_for_flexible(self, figure2_counter):
+        store = LabelStore()
+        store.publish("flex", greedy_flexible_label(figure2_counter, 6))
+        with pytest.raises(
+            UnsupportedOperationError, match="subset labels"
+        ):
+            store.update("flex", inserted=_row())
+
+
+class TestConcurrentReadersAndWriter:
+    """The snapshot-isolation stress test.
+
+    One maintainer publishes updates in a tight loop while several
+    readers hammer ``get`` + ``estimate``.  Every observation must be
+    explainable by exactly one published version: the (artifact,
+    estimator) pair is frozen together, estimates match the artifact's
+    own counts, and versions only move forward.
+    """
+
+    N_UPDATES = 40
+    N_READERS = 4
+
+    def test_snapshot_isolation_under_concurrent_updates(self, store):
+        pattern = Pattern({"gender": "Female", "age group": "under 20"})
+        base = store.get("compas").estimate(pattern)
+        valid_estimates = {base + i for i in range(self.N_UPDATES + 1)}
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            last_version = 0
+            while not stop.is_set():
+                snapshot = store.get("compas")
+                # the frozen pair: the estimator serves THIS artifact
+                if snapshot.estimator.label is not snapshot.artifact:
+                    failures.append("torn artifact/estimator pair")
+                    return
+                estimate = snapshot.estimate(pattern)
+                expected = float(
+                    snapshot.artifact.marginal_counts(GENDER_AGE).get(
+                        ("under 20", "Female"), 0
+                    )
+                )
+                if estimate != expected:
+                    failures.append(
+                        f"estimate {estimate} disagrees with its own "
+                        f"snapshot ({expected})"
+                    )
+                    return
+                if estimate not in valid_estimates:
+                    failures.append(f"impossible estimate {estimate}")
+                    return
+                if snapshot.version < last_version:
+                    failures.append("version moved backwards")
+                    return
+                last_version = snapshot.version
+
+        readers = [
+            threading.Thread(target=reader) for _ in range(self.N_READERS)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(self.N_UPDATES):
+                store.update("compas", inserted=_row())
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+        assert not failures, failures[0]
+        final = store.get("compas")
+        assert final.version == 1 + self.N_UPDATES
+        assert final.estimate(pattern) == base + self.N_UPDATES
+
+    def test_concurrent_writers_lose_no_batches(self, store):
+        """Writers are serialized: every insert lands exactly once."""
+        n_writers, per_writer = 4, 10
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            try:
+                for _ in range(per_writer):
+                    store.update("compas", inserted=_row())
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(n_writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        final = store.get("compas")
+        assert final.total == 18 + n_writers * per_writer
+        assert final.version == 1 + n_writers * per_writer
+
+
+class TestEstimatorParamsSurviveMaintenance:
+    def test_update_republishes_with_original_params(self, label):
+        store = LabelStore()
+        store.publish("x", label, estimator="label", seed=7)
+        assert store.get("x").estimator_params == {"seed": 7}
+        updated = store.update(
+            "x",
+            inserted=Dataset.from_rows(
+                ["gender", "age group", "race", "marital status"],
+                [("Female", "under 20", "Hispanic", "single")],
+            ),
+        )
+        assert updated.version == 2
+        assert updated.estimator_params == {"seed": 7}

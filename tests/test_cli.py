@@ -431,3 +431,217 @@ class TestEstimateWorkloadBatch:
                     str(workload_path),
                 ]
             )
+
+
+class TestExitCodes:
+    """Every failure class exits with its own distinct non-zero code."""
+
+    def _code(self, argv):
+        with pytest.raises(SystemExit) as info:
+            main(argv)
+        return info.value.code
+
+    def test_missing_label_file(self, tmp_path):
+        from repro.cli import EXIT_MISSING_FILE
+
+        code = self._code(["estimate", str(tmp_path / "nope.json"), "g=F"])
+        assert code == EXIT_MISSING_FILE
+
+    def test_missing_csv_file(self, tmp_path):
+        from repro.cli import EXIT_MISSING_FILE
+
+        assert (
+            self._code(["label", str(tmp_path / "nope.csv")])
+            == EXIT_MISSING_FILE
+        )
+        assert (
+            self._code(
+                ["profile", str(tmp_path / "nope.csv"), "--sensitive", "g"]
+            )
+            == EXIT_MISSING_FILE
+        )
+
+    def test_malformed_label_file(self, tmp_path):
+        from repro.cli import EXIT_MALFORMED
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert self._code(["estimate", str(bad), "g=F"]) == EXIT_MALFORMED
+
+    def test_malformed_workload_file(self, label_path, tmp_path):
+        from repro.cli import EXIT_MALFORMED
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        code = self._code(
+            ["estimate", str(label_path), "--workload", str(bad)]
+        )
+        assert code == EXIT_MALFORMED
+
+    def test_pattern_mismatch(self, label_path):
+        from repro.cli import EXIT_MISMATCH
+
+        assert (
+            self._code(["estimate", str(label_path), "nope=zzz"])
+            == EXIT_MISMATCH
+        )
+
+    def test_usage_errors(self, label_path, csv_path):
+        from repro.cli import EXIT_USAGE
+
+        assert (
+            self._code(["estimate", str(label_path), "notabinding"])
+            == EXIT_USAGE
+        )
+        assert (
+            self._code(["label", str(csv_path), "--shards", "0"])
+            == EXIT_USAGE
+        )
+
+    def test_unreachable_server(self):
+        from repro.cli import EXIT_UNAVAILABLE
+
+        code = self._code(
+            ["query", "http://127.0.0.1:1", "g=F", "--timeout", "2"]
+        )
+        assert code == EXIT_UNAVAILABLE
+
+    def test_codes_are_distinct(self):
+        from repro import cli
+
+        codes = [
+            cli.EXIT_USAGE,
+            cli.EXIT_MISSING_FILE,
+            cli.EXIT_MALFORMED,
+            cli.EXIT_MISMATCH,
+            cli.EXIT_UNAVAILABLE,
+            cli.EXIT_REMOTE,
+        ]
+        assert len(set(codes)) == len(codes)
+        assert all(code not in (0, 1) for code in codes)
+
+
+class TestEstimateJsonFlag:
+    def test_single_pattern_json(self, label_path, capsys):
+        assert (
+            main(["estimate", str(label_path), "gender=Female", "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"estimates", "exact"}
+        assert len(payload["estimates"]) == 1
+        assert isinstance(payload["exact"], bool)
+
+    def test_workload_json(self, label_path, tmp_path, capsys):
+        workload = tmp_path / "wl.json"
+        workload.write_text(
+            json.dumps([{"gender": "Female"}, {"gender": "Male"}])
+        )
+        assert (
+            main(
+                [
+                    "estimate",
+                    str(label_path),
+                    "--workload",
+                    str(workload),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"estimates"}
+        assert len(payload["estimates"]) == 2
+
+    def test_json_output_matches_plain(self, label_path, capsys):
+        main(["estimate", str(label_path), "gender=Female", "--json"])
+        as_json = json.loads(capsys.readouterr().out)["estimates"][0]
+        main(["estimate", str(label_path), "gender=Female"])
+        plain = float(capsys.readouterr().out.split()[0])
+        assert as_json == pytest.approx(plain, abs=0.05)
+
+
+class TestServeAndQuery:
+    @pytest.fixture
+    def service(self, label_path):
+        """A live served label, built exactly as `repro serve` builds it."""
+        from repro.cli import _service_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", str(label_path), "--port", "0"]
+        )
+        service = _service_from_args(args)
+        service.start()
+        yield service
+        service.stop()
+
+    def test_serve_publishes_under_file_stem(self, service):
+        assert service.store.names() == ["label"]
+        assert service.store.get("label").version == 1
+
+    def test_serve_rejects_duplicate_stems(self, label_path):
+        from repro.cli import _service_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", str(label_path), str(label_path)]
+        )
+        with pytest.raises(SystemExit, match="share the served name"):
+            _service_from_args(args)
+
+    def test_query_list(self, service, capsys):
+        assert main(["query", service.url, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "label" in out and "v1" in out
+
+    def test_query_single_pattern_defaults_to_only_label(
+        self, service, label_path, capsys
+    ):
+        assert main(["query", service.url, "gender=Female"]) == 0
+        served = capsys.readouterr().out.strip()
+        main(["estimate", str(label_path), "gender=Female"])
+        local = capsys.readouterr().out.strip().split(" ")[0]
+        assert served == local
+
+    def test_query_json_carries_version(self, service, capsys):
+        assert (
+            main(["query", service.url, "gender=Female", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["label"] == "label"
+        assert payload["version"] == 1
+        assert len(payload["estimates"]) == 1
+
+    def test_query_workload_batches(self, service, tmp_path, capsys):
+        workload = tmp_path / "wl.json"
+        workload.write_text(
+            json.dumps([{"gender": "Female"}, {"gender": "Male"}])
+        )
+        assert (
+            main(["query", service.url, "--workload", str(workload)]) == 0
+        )
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_query_server_error_exit_code(self, service):
+        from repro.cli import EXIT_REMOTE
+
+        with pytest.raises(SystemExit) as info:
+            main(["query", service.url, "g=F", "--label", "nope"])
+        assert info.value.code == EXIT_REMOTE
+
+    def test_query_explicit_label_flag(self, service, capsys):
+        assert (
+            main(["query", service.url, "gender=Male", "--label", "label"])
+            == 0
+        )
+        assert capsys.readouterr().out.strip()
+
+
+class TestChunkedMalformedCsvExitCode:
+    def test_chunked_fit_on_malformed_csv_exits_malformed(self, tmp_path):
+        from repro.cli import EXIT_MALFORMED
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,a\n1,2\n")  # duplicate header
+        with pytest.raises(SystemExit) as info:
+            main(["label", str(bad), "--chunk-rows", "1"])
+        assert info.value.code == EXIT_MALFORMED
