@@ -266,7 +266,62 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         b_key="sharded_median_s",
     )
 
-    # 7. The serving layer: N client threads hammering the micro-batcher
+    # 7. The search engine's sizing kernel: level-wise label sizing, the
+    #    hot loop of every frontier strategy (Section IV-C: search
+    #    dominates end-to-end cost).  Scalar path = one label_size call
+    #    per subset, exactly what the pre-driver search did; batch path =
+    #    one label_size_many call per level.  Counters are constructed
+    #    fresh inside each timed call: sizing happens once per fit, so
+    #    the steady-state cost *is* the cold cost — timing warm per-set
+    #    caches would compare two dict lookups.
+    import itertools as _itertools
+
+    from repro import beam_search, naive_search  # noqa: E402
+
+    attr_names = dataset.attribute_names
+    sizing_subsets = [
+        combo
+        for level in (2, 3)
+        for combo in _itertools.combinations(attr_names, level)
+    ]
+
+    def scalar_sizing() -> list[int]:
+        counter = PatternCounter(dataset)
+        return [counter.label_size(s) for s in sizing_subsets]
+
+    def batch_sizing() -> list[int]:
+        counter = PatternCounter(dataset)
+        return [int(v) for v in counter.label_size_many(sizing_subsets)]
+
+    # Acceptance gate: the exact strategies (naive, top-down, exhaustive
+    # beam) must land on byte-identical winning labels — the refactor
+    # changed the sizing kernel, never the answers.
+    exact_runs = [
+        naive_search(PatternCounter(dataset), bound, pattern_set=workload),
+        top_down_search(
+            PatternCounter(dataset), bound, pattern_set=workload
+        ),
+        beam_search(PatternCounter(dataset), bound, pattern_set=workload),
+    ]
+    winning = {run.label.to_json() for run in exact_runs}
+    if len(winning) != 1 or not all(run.is_exact for run in exact_runs):
+        raise AssertionError(
+            "search_scaling: exact strategies disagree on the winning label"
+        )
+    scenarios["search_scaling/level_sizing"] = _scenario(
+        "search_scaling/level_sizing",
+        scalar_sizing,
+        batch_sizing,
+        rounds,
+        {
+            "rows": rows,
+            "subsets": len(sizing_subsets),
+            "levels": [2, 3],
+            "exact_strategies_byte_identical": True,
+        },
+    )
+
+    # 8. The serving layer: N client threads hammering the micro-batcher
     #    vs the naive per-request loop (one scalar Est(p, l) call per
     #    request — what a server without the batcher would do).  Traffic
     #    is duplicate-heavy (requests drawn from a distinct-pattern

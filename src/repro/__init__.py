@@ -67,12 +67,17 @@ from repro.core import (
     MultiLabelEstimator,
     Objective,
     OptimalLabelProblem,
+    NoFeasibleLabelError,
     Pattern,
     PatternCounter,
     PatternSet,
+    SearchDriver,
     SearchResult,
     SearchStats,
+    SearchTimeout,
     absolute_error,
+    anytime_search,
+    beam_search,
     build_label,
     evaluate_label,
     find_optimal_label,
@@ -148,10 +153,15 @@ __all__ = [
     "LabelLattice",
     "gen_children",
     # search
+    "SearchDriver",
     "SearchResult",
     "SearchStats",
+    "SearchTimeout",
+    "NoFeasibleLabelError",
     "naive_search",
     "top_down_search",
+    "beam_search",
+    "anytime_search",
     "find_optimal_label",
     "OptimalLabelProblem",
     "DecisionProblem",

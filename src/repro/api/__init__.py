@@ -33,6 +33,8 @@ from repro.api.artifacts import (
 )
 from repro.api.errors import ApiError, ArtifactError, RegistryError, SessionError
 from repro.api.registry import (
+    AnytimeConfig,
+    BeamConfig,
     EstimatorSpec,
     FittedLabel,
     GreedyFlexibleConfig,
@@ -48,6 +50,7 @@ from repro.api.registry import (
     register_strategy,
     registered_estimators,
     registered_strategies,
+    strategy_spec,
 )
 from repro.api.session import LabelingSession
 
@@ -70,9 +73,12 @@ __all__ = [
     "FittedLabel",
     "NaiveConfig",
     "TopDownConfig",
+    "BeamConfig",
+    "AnytimeConfig",
     "GreedyFlexibleConfig",
     "register_strategy",
     "registered_strategies",
+    "strategy_spec",
     "make_strategy",
     # session facade
     "LabelingSession",

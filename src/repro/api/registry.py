@@ -1,6 +1,6 @@
 """String-keyed registries for estimators and search strategies.
 
-The repository grew seven estimator backends and three label-search
+The repository grew seven estimator backends and five label-search
 strategies, each with its own constructor incantation.  The registries
 flatten that into two uniform calls:
 
@@ -47,6 +47,8 @@ from repro.core.label import Label, build_label
 from repro.core.patternsets import PatternSet
 from repro.core.search import (
     SearchResult,
+    anytime_search,
+    beam_search,
     naive_search,
     top_down_search,
 )
@@ -63,9 +65,12 @@ __all__ = [
     "StrategySpec",
     "NaiveConfig",
     "TopDownConfig",
+    "BeamConfig",
+    "AnytimeConfig",
     "GreedyFlexibleConfig",
     "register_strategy",
     "registered_strategies",
+    "strategy_spec",
     "make_strategy",
     "Strategy",
 ]
@@ -541,6 +546,41 @@ class TopDownConfig:
     """
 
     prune_parents: bool = True
+    time_limit_seconds: float | None = None
+    shards: int | None = None
+    parallel: bool = False
+
+
+@dataclass(frozen=True)
+class BeamConfig:
+    """Options of the width-limited best-first beam search.
+
+    ``beam_width=None`` lifts the width limit, making the beam
+    exhaustive (identical winners to ``naive``); ``shards``/``parallel``
+    select the counting backend built for a bare dataset.
+    """
+
+    beam_width: int | None = None
+    min_size: int = 2
+    max_size: int | None = None
+    time_limit_seconds: float | None = None
+    shards: int | None = None
+    parallel: bool = False
+
+
+@dataclass(frozen=True)
+class AnytimeConfig:
+    """Options of the budgeted best-first anytime search.
+
+    The budget — ``time_limit_seconds`` wall-clock and/or
+    ``max_candidates`` evaluations — degrades the answer instead of
+    raising: the best label found so far is returned with
+    ``SearchResult.is_exact`` False.  ``shards``/``parallel`` select the
+    counting backend built for a bare dataset.
+    """
+
+    time_limit_seconds: float | None = None
+    max_candidates: int | None = None
     shards: int | None = None
     parallel: bool = False
 
@@ -560,12 +600,21 @@ class GreedyFlexibleConfig:
 
 @dataclass(frozen=True)
 class StrategySpec:
-    """One registered search strategy."""
+    """One registered search strategy.
+
+    ``produces_search`` declares whether the runner's ``FittedLabel``
+    carries a :class:`~repro.core.search.SearchResult` — what
+    :func:`~repro.core.search.find_optimal_label` returns.  Strategies
+    that construct artifacts without a subset search (e.g.
+    ``greedy_flexible``) register False so the front door can reject
+    them *before* paying for a full fit.
+    """
 
     name: str
     config_cls: type
     runner: Callable[..., FittedLabel]
     description: str
+    produces_search: bool = True
 
 
 _STRATEGIES: dict[str, StrategySpec] = {}
@@ -578,6 +627,7 @@ def register_strategy(
     *,
     config_cls: type,
     description: str = "",
+    produces_search: bool = True,
     aliases: Sequence[str] = (),
     replace: bool = False,
 ) -> StrategySpec:
@@ -586,6 +636,8 @@ def register_strategy(
     ``runner(counter, bound, pattern_set, objective, config)`` must
     return a :class:`FittedLabel`; ``config_cls`` must be a dataclass —
     it is what validates the keyword options of :func:`make_strategy`.
+    Pass ``produces_search=False`` for strategies whose ``FittedLabel``
+    carries no ``SearchResult`` (see :class:`StrategySpec`).
     """
     if not dataclasses.is_dataclass(config_cls):
         raise RegistryError(
@@ -602,6 +654,7 @@ def register_strategy(
         config_cls=config_cls,
         runner=runner,
         description=description,
+        produces_search=produces_search,
     )
     _STRATEGIES[key] = spec
     for alias in aliases:
@@ -619,6 +672,11 @@ def register_strategy(
 def registered_strategies() -> dict[str, StrategySpec]:
     """The registered strategies, keyed by canonical name."""
     return dict(sorted(_STRATEGIES.items()))
+
+
+def strategy_spec(name: str) -> StrategySpec:
+    """Resolve a registered strategy's spec by name or alias."""
+    return _resolve_strategy(name)
 
 
 def _resolve_strategy(name: str) -> StrategySpec:
@@ -724,6 +782,45 @@ def _run_top_down(
         pattern_set=pattern_set,
         objective=objective,
         prune_parents=config.prune_parents,
+        time_limit_seconds=config.time_limit_seconds,
+    )
+    return FittedLabel(artifact=result.label, search=result)
+
+
+def _run_beam(
+    counter: PatternCounter,
+    bound: int,
+    pattern_set: PatternSet | None,
+    objective: Objective,
+    config: BeamConfig,
+) -> FittedLabel:
+    result = beam_search(
+        counter,
+        bound,
+        pattern_set=pattern_set,
+        objective=objective,
+        beam_width=config.beam_width,
+        min_size=config.min_size,
+        max_size=config.max_size,
+        time_limit_seconds=config.time_limit_seconds,
+    )
+    return FittedLabel(artifact=result.label, search=result)
+
+
+def _run_anytime(
+    counter: PatternCounter,
+    bound: int,
+    pattern_set: PatternSet | None,
+    objective: Objective,
+    config: AnytimeConfig,
+) -> FittedLabel:
+    result = anytime_search(
+        counter,
+        bound,
+        pattern_set=pattern_set,
+        objective=objective,
+        time_limit_seconds=config.time_limit_seconds,
+        max_candidates=config.max_candidates,
     )
     return FittedLabel(artifact=result.label, search=result)
 
@@ -755,9 +852,24 @@ register_strategy(
     aliases=("top-down",),
 )
 register_strategy(
+    "beam",
+    _run_beam,
+    config_cls=BeamConfig,
+    description="width-limited best-first frontier (exhaustive when "
+    "beam_width is unset)",
+)
+register_strategy(
+    "anytime",
+    _run_anytime,
+    config_cls=AnytimeConfig,
+    description="budgeted best-first search; always returns the best "
+    "label found so far",
+)
+register_strategy(
     "greedy_flexible",
     _run_greedy_flexible,
     config_cls=GreedyFlexibleConfig,
     description="greedy overlapping-pattern label (Section II-C extension)",
+    produces_search=False,
     aliases=("flexible",),
 )

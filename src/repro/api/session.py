@@ -11,10 +11,11 @@ modules below implement piecemeal:
 >>> LabelingSession.load("label.json").estimate_many(ws)    # consume
 
 ``fit`` resolves its ``strategy`` by name through the strategy registry
-(``top_down``, ``naive``, ``greedy_flexible``, or anything registered
-later), so the session works identically for subset labels and flexible
-labels; ``save``/``load`` go through the versioned artifact envelope, so
-a consumer session never needs the data.
+(``top_down``, ``naive``, ``beam``, ``anytime``, ``greedy_flexible``,
+or anything registered later), so the session works identically for
+subset labels and flexible labels; ``save``/``load`` go through the
+versioned artifact envelope, so a consumer session never needs the
+data.
 
 Concurrency contract: the session keeps its (artifact, estimator) pair
 in **one** attribute that :meth:`update` swaps atomically, and every
@@ -120,8 +121,11 @@ class LabelingSession:
         strategy:
             A registered strategy name; extra keyword arguments are
             validated against that strategy's config dataclass (e.g.
-            ``prune_parents=False`` for ``top_down``, ``max_arity=2``
-            for ``greedy_flexible``).
+            ``prune_parents=False`` for ``top_down``, ``beam_width=4``
+            for ``beam``, ``time_limit_seconds=2`` for ``anytime`` —
+            which returns the best label found within the budget, with
+            ``session.result.is_exact`` flagging completeness — or
+            ``max_arity=2`` for ``greedy_flexible``).
         shards:
             Partition an in-memory dataset into this many shards (or
             coalesce a chunk stream down to it); ``None`` keeps the

@@ -6,6 +6,12 @@ CSV file"; this module is that workflow as a tool, built on the
 
 * ``python -m repro label data.csv --bound 50 -o label.json`` — fit a
   label (any registered strategy) and write it as JSON;
+* ``python -m repro label wide.csv --algorithm beam --beam-width 4`` /
+  ``--algorithm anytime --time-limit 5`` — the frontier strategies of
+  the unified search engine: a width-limited beam, or a budgeted
+  best-first search that returns the best label found within the
+  wall-clock limit (``--time-limit`` makes the exact strategies raise a
+  clean timeout instead);
 * ``python -m repro label big.csv --chunk-rows 100000 --shards 8`` —
   chunked fit: the CSV is streamed chunk by chunk (two-pass domain
   resolution, no whole-file ``list(reader)`` of parsed strings) and
@@ -66,6 +72,7 @@ from repro.api import (
 )
 from repro.core.errors import evaluate_label
 from repro.core.estimator import LabelEstimator
+from repro.core.search import SearchTimeout
 from repro.core.label import Label
 from repro.core.pattern import Pattern
 from repro.core.counts import PatternCounter
@@ -87,6 +94,7 @@ __all__ = [
     "EXIT_MISMATCH",
     "EXIT_UNAVAILABLE",
     "EXIT_REMOTE",
+    "EXIT_TIMEOUT",
 ]
 
 # Distinct exit code per failure class (2 is argparse's own usage code).
@@ -96,6 +104,7 @@ EXIT_MALFORMED = 4  # an input file exists but cannot be parsed
 EXIT_MISMATCH = 5  # pattern/workload does not match the label
 EXIT_UNAVAILABLE = 6  # query: the server cannot be reached
 EXIT_REMOTE = 7  # query: the server answered with an error response
+EXIT_TIMEOUT = 8  # an exact search strategy hit --time-limit
 
 
 class CliError(SystemExit):
@@ -169,6 +178,32 @@ def _validate_fit_flags(args: argparse.Namespace) -> None:
         _fail(
             f"--chunk-rows must be >= 1, got {args.chunk_rows}", EXIT_USAGE
         )
+    if getattr(args, "beam_width", None) is not None and args.beam_width < 1:
+        _fail(
+            f"--beam-width must be >= 1, got {args.beam_width}", EXIT_USAGE
+        )
+    if getattr(args, "time_limit", None) is not None and args.time_limit <= 0:
+        _fail(
+            f"--time-limit must be > 0 seconds, got {args.time_limit}",
+            EXIT_USAGE,
+        )
+
+
+def _strategy_options(args: argparse.Namespace) -> dict:
+    """Strategy config options a fit invocation asked for on the line.
+
+    Only flags the user actually set are forwarded, so strategies whose
+    configs lack them (e.g. ``naive`` has no ``beam_width``) keep
+    working without the flag — and fail with the registry's
+    listing-the-valid-fields error when the flag genuinely does not
+    apply.
+    """
+    options: dict = {}
+    if getattr(args, "beam_width", None) is not None:
+        options["beam_width"] = args.beam_width
+    if getattr(args, "time_limit", None) is not None:
+        options["time_limit_seconds"] = args.time_limit
+    return options
 
 
 def _fit_session(args: argparse.Namespace, path: str) -> LabelingSession:
@@ -183,9 +218,20 @@ def _fit_session(args: argparse.Namespace, path: str) -> LabelingSession:
             args.bound,
             strategy=getattr(args, "algorithm", "top_down"),
             shards=args.shards,
+            **_strategy_options(args),
         )
     except ApiError:
         raise  # registry/strategy misuse, not a file problem
+    except SearchTimeout as exc:
+        # Exact strategies raise when --time-limit elapses (the anytime
+        # strategy degrades instead); distinct exit code so scripts can
+        # retry with a looser budget or switch to --algorithm anytime.
+        _fail(
+            f"label search timed out during {exc.phase} after sizing "
+            f"{exc.stats.subsets_examined} subsets (raise --time-limit "
+            "or use --algorithm anytime)",
+            EXIT_TIMEOUT,
+        )
     except (ValueError, OSError) as exc:
         # The chunked reader parses lazily, so a malformed CSV can
         # surface here rather than in _read_csv_or_exit; same failure
@@ -207,11 +253,14 @@ def _cmd_label(args: argparse.Namespace) -> int:
     result = session.result
     if result is not None:
         total = result.label.total
+        exactness = (
+            "" if result.is_exact else "  [budget hit: best label so far]"
+        )
         print(
             f"S = {list(result.attributes)}  |PC| = {result.label.size}  "
             f"max error = {result.objective_value:g} "
             f"({100 * result.objective_value / max(total, 1):.2f}% of "
-            f"{total} rows)",
+            f"{total} rows){exactness}",
             file=sys.stderr,
         )
     else:
@@ -589,6 +638,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream the CSV in chunks of N rows (each chunk becomes a "
         "shard) instead of parsing it whole",
+    )
+    label.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        help="frontier width for --algorithm beam (unset = unlimited, "
+        "i.e. exhaustive)",
+    )
+    label.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the search; exact strategies abort "
+        "with a clean timeout, --algorithm anytime returns the best "
+        "label found so far",
     )
     label.add_argument(
         "--envelope",

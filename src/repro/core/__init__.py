@@ -45,8 +45,13 @@ from repro.core.patternsets import (
 )
 from repro.core.lattice import LabelLattice, gen_children
 from repro.core.search import (
+    NoFeasibleLabelError,
+    SearchDriver,
     SearchResult,
     SearchStats,
+    SearchTimeout,
+    anytime_search,
+    beam_search,
     naive_search,
     top_down_search,
     find_optimal_label,
@@ -103,10 +108,15 @@ __all__ = [
     "sensitive_pattern_set",
     "LabelLattice",
     "gen_children",
+    "SearchDriver",
     "SearchResult",
     "SearchStats",
+    "SearchTimeout",
+    "NoFeasibleLabelError",
     "naive_search",
     "top_down_search",
+    "beam_search",
+    "anytime_search",
     "find_optimal_label",
     "OptimalLabelProblem",
     "DecisionProblem",

@@ -17,7 +17,14 @@ answers the count queries the labeling machinery needs:
   content of ``L_S(D)``), cached per attribute set;
 * :meth:`PatternCounter.label_size` — ``|P_S|``, the number of distinct
   combinations over ``S`` with positive count, i.e. the size charged
-  against the label budget ``Bs``.
+  against the label budget ``Bs``;
+* :meth:`PatternCounter.label_size_many` — ``|P_S|`` for a whole batch of
+  attribute sets in one call: every set reuses the shared encoded-column
+  cache (each attribute's ``int64`` column is materialized once per
+  counter, not once per subset containing it) and distinct combinations
+  are counted with a dense ``bincount`` whenever the radix key space is
+  small, instead of a sort per subset — the sizing kernel behind the
+  level-wise phase of every search strategy.
 
 Value counts and value-count *fractions* (the independence factors of the
 estimation function) are cached per attribute; label sizes, joint tables
@@ -251,6 +258,131 @@ class PatternCounter:
         keys = keys if present.all() else keys[present]
         self._row_keys[attrs] = keys
         return keys
+
+    def _horner_keys(
+        self, attributes: tuple[str, ...]
+    ) -> tuple[np.ndarray, int]:
+        """``(keys, radix)`` over ``attributes`` for the fully-present rows.
+
+        Same encoding as :meth:`encoded_rows` (so keys are comparable
+        with the dataset-side caches), but the per-set key array is
+        *not* cached — batched sizing touches ``C(n, k)`` subsets per
+        lattice level and caching every key array would swamp memory.
+        The per-attribute ``int64`` columns it accumulates over *are*
+        the shared :attr:`_columns64` cache.  The caller must have
+        checked :meth:`_radix_fits`.
+        """
+        schema = self._dataset.schema
+        keys: np.ndarray | None = None
+        borrowed = False  # keys still aliases a cached column
+        present: np.ndarray | None = None
+        radix = 1
+        all_present = not self._dataset.has_missing
+        for attribute in attributes:
+            cached = self._columns64.get(attribute)
+            if cached is None:
+                codes = self._dataset.codes(attribute)
+                cached = (codes.astype(np.int64), codes != MISSING_CODE)
+                self._columns64[attribute] = cached
+            column, column_present = cached
+            card = schema[attribute].cardinality
+            radix *= card
+            if keys is None:
+                # Borrow the first column; the accumulator materializes
+                # on the *second* attribute, whose multiply then
+                # produces it in one array pass instead of the
+                # copy-then-multiply-in-place two.
+                keys = column
+                borrowed = True
+            elif borrowed:
+                keys = keys * card  # allocates; the cache stays intact
+                np.add(keys, column, out=keys)
+                borrowed = False
+            else:
+                np.multiply(keys, card, out=keys)
+                np.add(keys, column, out=keys)
+            if not all_present:
+                present = (
+                    column_present
+                    if present is None
+                    else (present & column_present)
+                )
+        assert keys is not None  # attribute sets are non-empty
+        if borrowed:
+            keys = keys.copy()  # never hand out the cached column itself
+        if present is not None and not present.all():
+            keys = keys[present]
+        return keys, radix
+
+    def distinct_keys(self, attributes: Sequence[str]) -> np.ndarray | None:
+        """Sorted distinct radix keys over ``attributes``, or ``None``.
+
+        The mergeable face of label sizing: two counters sharing one
+        schema produce comparable keys, so ``|P_S|`` of their union is
+        the size of the union of their key sets (how
+        :class:`~repro.core.sharding.ShardedPatternCounter` sizes
+        subsets shard-parallel).  Returns ``None`` when the radix
+        encoding is unusable — the dataset has missing values (partial
+        projections need the ``n_distinct`` accounting) or the radix
+        product overflows 64 bits.
+        """
+        attrs = tuple(attributes)
+        if not attrs or self._dataset.has_missing or not self._radix_fits(
+            attrs
+        ):
+            return None
+        keys, _ = self._horner_keys(attrs)
+        return np.unique(keys)
+
+    def label_size_many(
+        self, attribute_sets: Iterable[Sequence[str]]
+    ) -> np.ndarray:
+        """``|P_S|`` for a whole batch of attribute sets in one call.
+
+        The batched sizing kernel of the search driver: equivalent to
+        ``[self.label_size(S) for S in attribute_sets]`` — the scalar
+        path stays as the parity reference — but each subset's keys are
+        accumulated over the shared cached ``int64`` columns (no
+        per-subset ``codes_matrix`` stack, mask pass, or schema lookup
+        loop) and distinct combinations are counted with one dense
+        ``bincount`` whenever the subset's radix key space stays within
+        a small multiple of the row count (``O(n + radix)`` instead of
+        a sort).  Results land in (and are served from) the same
+        per-set cache as :meth:`label_size`.  Missing-value relations
+        and 64-bit radix overflows fall back to the scalar path per
+        subset.
+        """
+        requested = [tuple(attrs) for attrs in attribute_sets]
+        out = np.empty(len(requested), dtype=np.int64)
+        for position, attrs in enumerate(requested):
+            size = self._label_sizes.get(attrs)
+            if size is None:
+                if (
+                    not attrs
+                    or self._dataset.has_missing
+                    or not self._radix_fits(attrs)
+                ):
+                    size = self._dataset.n_distinct(list(attrs))
+                else:
+                    size = self._distinct_key_count(attrs)
+                self._label_sizes[attrs] = size
+            out[position] = size
+        return out
+
+    def _distinct_key_count(self, attrs: tuple[str, ...]) -> int:
+        """Distinct-combination count via radix keys (no-missing data)."""
+        keys, radix = self._horner_keys(attrs)
+        if keys.size == 0:
+            return 0
+        # Dense path: one O(n + radix) bincount beats the O(n log n)
+        # sort while the key space stays near the row count; the cap
+        # bounds the scratch allocation (int64 counts, 8 B per slot).
+        if radix <= min(1 << 24, max(1 << 16, 8 * keys.size)):
+            return int(np.count_nonzero(np.bincount(keys, minlength=radix)))
+        sorted_keys = np.sort(keys)
+        return int(
+            1 + np.count_nonzero(sorted_keys[1:] != sorted_keys[:-1])
+        )
 
     def _key_table(
         self, attributes: tuple[str, ...]

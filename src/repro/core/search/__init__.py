@@ -1,0 +1,51 @@
+"""Optimal-label search: pluggable frontier strategies over one driver.
+
+The unified search engine separates three concerns (see DESIGN.md, "The
+search engine"):
+
+* :class:`~repro.core.search.driver.SearchDriver` — the shared engine:
+  batched label sizing (``label_size_many`` on plain and sharded
+  counters), one :class:`~repro.core.errors.BatchLabelEvaluator` per
+  search, :class:`SearchStats` instrumentation, and a unified wall-clock
+  deadline covering both the sizing and the evaluation phase;
+* frontier strategies (:mod:`repro.core.search.strategies`) — which
+  subsets to explore next: :func:`naive_search` (Section III baseline),
+  :func:`top_down_search` (Algorithm 1), :func:`beam_search`
+  (width-limited best-first), :func:`anytime_search` (budgeted
+  best-first that always returns its incumbent);
+* :func:`find_optimal_label` — the front door, resolving strategies by
+  name through the :mod:`repro.api.registry`.
+
+Everything the pre-package ``repro.core.search`` module exported is
+re-exported here unchanged.
+"""
+
+from repro.core.search.driver import (
+    SIZING_CHUNK,
+    NoFeasibleLabelError,
+    SearchDriver,
+    SearchResult,
+    SearchStats,
+    SearchTimeout,
+)
+from repro.core.search.strategies import (
+    anytime_search,
+    beam_search,
+    find_optimal_label,
+    naive_search,
+    top_down_search,
+)
+
+__all__ = [
+    "SIZING_CHUNK",
+    "SearchDriver",
+    "SearchStats",
+    "SearchResult",
+    "NoFeasibleLabelError",
+    "SearchTimeout",
+    "naive_search",
+    "top_down_search",
+    "beam_search",
+    "anytime_search",
+    "find_optimal_label",
+]

@@ -99,6 +99,19 @@ def _build_shard_tables(
     return [counter.joint_table(attrs) for attrs in attribute_sets]
 
 
+def _shard_distinct_keys(
+    shard: Dataset, attribute_sets: Sequence[tuple[str, ...]]
+) -> list[np.ndarray | None]:
+    """Process-pool worker: distinct radix key sets of one shard.
+
+    ``None`` entries mark attribute sets the radix encoding cannot
+    serve (missing values / 64-bit overflow); the caller falls back to
+    the merged-projection path for those.
+    """
+    counter = PatternCounter(shard)
+    return [counter.distinct_keys(attrs) for attrs in attribute_sets]
+
+
 class ShardedDatasetView:
     """Read-only dataset facade over the shards of a sharded counter.
 
@@ -542,6 +555,62 @@ class ShardedPatternCounter:
             cached = int(combos.shape[0])
             self._label_sizes[key] = cached
         return cached
+
+    def _shard_distinct_key_sets(
+        self, attribute_sets: Sequence[tuple[str, ...]]
+    ) -> list[list[np.ndarray | None]]:
+        """Per-shard distinct key sets for several attribute sets.
+
+        Serial path reads through the per-shard counters (warming their
+        encoded-column caches); the parallel path farms whole shards to
+        the process pool, exactly like the joint-table builds.
+        """
+        if self._parallel and len(self._counters) > 1:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(_shard_distinct_keys, shard, attribute_sets)
+                for shard in self._shards
+            ]
+            return [future.result() for future in futures]
+        return [
+            [counter.distinct_keys(attrs) for attrs in attribute_sets]
+            for counter in self._counters
+        ]
+
+    def label_size_many(
+        self, attribute_sets: Iterable[Sequence[str]]
+    ) -> np.ndarray:
+        """``|P_S|`` for a batch of attribute sets, merged exactly.
+
+        Distinct combinations are union-stable, so each subset's size is
+        the size of the union of the per-shard distinct radix key sets
+        — computed per shard (optionally in the process pool) and merged
+        with one ``np.unique`` over the concatenated per-shard uniques.
+        Subsets the radix encoding cannot serve (missing values, 64-bit
+        overflow) fall back to the merged-projection path of
+        :meth:`label_size`.  Sizes land in the shared merged cache.
+        """
+        requested = [tuple(attrs) for attrs in attribute_sets]
+        out = np.empty(len(requested), dtype=np.int64)
+        missing: list[tuple[str, ...]] = []
+        queued: set[tuple[str, ...]] = set()
+        for attrs in requested:
+            if attrs and attrs not in self._label_sizes and attrs not in queued:
+                queued.add(attrs)
+                missing.append(attrs)
+        if missing:
+            per_shard = self._shard_distinct_key_sets(missing)
+            for position, attrs in enumerate(missing):
+                parts = [keys[position] for keys in per_shard]
+                if any(part is None for part in parts):
+                    # Falls back per subset; label_size caches the result.
+                    self.label_size(attrs)
+                    continue
+                merged = np.unique(np.concatenate(parts))
+                self._label_sizes[attrs] = int(merged.size)
+        for position, attrs in enumerate(requested):
+            out[position] = self.label_size(attrs)
+        return out
 
     def distinct_full_rows(self) -> tuple[np.ndarray, np.ndarray]:
         """Merged distinct fully-present rows with exact counts."""

@@ -1,0 +1,131 @@
+"""Cross-strategy parity of the unified search engine.
+
+The frontier strategies share one driver (batched sizing, one batched
+evaluator, canonical tie-breaking), so on any feasible instance the
+exact strategies — ``naive``, ``top_down``, and exhaustive ``beam``
+(unlimited width) — must return identical ``(attributes,
+objective_value)`` pairs and *byte-identical* winning labels, and
+``anytime`` with a generous budget must match them too.  Hypothesis
+generates random small relations (n <= 6 attributes) and random bounds;
+infeasible instances must be rejected consistently by every strategy.
+
+The batched sizing kernel itself (``label_size_many``) is pinned
+against the scalar ``label_size`` loop — its executable specification —
+on the same generated relations, including missing-value relations
+(which exercise the ``n_distinct`` fallback) and sharded counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    NoFeasibleLabelError,
+    PatternCounter,
+    ShardedPatternCounter,
+    anytime_search,
+    beam_search,
+    naive_search,
+    top_down_search,
+)
+from repro.datasets import load_dataset
+
+from tests.property.test_batch_parity import datasets
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(st.data())
+def test_exact_strategies_agree(data_strategy):
+    data = data_strategy.draw(datasets())
+    bound = data_strategy.draw(st.integers(2, 30))
+    try:
+        reference = naive_search(data, bound)
+    except NoFeasibleLabelError:
+        for strategy in (top_down_search, beam_search, anytime_search):
+            with pytest.raises(NoFeasibleLabelError):
+                strategy(data, bound)
+        return
+    beam = beam_search(data, bound)  # unlimited width = exhaustive
+    anytime = anytime_search(data, bound)  # no budget = exhaustive
+    # Unpruned top-down scores the same feasible pool as naive; with
+    # parent pruning only the antichain survives, whose minimum can
+    # never beat the full pool's (and equals it whenever Proposition
+    # 3.2's empirical claim holds — adversarial random relations may
+    # break that, which is exactly why the ablation flag exists).
+    unpruned = top_down_search(data, bound, prune_parents=False)
+    pruned = top_down_search(data, bound)
+
+    for run in (beam, anytime, unpruned):
+        assert run.attributes == reference.attributes
+        assert run.objective_value == pytest.approx(
+            reference.objective_value
+        )
+        assert run.label.to_json() == reference.label.to_json()
+    assert pruned.objective_value >= reference.objective_value - 1e-9
+    assert reference.is_exact and beam.is_exact and anytime.is_exact
+    # Exhaustive beam and anytime score exactly the feasible subsets the
+    # naive enumeration does (order aside).
+    assert set(beam.candidates) == set(reference.candidates)
+    assert set(anytime.candidates) == set(reference.candidates)
+
+
+@SETTINGS
+@given(st.data())
+def test_anytime_budget_degrades_not_breaks(data_strategy):
+    """Any candidate budget >= 1 yields a feasible label no worse than
+    nothing, and the incumbent is one of the evaluated candidates."""
+    data = data_strategy.draw(datasets())
+    bound = data_strategy.draw(st.integers(3, 30))
+    budget = data_strategy.draw(st.integers(1, 4))
+    try:
+        result = anytime_search(data, bound, max_candidates=budget)
+    except NoFeasibleLabelError:
+        return
+    assert result.stats.labels_evaluated <= budget
+    assert result.attributes in result.candidates
+    counter = PatternCounter(data)
+    assert counter.label_size(result.attributes) <= bound
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_label_size_many_matches_scalar(data_strategy, allow_missing):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    names = list(data.attribute_names)
+    subsets = [
+        combo
+        for size in range(1, len(names) + 1)
+        for combo in itertools.combinations(names, size)
+    ]
+    counter = PatternCounter(data)
+    expected = [PatternCounter(data).label_size(s) for s in subsets]
+    assert list(counter.label_size_many(subsets)) == expected
+    # Repeat batches answer from the shared per-set cache, identically.
+    assert list(counter.label_size_many(subsets)) == expected
+    for shards in (1, 2, 3):
+        sharded = ShardedPatternCounter.from_dataset(data, shards)
+        assert list(sharded.label_size_many(subsets)) == expected, shards
+
+
+@pytest.mark.parametrize("name", ("bluenile", "compas", "creditcard"))
+def test_generator_strategy_parity(name):
+    """Acceptance: byte-identical winners on every shipped generator."""
+    data = load_dataset(name, n_rows=400, seed=7)
+    reference = naive_search(data, 25)
+    for run in (
+        top_down_search(data, 25),
+        beam_search(data, 25),
+        anytime_search(data, 25),
+    ):
+        assert run.attributes == reference.attributes
+        assert run.label.to_json() == reference.label.to_json()

@@ -645,3 +645,83 @@ class TestChunkedMalformedCsvExitCode:
         with pytest.raises(SystemExit) as info:
             main(["label", str(bad), "--chunk-rows", "1"])
         assert info.value.code == EXIT_MALFORMED
+
+
+class TestSearchStrategyFlags:
+    """CLI smoke for the unified search engine's new strategies."""
+
+    def test_beam_algorithm_smoke(self, csv_path, tmp_path):
+        out = tmp_path / "beam.json"
+        code = main(
+            ["label", str(csv_path), "--bound", "5", "--algorithm",
+             "beam", "-o", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["attributes"] == ["age group", "marital status"]
+
+    def test_beam_width_flag(self, csv_path, capsys):
+        code = main(
+            ["label", str(csv_path), "--bound", "5", "--algorithm",
+             "beam", "--beam-width", "2"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 18
+
+    def test_anytime_with_time_limit_smoke(self, csv_path, capsys):
+        code = main(
+            ["label", str(csv_path), "--bound", "5", "--algorithm",
+             "anytime", "--time-limit", "5"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["attributes"] == [
+            "age group",
+            "marital status",
+        ]
+
+    def test_anytime_tiny_budget_still_emits_a_label(self, csv_path, capsys):
+        code = main(
+            ["label", str(csv_path), "--bound", "5", "--algorithm",
+             "anytime", "--time-limit", "1e-9"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pc" in json.loads(captured.out)
+        assert "budget hit" in captured.err
+
+    def test_exact_strategy_timeout_exit_code(self, csv_path):
+        from repro.cli import EXIT_TIMEOUT
+
+        with pytest.raises(SystemExit) as info:
+            main(
+                ["label", str(csv_path), "--bound", "5", "--algorithm",
+                 "naive", "--time-limit", "1e-9"]
+            )
+        assert info.value.code == EXIT_TIMEOUT
+
+    def test_invalid_beam_width_rejected(self, csv_path):
+        from repro.cli import EXIT_USAGE
+
+        with pytest.raises(SystemExit) as info:
+            main(
+                ["label", str(csv_path), "--algorithm", "beam",
+                 "--beam-width", "0"]
+            )
+        assert info.value.code == EXIT_USAGE
+
+    def test_invalid_time_limit_rejected(self, csv_path):
+        from repro.cli import EXIT_USAGE
+
+        with pytest.raises(SystemExit) as info:
+            main(["label", str(csv_path), "--time-limit", "0"])
+        assert info.value.code == EXIT_USAGE
+
+    def test_beam_width_on_wrong_strategy_is_registry_error(self, csv_path):
+        from repro import RegistryError
+
+        with pytest.raises(RegistryError, match="does not accept"):
+            main(
+                ["label", str(csv_path), "--algorithm", "naive",
+                 "--beam-width", "3"]
+            )
