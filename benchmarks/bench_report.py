@@ -40,6 +40,7 @@ import argparse
 import json
 import statistics
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -399,6 +400,68 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         b_key="batched_median_s",
     )
     batcher.close()
+
+    # 9. Cold start: time-to-first-estimate for a fresh process.  The
+    #    refit path is what a deployment without persistence pays on
+    #    every restart (parse the CSV, re-run the label search); the
+    #    pack path reopens a ``repro-pack/1`` written once at fit time
+    #    (``repro pack``) — the label envelope alone is read, the
+    #    counter payloads stay memory-mapped and untouched.  Both the
+    #    label artifact and the estimates are asserted byte-identical
+    #    before timing; the speedup column is the warm-start acceptance
+    #    bar (must stay >= 10x at full scale).
+    from repro import read_csv, write_csv  # noqa: E402
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cold-") as cold_dir:
+        cold_csv = Path(cold_dir) / "data.csv"
+        write_csv(dataset, cold_csv)
+        cold_pack = Path(cold_dir) / "pack"
+        LabelingSession.fit(read_csv(cold_csv), bound).to_pack(
+            cold_pack, name="bench"
+        )
+        cold_patterns = patterns[: min(20, len(patterns))]
+
+        def refit_first_estimates() -> list[float]:
+            session = LabelingSession.fit(read_csv(cold_csv), bound)
+            return session.estimate_many(cold_patterns)
+
+        def pack_first_estimates() -> list[float]:
+            session = LabelingSession.from_pack(cold_pack)
+            return session.estimate_many(cold_patterns)
+
+        refit_envelope = json.dumps(
+            LabelingSession.fit(read_csv(cold_csv), bound).to_artifact(),
+            sort_keys=True,
+        )
+        pack_envelope = json.dumps(
+            LabelingSession.from_pack(cold_pack).to_artifact(),
+            sort_keys=True,
+        )
+        if refit_envelope != pack_envelope:
+            raise AssertionError(
+                "cold_start: packed label is not byte-identical to a refit"
+            )
+        if refit_first_estimates() != pack_first_estimates():
+            raise AssertionError(
+                "cold_start: packed estimates differ from refit estimates"
+            )
+        scenarios["cold_start/pack_vs_refit"] = _scenario(
+            "cold_start/pack_vs_refit",
+            refit_first_estimates,
+            pack_first_estimates,
+            rounds,
+            {
+                "rows": rows,
+                "bound": bound,
+                "patterns": len(cold_patterns),
+                "pack_bytes": sum(
+                    f.stat().st_size for f in cold_pack.iterdir()
+                ),
+                "byte_identical": True,
+            },
+            a_key="refit_median_s",
+            b_key="pack_median_s",
+        )
 
     return {
         "version": 1,

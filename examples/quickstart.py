@@ -9,7 +9,9 @@ Walks the public API on the paper's own 18-tuple example relation
 * the low-level loop underneath it — search, estimator, error
   summary, nutrition card — for when you need the pieces;
 * the out-of-core path — stream a CSV in bounded-memory chunks
-  through the sharded counting engine and get the *same* label.
+  through the sharded counting engine and get the *same* label;
+* the warm-start path — pack the fitted state to disk once and reopen
+  it instantly, counter payloads memory-mapped lazily.
 
 Run:  python examples/quickstart.py
 """
@@ -131,6 +133,25 @@ def main() -> None:
             f"\nchunk-ingested fit: {chunked}\n"
             f"  same label as in-memory fit: "
             f"{chunked.artifact == session.artifact}"
+        )
+
+        # -- Warm starts: fit once, pack, reopen instantly. --------------
+        # to_pack() writes a repro-pack/1 directory: the label envelope
+        # plus every shard's counter state as flat memory-mappable
+        # binaries.  from_pack() reopens it without touching the CSV —
+        # estimates read only the label file; the first *exact* count
+        # lazily maps just the shards it needs.  (The CLI spelling:
+        # repro pack big.csv -o pack/ && repro serve --artifact-dir pack/.)
+        pack_dir = chunked.to_pack(Path(tmp) / "pack", name="figure2")
+        warm = LabelingSession.from_pack(pack_dir)
+        print(
+            f"warm start from {pack_dir.name}/: "
+            f"estimate = {warm.estimate(query):.1f} "
+            f"(shards read: {len(warm.pack.stats.shard_loads)})"
+        )
+        print(
+            f"  exact count = {warm.counter.count(query)} "
+            f"(shards read: {len(warm.pack.stats.shard_loads)})"
         )
 
 

@@ -118,6 +118,13 @@ from repro.api import (
     registered_strategies,
     to_artifact,
 )
+from repro.persist import (
+    PackReader,
+    atomic_write,
+    open_pack,
+    verify_pack,
+    write_pack,
+)
 
 __version__ = "1.1.0"
 
@@ -191,4 +198,10 @@ __all__ = [
     "RegistryError",
     "ArtifactError",
     "SessionError",
+    # repro.persist (memory-mappable warm-start packs; see DESIGN.md)
+    "PackReader",
+    "atomic_write",
+    "open_pack",
+    "verify_pack",
+    "write_pack",
 ]

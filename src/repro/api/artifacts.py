@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.api.errors import ArtifactError
+from repro.persist.atomic import atomic_write_json
 from repro.core.estimator import LabelEstimator, MultiLabelEstimator
 from repro.core.flexlabel import FlexibleEstimator, FlexibleLabel
 from repro.core.label import Label
@@ -222,8 +223,14 @@ def from_artifact(
 
 
 def dump_artifact(obj: Any, path: str | Path, *, indent: int | None = 2) -> None:
-    """Serialize ``obj`` with :func:`to_artifact` and write it to ``path``."""
-    Path(path).write_text(json.dumps(to_artifact(obj), indent=indent))
+    """Serialize ``obj`` with :func:`to_artifact` and write it to ``path``.
+
+    The write is atomic (temp file + ``os.replace`` — see
+    :mod:`repro.persist.atomic`): serialization failures and crashes
+    mid-write leave whatever was at ``path`` untouched, so a published
+    artifact can never be replaced by a torn one.
+    """
+    atomic_write_json(path, to_artifact(obj), indent=indent)
 
 
 def load_artifact(path: str | Path) -> Label | FlexibleLabel | MultiLabelBundle:

@@ -30,6 +30,8 @@ behind the :mod:`repro.serve` HTTP surface.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -44,8 +46,10 @@ from repro.api.artifacts import (
     dump_artifact,
     estimator_from_artifact,
     load_artifact,
+    to_artifact,
 )
-from repro.api.errors import SessionError
+from repro.persist.atomic import atomic_write_json
+from repro.api.errors import ArtifactError, SessionError
 from repro.api.registry import estimate_many as _estimate_many
 from repro.api.registry import make_strategy
 from repro.core.counts import PatternCounter
@@ -89,6 +93,12 @@ class LabelingSession:
         self._state = (artifact, estimator_from_artifact(artifact), 1)
         self._result = result
         self._strategy = strategy
+        # Counter state: populated by fit() (the fitted counting
+        # backend) or resolved lazily from a referenced pack directory
+        # (load()/from_pack()).  None for pure consumer sessions.
+        self._counter = None
+        self._pack = None
+        self._pack_path: Path | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -139,14 +149,62 @@ class LabelingSession:
         fitted = resolved.fit(
             source, bound, pattern_set=pattern_set, objective=objective
         )
-        return cls(
+        session = cls(
             fitted.artifact, result=fitted.search, strategy=resolved.name
         )
+        # Keep the fitted backend: it is what save(pack=...)/to_pack()
+        # persist, and what exact evaluation / re-search reuse.
+        session._counter = source
+        return session
 
     @classmethod
     def load(cls, path: str | Path) -> "LabelingSession":
-        """Deserialize a published artifact (envelope or legacy JSON)."""
-        return cls(load_artifact(path))
+        """Deserialize a published artifact (envelope or legacy JSON).
+
+        An envelope carrying a ``"pack"`` reference (written by
+        ``save(path, pack=...)``) reconnects the session to its pack
+        directory: :attr:`counter` then resolves the packed counting
+        backend lazily — nothing beyond the envelope is read here.
+        """
+        path = Path(path)
+        artifact = load_artifact(path)
+        session = cls(artifact)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):  # pragma: no cover
+            payload = None  # load_artifact already vetted the file
+        if isinstance(payload, dict) and payload.get("pack"):
+            reference = Path(payload["pack"])
+            session._pack_path = (
+                reference
+                if reference.is_absolute()
+                else path.parent / reference
+            )
+        return session
+
+    @classmethod
+    def from_pack(
+        cls, path: str | Path, name: str | None = None
+    ) -> "LabelingSession":
+        """Open a session straight from a ``repro-pack/1`` directory.
+
+        Loads the packed label envelope named ``name`` (or the pack's
+        only label) — touching no shard payloads — and wires
+        :attr:`counter` to resolve the packed backend on demand.
+        """
+        from repro.persist.pack import open_pack
+
+        reader = open_pack(path)
+        try:
+            artifact = reader.load_label(name)
+        except ArtifactError as exc:
+            raise SessionError(
+                f"cannot open a session from pack {path}: {exc}"
+            ) from exc
+        session = cls(artifact)
+        session._pack = reader
+        session._pack_path = Path(path)
+        return session
 
     # -- introspection ----------------------------------------------------------
 
@@ -179,6 +237,33 @@ class LabelingSession:
     def result(self) -> SearchResult | None:
         """The search result, when :meth:`fit` ran a search strategy."""
         return self._result
+
+    @property
+    def pack(self):
+        """The :class:`~repro.persist.pack.PackReader` backing this
+        session, opening it on first access; ``None`` when the session
+        neither came from a pack nor references one."""
+        if self._pack is None and self._pack_path is not None:
+            from repro.persist.pack import open_pack
+
+            self._pack = open_pack(self._pack_path)
+        return self._pack
+
+    @property
+    def counter(self):
+        """The counting backend behind this label, if any.
+
+        ``fit`` sessions keep their fitted counter; pack-connected
+        sessions (``from_pack``, or ``load`` of an envelope with a
+        ``"pack"`` reference) resolve a lazily-mapped one from the pack
+        on first access.  Pure consumer sessions return ``None`` — a
+        label alone cannot answer exact counts.
+        """
+        if self._counter is None:
+            pack = self.pack
+            if pack is not None:
+                self._counter = pack.counter()
+        return self._counter
 
     @property
     def strategy(self) -> str | None:
@@ -273,6 +358,11 @@ class LabelingSession:
         # Atomic swap: every piece of the state changes together.
         self._state = (label, estimator_from_artifact(label), version + 1)
         self._result = None  # search stats no longer describe this label
+        # The counter (and any pack behind it) still profiles the
+        # *pre-update* data; detach rather than serve stale counts.
+        self._counter = None
+        self._pack = None
+        self._pack_path = None
         return self
 
     # -- serving ----------------------------------------------------------------
@@ -329,11 +419,63 @@ class LabelingSession:
 
     # -- persistence ------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
-        """Write the artifact envelope to ``path``; returns the path."""
+    def save(
+        self, path: str | Path, *, pack: str | Path | None = None
+    ) -> Path:
+        """Write the artifact envelope to ``path``; returns the path.
+
+        With ``pack=`` a directory, the session's counter state is
+        additionally written there as a ``repro-pack/1`` (see
+        :meth:`to_pack`) and the envelope carries a ``"pack"`` key
+        referencing it — by *relative* path when possible, so the
+        envelope-plus-pack pair can travel as a unit.  A later
+        :meth:`load` of the envelope reconnects to the pack lazily.
+        """
         path = Path(path)
-        dump_artifact(self._state[0], path)
+        if pack is None:
+            dump_artifact(self._state[0], path)
+            return path
+        artifact = self._state[0]
+        pack_dir = self.to_pack(pack)
+        payload = to_artifact(artifact)
+        try:
+            reference = os.path.relpath(pack_dir, path.parent)
+        except ValueError:  # pragma: no cover — e.g. cross-drive on NT
+            reference = str(pack_dir.resolve())
+        payload["pack"] = reference
+        atomic_write_json(path, payload)
+        self._pack_path = pack_dir
         return path
+
+    def to_pack(
+        self,
+        path: str | Path,
+        *,
+        name: str = "label",
+        include_caches: bool = True,
+    ) -> Path:
+        """Write counter state plus the current label as a pack directory.
+
+        The warm-start artifact: ``repro serve --artifact-dir`` (or
+        :meth:`from_pack`) redeploys from it in milliseconds, with the
+        counter payloads mapped lazily.  Requires counter state — fit
+        the session from data, or load it from a pack, first.
+        """
+        from repro.persist.pack import write_pack
+
+        counter = self.counter
+        if counter is None:
+            raise SessionError(
+                "this session has no counter state to pack — it was "
+                "loaded from a bare artifact; fit from data (or load "
+                "from a pack) before packing"
+            )
+        return write_pack(
+            Path(path),
+            counter,
+            labels={name: self._state[0]},
+            include_caches=include_caches,
+        )
 
     def to_artifact(self) -> dict[str, Any]:
         """The versioned envelope as a dict (see :mod:`repro.api.artifacts`)."""

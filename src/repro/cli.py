@@ -30,9 +30,16 @@ CSV file"; this module is that workflow as a tool, built on the
   ``{"attr": "value", ...}`` objects) through the backend's batched
   ``estimate_many`` path, one estimate per output line (``--json`` for a
   machine-readable object instead);
+* ``python -m repro pack data.csv -o mypack/`` — fit a label and write
+  a ``repro-pack/1`` artifact directory: the label envelope plus the
+  fitted counter state as memory-mappable numpy payloads (checksummed,
+  crash-safe), the warm-start artifact of :mod:`repro.persist`;
 * ``python -m repro serve label.json [more.json ...] --port 8321`` —
   publish stored labels behind the :mod:`repro.serve` HTTP endpoint
   (concurrent readers, micro-batched estimation, live ``update``);
+* ``python -m repro serve --artifact-dir mypack/`` — redeploy a packed
+  label in milliseconds: the envelope is read from the pack and the
+  counter payloads stay unmapped until something needs exact counts;
 * ``python -m repro query http://host:port gender=F`` — estimate against
   a running server (``--list`` to see what it serves, ``--workload`` for
   a batch, ``--json`` for the raw response);
@@ -454,20 +461,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.persist import open_pack
+
+    session = _fit_session(args, args.csv)
+    name = args.name or Path(args.csv).stem
+    try:
+        pack_dir = session.to_pack(
+            args.output, name=name, include_caches=not args.no_caches
+        )
+    except ApiError as exc:
+        _fail(f"cannot write pack {args.output!r}: {exc}", EXIT_MALFORMED)
+    except OSError as exc:
+        _fail(f"cannot write pack {args.output!r}: {exc}", EXIT_MALFORMED)
+    reader = open_pack(pack_dir)
+    total_bytes = sum(
+        entry["bytes"] for entry in reader.manifest["shards"]
+    )
+    print(
+        f"packed {reader.total_rows} rows into {reader.n_shards} shard "
+        f"file(s) ({total_bytes} bytes) + label {name!r} at {pack_dir}",
+        file=sys.stderr,
+    )
+    print(
+        f"serve it with: repro serve --artifact-dir {pack_dir}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _open_pack_or_exit(path: str):
+    from repro.persist import open_pack
+
+    if not Path(path).exists():
+        _fail(f"no such pack directory: {path}", EXIT_MISSING_FILE)
+    try:
+        reader = open_pack(path)
+    except ApiError as exc:
+        _fail(f"cannot read pack {path!r}: {exc}", EXIT_MALFORMED)
+    if not reader.label_names:
+        _fail(
+            f"pack {path!r} holds no labels to serve; re-pack with "
+            "'repro pack' (which always includes the fitted label)",
+            EXIT_MALFORMED,
+        )
+    return reader
+
+
 def _service_from_args(args: argparse.Namespace):
     """Build (not start) the LabelService a ``serve`` invocation asks for.
 
     Split out of :func:`_cmd_serve` so tests can assemble the exact
     service without blocking on ``serve_forever``.
     """
+    from repro.serve.protocol import BadRequestError
     from repro.serve.service import LabelService
 
     if args.window_ms < 0:
         _fail(f"--window-ms must be >= 0, got {args.window_ms}", EXIT_USAGE)
     if args.max_batch < 1:
         _fail(f"--max-batch must be >= 1, got {args.max_batch}", EXIT_USAGE)
+    if args.artifact_dir and args.labels:
+        _fail(
+            "give either label artifact files or --artifact-dir, not both",
+            EXIT_USAGE,
+        )
+    if not args.artifact_dir and not args.labels:
+        _fail(
+            "serve needs label artifact files (or --artifact-dir PACK)",
+            EXIT_USAGE,
+        )
+    pack_reader = None
     names = []
     artifacts = []
+    if args.artifact_dir:
+        # Validated before the socket binds, like the artifact loop.
+        pack_reader = _open_pack_or_exit(args.artifact_dir)
     for path in args.labels:
         artifact = _load_artifact_or_exit(path)
         name = Path(path).stem
@@ -491,6 +560,14 @@ def _service_from_args(args: argparse.Namespace):
         _fail(
             f"cannot bind {args.host}:{args.port}: {exc}", EXIT_UNAVAILABLE
         )
+    if pack_reader is not None:
+        try:
+            service.store.publish_pack(pack_reader)
+        except BadRequestError as exc:
+            _fail(
+                f"cannot serve pack {args.artifact_dir!r}: {exc}",
+                EXIT_MALFORMED,
+            )
     for name, artifact in zip(names, artifacts):
         service.store.publish(name, artifact)
     return service
@@ -730,15 +807,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.set_defaults(func=_cmd_estimate)
 
+    pack = commands.add_parser(
+        "pack",
+        help="fit a label and write a memory-mappable warm-start pack "
+        "directory (repro-pack/1)",
+    )
+    pack.add_argument("csv", help="input CSV file (header row required)")
+    pack.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="pack directory to write (created if missing)",
+    )
+    pack.add_argument(
+        "--bound", type=int, default=50, help="size budget Bs (default 50)"
+    )
+    pack.add_argument(
+        "--algorithm",
+        "--strategy",
+        dest="algorithm",
+        choices=strategies,
+        default="top_down",
+        help="label-construction strategy (default: top_down)",
+    )
+    pack.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count — one binary file per shard in the pack "
+        "(unset = natural shape)",
+    )
+    pack.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream the CSV in chunks of N rows while fitting",
+    )
+    pack.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        help="frontier width for --algorithm beam",
+    )
+    pack.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the search",
+    )
+    pack.add_argument(
+        "--name",
+        default=None,
+        help="served label name inside the pack (default: the CSV stem)",
+    )
+    pack.add_argument(
+        "--no-caches",
+        action="store_true",
+        help="pack the code matrices only, without the warm query caches "
+        "(smaller files, colder start)",
+    )
+    pack.set_defaults(func=_cmd_pack)
+
     serve = commands.add_parser(
         "serve",
         help="publish stored labels behind the HTTP serving endpoint",
     )
     serve.add_argument(
         "labels",
-        nargs="+",
+        nargs="*",
         help="label artifact files; each serves under its file stem "
         "(label.json -> /labels/label)",
+    )
+    serve.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="PACK",
+        help="serve every label of a repro-pack/1 directory (written by "
+        "'repro pack') instead of loose artifact files — the "
+        "warm-start path: counter payloads stay memory-mapped and "
+        "unread until needed",
     )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default loopback)"

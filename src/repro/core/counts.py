@@ -114,6 +114,16 @@ class PatternCounter:
 
     def __init__(self, dataset: Dataset) -> None:
         self._dataset = dataset
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        """Fresh (empty) cache dictionaries.
+
+        Split out of ``__init__`` so the pack-backed subclass
+        (:class:`repro.persist.pack.PackedPatternCounter`) can construct
+        itself *without* a dataset: its dataset and warm caches are
+        installed lazily when a query first touches the shard file.
+        """
         self._value_counts: dict[str, dict[Hashable, int]] = {}
         self._fractions: dict[str, np.ndarray] = {}
         self._label_sizes: dict[tuple[str, ...], int] = {}
@@ -177,6 +187,92 @@ class PatternCounter:
     def total_rows(self) -> int:
         """``|D|``."""
         return self._dataset.n_rows
+
+    # -- persistence --------------------------------------------------------------
+
+    def _persist_arrays(
+        self, *, include_caches: bool = True
+    ) -> list[tuple[str, tuple[str, ...] | None, np.ndarray]]:
+        """``(role, attributes, array)`` triples for the pack writer.
+
+        The code matrix is the mandatory payload; with
+        ``include_caches`` the warm caches the batch kernel built —
+        radix row-id tables, sorted key tables, joint tables — ride
+        along so a reopened counter starts where this one left off.
+        The per-attribute ``int64`` columns (:attr:`_columns64`) are
+        *not* persisted: they are a cheap widening of the code matrix.
+        """
+        arrays: list[tuple[str, tuple[str, ...] | None, np.ndarray]] = [
+            ("codes", None, self._dataset.codes_matrix())
+        ]
+        if include_caches:
+            for attrs, keys in self._row_keys.items():
+                if keys is not None:  # None marks a radix-overflow set
+                    arrays.append(("row_keys", attrs, keys))
+            for attrs, (keys, counts) in self._key_tables.items():
+                arrays.append(("key_keys", attrs, keys))
+                arrays.append(("key_counts", attrs, counts))
+            for attrs, (combos, counts) in self._joint_tables.items():
+                arrays.append(("joint_combos", attrs, combos))
+                arrays.append(("joint_counts", attrs, counts))
+        return arrays
+
+    def _install_persisted_caches(
+        self,
+        row_keys: Mapping[tuple[str, ...], np.ndarray],
+        key_tables: Mapping[tuple[str, ...], tuple[np.ndarray, np.ndarray]],
+        joint_tables: Mapping[tuple[str, ...], tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Adopt warm caches mapped from a pack shard.
+
+        The arrays are read-only memmap views; every cache consumer
+        treats cached arrays as immutable already, so mapped and
+        computed entries are interchangeable.  ``invalidate_caches``
+        (maintenance, rebinding) simply drops the views — copy-on-write
+        at whole-cache granularity.
+        """
+        self._row_keys.update(row_keys)
+        self._key_tables.update(key_tables)
+        self._joint_tables.update(joint_tables)
+
+    def dump(
+        self,
+        path,
+        *,
+        labels: Mapping[str, object] | None = None,
+        include_caches: bool = True,
+    ):
+        """Write this counter's fit state as a ``repro-pack/1`` directory.
+
+        See :func:`repro.persist.pack.write_pack` (which this wraps) for
+        the format; ``labels`` optionally packs label artifacts next to
+        the counter state.  Returns the pack directory path.
+        """
+        from repro.persist.pack import write_pack
+
+        return write_pack(
+            path, self, labels=labels, include_caches=include_caches
+        )
+
+    @classmethod
+    def from_pack(cls, path) -> "PatternCounter":
+        """Reopen a single-shard pack as a lazily-mapped counter.
+
+        The returned counter reads no shard bytes until first queried
+        (see :class:`repro.persist.pack.PackedPatternCounter`).  Packs
+        with several shards belong to
+        :meth:`repro.core.sharding.ShardedPatternCounter.from_pack`.
+        """
+        from repro.persist.pack import open_pack
+
+        reader = open_pack(path)
+        if reader.n_shards != 1:
+            raise ValueError(
+                f"pack {path} holds {reader.n_shards} shards; load it "
+                "through ShardedPatternCounter.from_pack (or "
+                "repro.persist.open_pack(path).counter())"
+            )
+        return reader.shard_counter(0)
 
     # -- single-pattern counting ----------------------------------------------
 

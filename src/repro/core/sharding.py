@@ -140,8 +140,8 @@ class ShardedDatasetView:
 
     @property
     def n_rows(self) -> int:
-        """``|D|`` summed over shards."""
-        return sum(shard.n_rows for shard in self._shards)
+        """``|D|`` summed over shards (pack-backed shards stay unmapped)."""
+        return self._counter.total_rows
 
     @property
     def n_attributes(self) -> int:
@@ -157,7 +157,7 @@ class ShardedDatasetView:
     def __repr__(self) -> str:
         return (
             f"ShardedDatasetView({self.n_rows} rows over "
-            f"{len(self._shards)} shards, {self.schema!r})"
+            f"{self._counter.n_shards} shards, {self.schema!r})"
         )
 
     @property
@@ -255,10 +255,27 @@ class ShardedPatternCounter:
                     f"shard {position} has a different schema; all shards "
                     "must share one schema (pin domains when chunking)"
                 )
-        self._shards: list[Dataset] = list(shards)
-        self._counters: list[PatternCounter] = [
-            PatternCounter(shard) for shard in shards
-        ]
+        self._init_from_counters(
+            [PatternCounter(shard) for shard in shards],
+            shards[0].schema,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+
+    def _init_from_counters(
+        self,
+        counters: Sequence[PatternCounter],
+        schema: Schema,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> None:
+        # The per-shard *counters* are the source of truth; shard
+        # datasets are derived through them (see :attr:`shards`).  This
+        # lets a pack-backed counter defer its dataset — nothing here
+        # may touch ``counter.dataset``.
+        self._counters: list[PatternCounter] = list(counters)
+        self._schema = schema
         self._parallel = bool(parallel)
         self._max_workers = max_workers
         self._pool: ProcessPoolExecutor | None = None
@@ -273,6 +290,39 @@ class ShardedPatternCounter:
         self._full_rows: tuple[np.ndarray, np.ndarray] | None = None
 
     # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_counters(
+        cls,
+        counters: Sequence[PatternCounter],
+        schema: Schema,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> "ShardedPatternCounter":
+        """Assemble a sharded counter from existing per-shard counters.
+
+        The constructor of the warm-start path: the pack reader hands in
+        lazily-mapped :class:`~repro.persist.pack.PackedPatternCounter`
+        instances, and because this path never reads
+        ``counter.dataset``, no shard file is touched until a query
+        needs it.  ``schema`` must be the shared shard schema (a lazy
+        counter cannot be asked for it without materializing).
+        """
+        counters = list(counters)
+        if not counters:
+            raise ValueError("at least one shard counter is required")
+        for position, counter in enumerate(counters):
+            if not isinstance(counter, PatternCounter):
+                raise TypeError(
+                    f"shard counter {position} is a "
+                    f"{type(counter).__name__}, expected PatternCounter"
+                )
+        self = cls.__new__(cls)
+        self._init_from_counters(
+            counters, schema, parallel=parallel, max_workers=max_workers
+        )
+        return self
 
     @classmethod
     def from_dataset(
@@ -299,12 +349,22 @@ class ShardedPatternCounter:
 
     @property
     def shards(self) -> tuple[Dataset, ...]:
-        """The shard datasets, in row order."""
-        return tuple(self._shards)
+        """The shard datasets, in row order.
+
+        Derived from the per-shard counters — for pack-backed shards
+        this *materializes* every shard (checksum + mmap), so query
+        paths that can stay lazy go through the counters instead.
+        """
+        return tuple(counter.dataset for counter in self._counters)
+
+    @property
+    def shard_counters(self) -> tuple[PatternCounter, ...]:
+        """The per-shard counters, in row order."""
+        return tuple(self._counters)
 
     @property
     def n_shards(self) -> int:
-        return len(self._shards)
+        return len(self._counters)
 
     def add_shard(self, dataset: Dataset) -> "ShardedPatternCounter":
         """Append a shard — the incremental path for evolving data.
@@ -321,7 +381,6 @@ class ShardedPatternCounter:
             )
         if dataset.n_rows == 0:
             return self
-        self._shards.append(dataset)
         self._counters.append(PatternCounter(dataset))
         self._drop_merged_caches()
         return self
@@ -370,26 +429,72 @@ class ShardedPatternCounter:
         for append-only evolution — rebinding throws every cache away.
         """
         boundaries = np.linspace(
-            0, dataset.n_rows, len(self._shards) + 1, dtype=np.int64
+            0, dataset.n_rows, len(self._counters) + 1, dtype=np.int64
         )
         shards = [
             dataset.take(np.arange(boundaries[i], boundaries[i + 1]))
-            for i in range(len(self._shards))
+            for i in range(len(self._counters))
         ]
         for shard in shards:
             if shard.schema != shards[0].schema:  # pragma: no cover
                 raise ValueError("partitioning produced mixed schemas")
-        self._shards = shards
+        self._schema = shards[0].schema
         self._counters = [PatternCounter(shard) for shard in shards]
         self._drop_merged_caches()
         return self
+
+    # -- persistence --------------------------------------------------------------
+
+    def dump(
+        self,
+        path,
+        *,
+        labels: Mapping[str, object] | None = None,
+        include_caches: bool = True,
+    ):
+        """Write the sharded fit state as a ``repro-pack/1`` directory.
+
+        One binary file per shard (see
+        :func:`repro.persist.pack.write_pack`); reopening maps shards
+        lazily, so a consumer that only needs some shards never pays
+        for the rest.  Returns the pack directory path.
+        """
+        from repro.persist.pack import write_pack
+
+        return write_pack(
+            path, self, labels=labels, include_caches=include_caches
+        )
+
+    @classmethod
+    def from_pack(
+        cls,
+        path,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> "ShardedPatternCounter":
+        """Reopen a pack as a sharded counter over lazy shard counters.
+
+        Every shard stays unread (not even checksummed) until a query
+        touches it.  Single-shard packs are wrapped the same way, so
+        the caller always gets the sharded interface it asked for.
+        """
+        from repro.persist.pack import open_pack
+
+        reader = open_pack(path)
+        return cls.from_counters(
+            [reader.shard_counter(i) for i in range(reader.n_shards)],
+            reader.schema,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
 
     # -- dataset facade -----------------------------------------------------------
 
     @property
     def schema(self) -> Schema:
         """The shared shard schema."""
-        return self._shards[0].schema
+        return self._schema
 
     @property
     def dataset(self) -> ShardedDatasetView:
@@ -398,13 +503,13 @@ class ShardedPatternCounter:
 
     @property
     def total_rows(self) -> int:
-        """``|D|`` summed over shards."""
-        return sum(shard.n_rows for shard in self._shards)
+        """``|D|`` summed over shards (pack-backed shards stay unmapped)."""
+        return sum(counter.total_rows for counter in self._counters)
 
     def __repr__(self) -> str:
         return (
             f"ShardedPatternCounter({self.total_rows} rows, "
-            f"{len(self._shards)} shards, parallel={self._parallel})"
+            f"{len(self._counters)} shards, parallel={self._parallel})"
         )
 
     # -- counting -----------------------------------------------------------------
@@ -495,10 +600,12 @@ class ShardedPatternCounter:
         in this counter's merged cache, which is what queries hit.
         """
         if self._parallel and len(self._counters) > 1:
+            # The pool pickles shard datasets to the workers, so the
+            # parallel path materializes pack-backed shards up front.
             pool = self._get_pool()
             futures = [
                 pool.submit(_build_shard_tables, shard, attribute_sets)
-                for shard in self._shards
+                for shard in self.shards
             ]
             return [future.result() for future in futures]
         return [
@@ -569,7 +676,7 @@ class ShardedPatternCounter:
             pool = self._get_pool()
             futures = [
                 pool.submit(_shard_distinct_keys, shard, attribute_sets)
-                for shard in self._shards
+                for shard in self.shards
             ]
             return [future.result() for future in futures]
         return [

@@ -1,0 +1,92 @@
+"""Atomic file writes: the one write path of every persisted artifact.
+
+Every file this repository persists — label envelopes, pack shard
+payloads, pack manifests — reaches disk through this module.  The
+discipline is the classic temp-file-plus-rename dance:
+
+1. write the full content to a temporary file *in the destination's
+   directory* (``os.replace`` is only atomic within one filesystem);
+2. flush and ``fsync`` so the bytes are durable before they become
+   visible;
+3. ``os.replace`` the temp file onto the destination — on POSIX this is
+   an atomic rename, so a concurrent reader sees either the complete
+   old file or the complete new file, never a torn mixture.
+
+On *any* failure — a serializer raising mid-stream, a full disk, a
+signal — the temporary file is removed and the destination is left
+exactly as it was.  This closes the torn-artifact window the in-place
+``write_text`` path had: a crash mid-serialization used to leave a
+truncated JSON file where a valid label artifact had been.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+__all__ = ["atomic_open", "atomic_write", "atomic_write_json"]
+
+
+@contextmanager
+def atomic_open(path: str | Path, mode: str = "wb") -> Iterator[IO]:
+    """Context manager: write ``path`` atomically through a temp file.
+
+    Yields a file object open for writing; on clean exit the temp file
+    is fsynced and renamed onto ``path`` in one ``os.replace``.  If the
+    body raises, the temp file is unlinked and ``path`` is untouched.
+
+    Parameters
+    ----------
+    path:
+        Destination file.  Its parent directory must exist.
+    mode:
+        ``"wb"`` (default) or ``"w"`` — anything else is a caller bug.
+    """
+    if mode not in ("wb", "w"):
+        raise ValueError(f"atomic_open supports modes 'wb' and 'w', not {mode!r}")
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(
+            fd, mode, encoding="utf-8" if mode == "w" else None
+        ) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover — already renamed or gone
+            pass
+        raise
+
+
+def atomic_write(path: str | Path, data: bytes | str) -> Path:
+    """Write ``data`` (bytes or text) to ``path`` atomically."""
+    path = Path(path)
+    if isinstance(data, (bytes, bytearray)):
+        with atomic_open(path, "wb") as handle:
+            handle.write(bytes(data))
+    else:
+        with atomic_open(path, "w") as handle:
+            handle.write(data)
+    return path
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, *, indent: int | None = 2
+) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    Serialization happens *before* the destination is touched, so a
+    payload ``json.dumps`` cannot encode leaves the old file intact —
+    the regression the torn-artifact fix pins down.
+    """
+    return atomic_write(path, json.dumps(payload, indent=indent))

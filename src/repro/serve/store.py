@@ -89,6 +89,11 @@ class LabelSnapshot:
     #: maintenance republish rebuilds the backend identically.
     estimator_params: dict[str, Any] = field(default_factory=dict)
     published_at: float = field(default_factory=time.time)
+    #: The :class:`~repro.persist.pack.PackReader` this snapshot was
+    #: published from, when it came from a packed deployment
+    #: (``publish_pack``); lets consumers resolve the exact counting
+    #: backend lazily.  ``None`` for artifact-only publishes.
+    pack: Any = None
 
     @property
     def kind(self) -> str:
@@ -116,6 +121,20 @@ class LabelSnapshot:
     def estimate_many(self, patterns: Sequence[Pattern]) -> list[float]:
         """Batched estimates against this snapshot (the serving path)."""
         return _estimate_many(self.estimator, list(patterns))
+
+    def counter(self):
+        """The exact counting backend behind this snapshot.
+
+        Only snapshots published from a pack carry one; the counters
+        are lazily mapped, so calling this does not read shard payloads
+        — the first exact *query* does.
+        """
+        if self.pack is None:
+            raise UnsupportedOperationError(
+                f"label {self.name!r} was not published from a pack; no "
+                "counter state is attached"
+            )
+        return self.pack.counter()
 
     def describe(self) -> dict[str, Any]:
         """Catalog entry for ``GET /labels``."""
@@ -192,6 +211,7 @@ class LabelStore:
         artifact: Label | FlexibleLabel | MultiLabelBundle,
         *,
         estimator: str | None = None,
+        pack: Any = None,
         **estimator_params: Any,
     ) -> LabelSnapshot:
         """Publish ``artifact`` under ``name``; returns the new snapshot.
@@ -200,7 +220,9 @@ class LabelStore:
         same name.  The estimator is resolved through the registry —
         ``estimator`` names any registered backend that can be built
         from the artifact; unset picks the kind's default
-        (:data:`DEFAULT_BACKENDS`).  The swap itself is a single dict
+        (:data:`DEFAULT_BACKENDS`).  ``pack`` optionally attaches the
+        :class:`~repro.persist.pack.PackReader` the artifact came from
+        (see :meth:`publish_pack`).  The swap itself is a single dict
         assignment: in-flight readers keep their old snapshot, new
         readers see the new one.
         """
@@ -222,9 +244,58 @@ class LabelStore:
                 estimator=resolved,
                 estimator_name=backend,
                 estimator_params=dict(estimator_params),
+                pack=pack,
             )
             self._snapshots[name] = snapshot
         return snapshot
+
+    def publish_pack(
+        self,
+        path: Any,
+        *,
+        estimator: str | None = None,
+        **estimator_params: Any,
+    ) -> list[LabelSnapshot]:
+        """Publish every label of a ``repro-pack/1`` directory.
+
+        The warm-start deployment path (``repro serve
+        --artifact-dir``): label envelopes are read straight from the
+        pack — no CSV refit, and the counter payloads stay unmapped
+        until a consumer asks a snapshot's :meth:`~LabelSnapshot.counter`
+        an exact query.  Returns the published snapshots, name-sorted.
+
+        Raises
+        ------
+        BadRequestError
+            When the pack is unreadable, corrupt, or holds no labels
+            (wrapping the underlying
+            :class:`~repro.api.errors.ArtifactError`).
+        """
+        from repro.api.errors import ArtifactError
+        from repro.persist.pack import PackReader, open_pack
+
+        try:
+            reader = path if isinstance(path, PackReader) else open_pack(path)
+            labels = reader.load_labels()
+        except ArtifactError as exc:
+            raise BadRequestError(
+                f"cannot publish pack {path}: {exc}"
+            ) from exc
+        if not labels:
+            raise BadRequestError(
+                f"pack {reader.path} holds no labels to publish; re-pack "
+                "with labels= (or 'repro pack', which always includes one)"
+            )
+        return [
+            self.publish(
+                name,
+                artifact,
+                estimator=estimator,
+                pack=reader,
+                **estimator_params,
+            )
+            for name, artifact in sorted(labels.items())
+        ]
 
     def update(
         self,
@@ -261,6 +332,9 @@ class LabelStore:
                 raise BadRequestError(
                     f"update batch rejected for label {name!r}: {exc}"
                 ) from exc
+            # pack deliberately not forwarded: a pack profiles the
+            # pre-update data, and a stale counter must not survive the
+            # republish.
             return self.publish(
                 name,
                 label,

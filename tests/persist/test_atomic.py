@@ -1,0 +1,129 @@
+"""Atomicity contract of the persist write helpers.
+
+Every artifact and pack write in the repository routes through
+:mod:`repro.persist.atomic`: a temp file in the destination directory,
+fsync, then ``os.replace``.  The regression these tests pin is the torn
+artifact: a serializer that raises (or a crash mid-write) must leave
+whatever was previously at the destination byte-identical, with no temp
+residue in the directory.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro import Dataset, build_label, dump_artifact, load_artifact
+from repro.api.errors import ArtifactError
+from repro.persist.atomic import atomic_open, atomic_write, atomic_write_json
+
+
+def _tmp_residue(directory):
+    return [p.name for p in directory.iterdir() if p.suffix == ".tmp"]
+
+
+class TestAtomicOpen:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_open(path) as handle:
+            handle.write(b"payload")
+        assert path.read_bytes() == b"payload"
+        assert _tmp_residue(tmp_path) == []
+
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_open(path, mode="w") as handle:
+            handle.write("hello")
+        assert path.read_text() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_open(path, mode="w") as handle:
+            handle.write("new")
+        assert path.read_text() == "new"
+
+    def test_failure_mid_write_keeps_old_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_open(path, mode="w") as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("boom")
+        assert path.read_text() == "old"
+        assert _tmp_residue(tmp_path) == []
+
+    def test_failure_before_first_write_creates_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path, mode="w"):
+                raise RuntimeError("early")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAtomicWrite:
+    def test_bytes_and_str(self, tmp_path):
+        assert (
+            atomic_write(tmp_path / "a.bin", b"\x00\x01").read_bytes()
+            == b"\x00\x01"
+        )
+        assert atomic_write(tmp_path / "a.txt", "text").read_text() == "text"
+
+    def test_json_matches_plain_dumps(self, tmp_path):
+        payload = {"b": [1, 2], "a": {"nested": None}}
+        path = atomic_write_json(tmp_path / "a.json", payload)
+        assert json.loads(path.read_text()) == payload
+        # Same bytes the previous (non-atomic) writer produced: indented,
+        # no trailing newline.
+        assert path.read_text() == json.dumps(payload, indent=2)
+
+    def test_unserializable_payload_keeps_old_file(self, tmp_path):
+        path = tmp_path / "a.json"
+        atomic_write_json(path, {"version": 1})
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"oops": {1, 2, 3}})
+        assert path.read_bytes() == before
+        assert _tmp_residue(tmp_path) == []
+
+
+class TestDumpArtifactAtomicity:
+    """The torn-artifact regression, end to end through the API layer."""
+
+    @pytest.fixture
+    def label(self, figure2: Dataset):
+        return build_label(figure2, ("gender", "race"))
+
+    def test_failing_serializer_leaves_old_artifact(
+        self, tmp_path, monkeypatch, label
+    ):
+        path = tmp_path / "label.json"
+        dump_artifact(label, path)
+        before = path.read_bytes()
+
+        # Make serialization blow up *after* dump_artifact has committed
+        # to writing — the stand-in for any mid-write failure.
+        import repro.persist.atomic as atomic_mod
+
+        def boom(*args, **kwargs):
+            raise TypeError("simulated serializer failure")
+
+        monkeypatch.setattr(atomic_mod, "json", SimpleNamespace(dumps=boom))
+        with pytest.raises(TypeError, match="simulated"):
+            dump_artifact(label, path)
+
+        assert path.read_bytes() == before
+        assert load_artifact(path).pc == label.pc
+        assert _tmp_residue(tmp_path) == []
+
+    def test_unserializable_object_leaves_old_artifact(self, tmp_path, label):
+        path = tmp_path / "label.json"
+        dump_artifact(label, path)
+        before = path.read_bytes()
+        with pytest.raises(ArtifactError):
+            dump_artifact(object(), path)
+        assert path.read_bytes() == before
+        assert _tmp_residue(tmp_path) == []

@@ -1,0 +1,128 @@
+"""Parity properties of pack-backed counters vs their in-memory twins.
+
+A ``repro-pack/1`` round trip must be *observably identical*: for random
+small relations (with and without missing values), in both the
+single-counter and sharded shapes, a counter reopened from disk answers
+``count_many``, ``joint_tables``, ``label_size_many``, and full label
+builds byte-for-byte like the fitted counter it was dumped from.  Both
+pack flavors are swept — warm (``include_caches=True``: radix tables,
+key tables, and joint tables travel with the codes) and cold
+(``include_caches=False``: everything recomputed from the mapped code
+matrices) — because they exercise disjoint load paths.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    PatternCounter,
+    ShardedPatternCounter,
+    build_label,
+)
+from repro.persist.pack import open_pack, write_pack
+
+from tests.property.test_batch_parity import datasets, workloads
+from tests.property.test_shard_parity import _subsets_of
+
+SHARD_COUNTS = (1, 3)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _counters_for(data: Dataset, k: int):
+    """The in-memory reference counter and its shard layout."""
+    if k == 1:
+        return PatternCounter(data)
+    return ShardedPatternCounter.from_dataset(data, k)
+
+
+def _reopened(counter, directory: Path, *, include_caches: bool):
+    """Round-trip ``counter`` through a pack; returns the lazy twin."""
+    write_pack(directory, counter, include_caches=include_caches)
+    return open_pack(directory).counter()
+
+
+@SETTINGS
+@given(st.data(), st.booleans(), st.booleans())
+def test_count_many_matches(data_strategy, allow_missing, warm):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    patterns = data_strategy.draw(workloads(data))
+    for k in SHARD_COUNTS:
+        reference = _counters_for(data, k)
+        expected = list(reference.count_many(patterns))
+        with tempfile.TemporaryDirectory() as tmp:
+            packed = _reopened(
+                reference, Path(tmp) / "pack", include_caches=warm
+            )
+            assert list(packed.count_many(patterns)) == expected, k
+            assert [packed.count(p) for p in patterns[:4]] == expected[:4], k
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_joint_tables_match(data_strategy, warm):
+    data = data_strategy.draw(datasets())
+    subsets = [
+        _subsets_of(data_strategy.draw, data)
+        for _ in range(data_strategy.draw(st.integers(1, 3)))
+    ]
+    for k in SHARD_COUNTS:
+        reference = _counters_for(data, k)
+        expected = reference.joint_tables(subsets)
+        with tempfile.TemporaryDirectory() as tmp:
+            packed = _reopened(
+                reference, Path(tmp) / "pack", include_caches=warm
+            )
+            tables = packed.joint_tables(subsets)
+            assert set(tables) == set(expected), k
+            for key in expected:
+                np.testing.assert_array_equal(
+                    tables[key][0], expected[key][0], err_msg=str((k, key))
+                )
+                np.testing.assert_array_equal(
+                    tables[key][1], expected[key][1], err_msg=str((k, key))
+                )
+
+
+@SETTINGS
+@given(st.data(), st.booleans(), st.booleans())
+def test_label_size_many_matches(data_strategy, allow_missing, warm):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    subsets = [
+        _subsets_of(data_strategy.draw, data)
+        for _ in range(data_strategy.draw(st.integers(1, 4)))
+    ]
+    for k in SHARD_COUNTS:
+        reference = _counters_for(data, k)
+        expected = list(reference.label_size_many(subsets))
+        with tempfile.TemporaryDirectory() as tmp:
+            packed = _reopened(
+                reference, Path(tmp) / "pack", include_caches=warm
+            )
+            assert list(packed.label_size_many(subsets)) == expected, k
+
+
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_built_labels_match(data_strategy, allow_missing):
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    subset = _subsets_of(data_strategy.draw, data)
+    for k in SHARD_COUNTS:
+        reference = _counters_for(data, k)
+        expected = build_label(reference, subset).to_dict()
+        with tempfile.TemporaryDirectory() as tmp:
+            packed = _reopened(
+                reference, Path(tmp) / "pack", include_caches=True
+            )
+            assert build_label(packed, subset).to_dict() == expected, k

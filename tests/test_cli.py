@@ -725,3 +725,143 @@ class TestSearchStrategyFlags:
                 ["label", str(csv_path), "--algorithm", "naive",
                  "--beam-width", "3"]
             )
+
+
+class TestPackCommand:
+    def test_pack_writes_deployable_directory(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "pack"
+        code = main(
+            ["pack", str(csv_path), "--bound", "5", "-o", str(out)]
+        )
+        assert code == 0
+        names = sorted(p.name for p in out.iterdir())
+        assert names == ["label-data.json", "manifest.json", "shard-0000.bin"]
+        err = capsys.readouterr().err
+        assert "repro serve --artifact-dir" in err
+
+    def test_pack_sharded(self, csv_path, tmp_path):
+        out = tmp_path / "pack"
+        code = main(
+            [
+                "pack",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--shards",
+                "3",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        from repro import verify_pack
+
+        assert verify_pack(out)["shards"] == 3
+
+    def test_pack_custom_label_name(self, csv_path, tmp_path):
+        out = tmp_path / "pack"
+        main(
+            [
+                "pack",
+                str(csv_path),
+                "--bound",
+                "5",
+                "--name",
+                "compas",
+                "-o",
+                str(out),
+            ]
+        )
+        from repro import open_pack
+
+        assert open_pack(out).label_names == ["compas"]
+
+    def test_pack_missing_csv_exit_code(self, tmp_path):
+        from repro.cli import EXIT_MISSING_FILE
+
+        with pytest.raises(SystemExit) as info:
+            main(
+                ["pack", str(tmp_path / "nope.csv"), "--bound", "5",
+                 "-o", str(tmp_path / "pack")]
+            )
+        assert info.value.code == EXIT_MISSING_FILE
+
+
+class TestServeFromPack:
+    @pytest.fixture
+    def pack_dir(self, csv_path, tmp_path):
+        out = tmp_path / "pack"
+        assert (
+            main(["pack", str(csv_path), "--bound", "5", "-o", str(out)])
+            == 0
+        )
+        return out
+
+    @pytest.fixture
+    def service(self, pack_dir):
+        """A live warm-started service, as `serve --artifact-dir` builds it."""
+        from repro.cli import _service_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--artifact-dir", str(pack_dir), "--port", "0"]
+        )
+        service = _service_from_args(args)
+        service.start()
+        yield service
+        service.stop()
+
+    def test_serve_publishes_packed_label(self, service):
+        assert service.store.names() == ["data"]
+        snap = service.store.get("data")
+        assert snap.pack is not None
+        # Warm start is label-only: no shard payload was read to serve.
+        assert snap.pack.stats.shard_loads == []
+
+    def test_query_round_trip(self, service, capsys):
+        assert main(["query", service.url, "gender=Female"]) == 0
+        assert float(capsys.readouterr().out.strip()) > 0
+
+    def test_artifact_dir_and_labels_conflict(self, pack_dir, tmp_path):
+        from repro.cli import EXIT_USAGE, _service_from_args, build_parser
+
+        label = tmp_path / "label.json"
+        label.write_text("{}")
+        args = build_parser().parse_args(
+            ["serve", str(label), "--artifact-dir", str(pack_dir)]
+        )
+        with pytest.raises(SystemExit) as info:
+            _service_from_args(args)
+        assert info.value.code == EXIT_USAGE
+
+    def test_serve_needs_some_source(self):
+        from repro.cli import EXIT_USAGE, _service_from_args, build_parser
+
+        args = build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit) as info:
+            _service_from_args(args)
+        assert info.value.code == EXIT_USAGE
+
+    def test_missing_pack_dir_exit_code(self, tmp_path):
+        from repro.cli import (
+            EXIT_MISSING_FILE,
+            _service_from_args,
+            build_parser,
+        )
+
+        args = build_parser().parse_args(
+            ["serve", "--artifact-dir", str(tmp_path / "nope")]
+        )
+        with pytest.raises(SystemExit) as info:
+            _service_from_args(args)
+        assert info.value.code == EXIT_MISSING_FILE
+
+    def test_corrupt_pack_exit_code(self, pack_dir):
+        from repro.cli import EXIT_MALFORMED, _service_from_args, build_parser
+
+        (pack_dir / "manifest.json").write_text("{broken")
+        args = build_parser().parse_args(
+            ["serve", "--artifact-dir", str(pack_dir)]
+        )
+        with pytest.raises(SystemExit) as info:
+            _service_from_args(args)
+        assert info.value.code == EXIT_MALFORMED
