@@ -66,6 +66,7 @@ from repro.baselines.dephist import DependencyTreeEstimator  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+SCALE_OUTPUT = REPO_ROOT / "BENCH_scale.json"
 
 
 def _median_seconds(fn: Callable[[], object], rounds: int) -> float:
@@ -481,6 +482,193 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
     }
 
 
+def _fmt_rows(rows: int) -> str:
+    if rows >= 1_000_000 and rows % 1_000_000 == 0:
+        return f"{rows // 1_000_000}M"
+    if rows >= 1_000 and rows % 1_000 == 0:
+        return f"{rows // 1_000}k"
+    return str(rows)
+
+
+def run_scale(
+    tiers: list[int], queries: int, rounds: int, bound: int
+) -> dict:
+    """The production-scale tier: single-vs-sharded crossover, measured.
+
+    For each row tier the same workload is answered by one monolithic
+    counter and by the sharded backend (K contiguous shards), recording
+    the steady-state query crossover instead of guessing it.  At the top
+    tier an **incremental-refresh** scenario times the maintenance story
+    sharding exists for: an insert batch arrives and the same query set
+    must be re-answered against the grown relation — the monolithic
+    path rebuilds its counter and recounts the full relation, the
+    sharded path appends the batch as one new shard (warm per-shard
+    caches survive; only the merged layer and the new shard are paid
+    for).  Parity is asserted on every scenario before timing; the
+    ``cpu_count`` recorded in the config keys the parallel-path numbers
+    (zero-copy workers cannot beat serial on a single core — the pool's
+    win is core-bound, the refresh win is algorithmic).
+    """
+    import os
+
+    print(
+        f"bench_report --scale: tiers={tiers} queries={queries} "
+        f"rounds={rounds} bound={bound} cpu_count={os.cpu_count()}"
+    )
+    n_shards = 8
+    scenarios: dict[str, dict] = {}
+    tier_speedups: dict[str, float | None] = {}
+
+    for rows in tiers:
+        label = _fmt_rows(rows)
+        dataset = load_dataset("bluenile", n_rows=rows, seed=0)
+        rng = np.random.default_rng(0)
+        workload_counter = PatternCounter(dataset)
+        workload = random_pattern_workload(
+            workload_counter, queries, rng, min_arity=1, max_arity=3
+        )
+        patterns = [workload.pattern(i) for i in range(len(workload))]
+
+        single = PatternCounter(dataset)
+        sharded = ShardedPatternCounter.from_dataset(dataset, n_shards)
+        record = _scenario(
+            f"scale_count_many/{label}",
+            lambda: single.count_many(patterns),
+            lambda: sharded.count_many(patterns),
+            rounds,
+            {"rows": rows, "queries": queries, "shards": n_shards},
+            a_key="single_median_s",
+            b_key="sharded_median_s",
+        )
+        scenarios[f"scale_count_many/{label}"] = record
+        tier_speedups[label] = record["speedup"]
+
+        def single_fit() -> list[float]:
+            counter = PatternCounter(dataset)
+            fit = top_down_search(counter, bound, pattern_set=workload)
+            return [fit.summary.max_abs]
+
+        def sharded_fit() -> list[float]:
+            counter = ShardedPatternCounter.from_dataset(dataset, n_shards)
+            fit = top_down_search(counter, bound, pattern_set=workload)
+            return [fit.summary.max_abs]
+
+        scenarios[f"scale_fit/{label}"] = _scenario(
+            f"scale_fit/{label}",
+            single_fit,
+            sharded_fit,
+            rounds,
+            {"rows": rows, "queries": queries, "bound": bound,
+             "shards": n_shards},
+            a_key="single_median_s",
+            b_key="sharded_median_s",
+        )
+
+    # Incremental refresh at the top tier: the update path is where the
+    # sharded backend must win big (ROADMAP item 1's >= 3x bar).  The
+    # base shards are fitted once (their caches are the surviving state
+    # of a long-lived deployment); each refresh then sees one new insert
+    # batch and re-answers the standing query set.
+    top = max(tiers)
+    label = _fmt_rows(top)
+    batch_rows = max(top // 50, 1_000)
+    grown = load_dataset("bluenile", n_rows=top + batch_rows, seed=0)
+    base = grown.row_slice(0, top)
+    batch = grown.row_slice(top, top + batch_rows)
+    rng = np.random.default_rng(0)
+    workload_counter = PatternCounter(base)
+    workload = random_pattern_workload(
+        workload_counter, queries, rng, min_arity=1, max_arity=3
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+    attr_names = base.attribute_names
+    import itertools as _itertools
+
+    attr_sets = list(_itertools.combinations(attr_names, 2))
+
+    warm = ShardedPatternCounter.from_dataset(base, n_shards)
+    warm.joint_tables(attr_sets)
+    warm.count_many(patterns)
+    warm_shards = list(warm.shard_counters)
+    schema = base.schema
+    batch_counter = PatternCounter(batch)
+    full = base.concat(batch)  # built outside the timed region: the
+    # monolithic path is charged for recounting, not for the row copy
+
+    def single_refresh() -> np.ndarray:
+        counter = PatternCounter(full)
+        counter.joint_tables(attr_sets)
+        return counter.count_many(patterns)
+
+    def sharded_refresh() -> np.ndarray:
+        counter = ShardedPatternCounter.from_counters(
+            warm_shards + [batch_counter], schema
+        )
+        counter.joint_tables(attr_sets)
+        return counter.count_many(patterns)
+
+    # Joint-table parity of the refreshed state, checked before timing
+    # (count_many parity is asserted by the scenario helper).
+    single_tables = PatternCounter(full).joint_tables(attr_sets)
+    sharded_tables = ShardedPatternCounter.from_counters(
+        warm_shards + [batch_counter], schema
+    ).joint_tables(attr_sets)
+    for attrs in attr_sets:
+        for left, right in zip(single_tables[attrs], sharded_tables[attrs]):
+            if not np.array_equal(np.asarray(left), np.asarray(right)):
+                raise AssertionError(
+                    f"scale_update_refresh: joint table mismatch on {attrs}"
+                )
+
+    scenarios[f"scale_update_refresh/{label}"] = _scenario(
+        f"scale_update_refresh/{label}",
+        single_refresh,
+        sharded_refresh,
+        rounds,
+        {
+            "rows": top,
+            "batch_rows": batch_rows,
+            "queries": queries,
+            "attr_sets": len(attr_sets),
+            "shards": n_shards,
+            "joint_tables_identical": True,
+        },
+        a_key="single_median_s",
+        b_key="sharded_median_s",
+    )
+
+    crossover = next(
+        (
+            tier
+            for tier, speedup in tier_speedups.items()
+            if speedup is not None and speedup >= 1.0
+        ),
+        None,
+    )
+    return {
+        "version": 1,
+        "generated_by": "benchmarks/bench_report.py --scale",
+        "methodology": (
+            "median wall time over N rounds per path; parity asserted "
+            "before timing; scale_update_refresh models an insert batch "
+            "against a warm sharded deployment vs a monolithic recount"
+        ),
+        "config": {
+            "tiers": tiers,
+            "queries": queries,
+            "rounds": rounds,
+            "bound": bound,
+            "shards": n_shards,
+            "cpu_count": os.cpu_count(),
+        },
+        "crossover": {
+            "query_path_speedup_by_tier": tier_speedups,
+            "first_tier_at_or_above_1x": crossover,
+        },
+        "scenarios": scenarios,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Scalar-vs-batch perf regression report."
@@ -490,6 +678,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="tiny scale for CI: proves the runner and the JSON shape "
         "without paying full-scale timings",
+    )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the production-scale single-vs-sharded tier instead "
+        f"of the core scenarios (writes {SCALE_OUTPUT.name})",
+    )
+    parser.add_argument(
+        "--tiers",
+        default=None,
+        help="comma-separated row tiers for --scale "
+        "(default 50000,500000,5000000; smoke 5000,20000)",
     )
     parser.add_argument(
         "--rows",
@@ -521,11 +721,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    rows = args.rows or (2_000 if args.smoke else 50_000)
-    queries = args.queries or (50 if args.smoke else 100)
-    rounds = args.rounds or (3 if args.smoke else 7)
-
-    report = run(rows, queries, rounds, args.bound)
+    if args.scale:
+        if args.tiers:
+            tiers = [int(t) for t in args.tiers.split(",") if t.strip()]
+        else:
+            tiers = (
+                [5_000, 20_000]
+                if args.smoke
+                else [50_000, 500_000, 5_000_000]
+            )
+        queries = args.queries or (20 if args.smoke else 100)
+        rounds = args.rounds or (2 if args.smoke else 3)
+        report = run_scale(tiers, queries, rounds, args.bound)
+        default_output = SCALE_OUTPUT
+    else:
+        rows = args.rows or (2_000 if args.smoke else 50_000)
+        queries = args.queries or (50 if args.smoke else 100)
+        rounds = args.rounds or (3 if args.smoke else 7)
+        report = run(rows, queries, rounds, args.bound)
+        default_output = DEFAULT_OUTPUT
 
     if args.output:
         output = Path(args.output)
@@ -533,7 +747,7 @@ def main(argv: list[str] | None = None) -> int:
         output = None  # smoke proves the pipeline; it must not clobber
         # the committed full-scale trajectory numbers
     else:
-        output = DEFAULT_OUTPUT
+        output = default_output
     if output is not None:
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")

@@ -87,18 +87,21 @@ def _as_counter(
     *,
     shards: int | None = None,
     parallel: bool = False,
+    max_workers: int | None = None,
 ) -> PatternCounter:
     """Resolve the counting backend for a data-profiling factory.
 
     Thin registry-flavored wrapper over
     :func:`repro.core.sharding.make_counter`: counter-like objects pass
     through, a dataset (or iterable of chunk datasets) is wrapped, and
-    ``shards``/``parallel`` turn on the sharded backend.  Unbuildable
-    sources fail with a :class:`RegistryError` instead of a bare
-    ``TypeError``.
+    ``shards``/``parallel``/``max_workers`` configure the sharded
+    backend.  Unbuildable sources fail with a :class:`RegistryError`
+    instead of a bare ``TypeError``.
     """
     try:
-        return make_counter(source, shards=shards, parallel=parallel)
+        return make_counter(
+            source, shards=shards, parallel=parallel, max_workers=max_workers
+        )
     except (TypeError, ValueError) as exc:
         raise RegistryError(
             f"this estimator profiles data: expected a Dataset, a "
@@ -297,6 +300,7 @@ def _label_factory(
     algorithm: str = "top_down",
     shards: int | None = None,
     parallel: bool = False,
+    max_workers: int | None = None,
     seed: int | None = None,  # accepted for uniformity; the search is
     # deterministic
 ) -> LabelEstimator:
@@ -311,7 +315,9 @@ def _label_factory(
     """
     if isinstance(source, Label):
         return LabelEstimator(source)
-    counter = _as_counter(source, shards=shards, parallel=parallel)
+    counter = _as_counter(
+        source, shards=shards, parallel=parallel, max_workers=max_workers
+    )
     if attributes is not None:
         return LabelEstimator(build_label(counter, attributes))
     fitted = make_strategy(algorithm).fit(
@@ -333,12 +339,15 @@ def _flexible_factory(
     max_arity: int | None = None,
     shards: int | None = None,
     parallel: bool = False,
+    max_workers: int | None = None,
     seed: int | None = None,  # accepted for uniformity; greedy is deterministic
 ) -> FlexibleEstimator:
     """``flexible``: overlapping pattern counts (Section II-C extension)."""
     if isinstance(source, FlexibleLabel):
         return FlexibleEstimator(source)
-    counter = _as_counter(source, shards=shards, parallel=parallel)
+    counter = _as_counter(
+        source, shards=shards, parallel=parallel, max_workers=max_workers
+    )
     label = greedy_flexible_label(
         counter, bound, pattern_set=pattern_set, max_arity=max_arity
     )
@@ -355,6 +364,7 @@ def _multi_label_factory(
     pattern_set: PatternSet | None = None,
     shards: int | None = None,
     parallel: bool = False,
+    max_workers: int | None = None,
     seed: int | None = None,  # accepted for uniformity; deterministic
 ) -> MultiLabelEstimator:
     """``multi_label``: combine several labels of one dataset.
@@ -370,7 +380,9 @@ def _multi_label_factory(
         isinstance(item, Label) for item in source
     ):
         return MultiLabelEstimator(list(source), reduce=reduce)
-    counter = _as_counter(source, shards=shards, parallel=parallel)
+    counter = _as_counter(
+        source, shards=shards, parallel=parallel, max_workers=max_workers
+    )
     if subsets is None:
         result = top_down_search(counter, bound, pattern_set=pattern_set)
         chosen: list[tuple[str, ...]] = [result.attributes]
@@ -535,6 +547,7 @@ class NaiveConfig:
     time_limit_seconds: float | None = None
     shards: int | None = None
     parallel: bool = False
+    max_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -549,6 +562,7 @@ class TopDownConfig:
     time_limit_seconds: float | None = None
     shards: int | None = None
     parallel: bool = False
+    max_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -566,6 +580,7 @@ class BeamConfig:
     time_limit_seconds: float | None = None
     shards: int | None = None
     parallel: bool = False
+    max_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -583,6 +598,7 @@ class AnytimeConfig:
     max_candidates: int | None = None
     shards: int | None = None
     parallel: bool = False
+    max_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -596,6 +612,7 @@ class GreedyFlexibleConfig:
     max_arity: int | None = None
     shards: int | None = None
     parallel: bool = False
+    max_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -721,6 +738,7 @@ class Strategy:
             source,
             shards=getattr(self.config, "shards", None),
             parallel=getattr(self.config, "parallel", False),
+            max_workers=getattr(self.config, "max_workers", None),
         )
         return self.spec.runner(
             counter, bound, pattern_set, objective, self.config

@@ -99,6 +99,8 @@ class LabelingSession:
         self._counter = None
         self._pack = None
         self._pack_path: Path | None = None
+        # Options for resolving a pack-backed counter (from_pack only).
+        self._counter_options: dict[str, Any] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -113,6 +115,7 @@ class LabelingSession:
         objective: Objective = Objective.MAX_ABS,
         shards: int | None = None,
         parallel: bool = False,
+        max_workers: int | None = None,
         **strategy_options: Any,
     ) -> "LabelingSession":
         """Search ``dataset`` for a label under the size budget ``bound``.
@@ -142,10 +145,16 @@ class LabelingSession:
             source's natural shape — a plain counter for a dataset, one
             shard per chunk for a stream.
         parallel:
-            Build per-shard joint tables in a process pool.
+            Fan per-shard queries out to a persistent pool of zero-copy
+            workers (see :class:`repro.core.parallel.ShardWorkerPool`);
+            ignored for single-shard counters.
+        max_workers:
+            Worker-pool size cap, clamped to the shard count.
         """
         resolved = make_strategy(strategy, **strategy_options)
-        source = make_counter(dataset, shards=shards, parallel=parallel)
+        source = make_counter(
+            dataset, shards=shards, parallel=parallel, max_workers=max_workers
+        )
         fitted = resolved.fit(
             source, bound, pattern_set=pattern_set, objective=objective
         )
@@ -184,17 +193,27 @@ class LabelingSession:
 
     @classmethod
     def from_pack(
-        cls, path: str | Path, name: str | None = None
+        cls,
+        path: str | Path,
+        name: str | None = None,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        verify: str = "lazy",
     ) -> "LabelingSession":
         """Open a session straight from a ``repro-pack/1`` directory.
 
         Loads the packed label envelope named ``name`` (or the pack's
         only label) — touching no shard payloads — and wires
         :attr:`counter` to resolve the packed backend on demand.
+        ``parallel``/``max_workers`` configure the resolved backend's
+        zero-copy worker pool (multi-shard packs only); ``verify`` is
+        the reader's checksum policy (see
+        :func:`repro.persist.pack.open_pack`).
         """
         from repro.persist.pack import open_pack
 
-        reader = open_pack(path)
+        reader = open_pack(path, verify=verify)
         try:
             artifact = reader.load_label(name)
         except ArtifactError as exc:
@@ -204,6 +223,10 @@ class LabelingSession:
         session = cls(artifact)
         session._pack = reader
         session._pack_path = Path(path)
+        session._counter_options = {
+            "parallel": parallel,
+            "max_workers": max_workers,
+        }
         return session
 
     # -- introspection ----------------------------------------------------------
@@ -262,7 +285,7 @@ class LabelingSession:
         if self._counter is None:
             pack = self.pack
             if pack is not None:
-                self._counter = pack.counter()
+                self._counter = pack.counter(**self._counter_options)
         return self._counter
 
     @property

@@ -185,6 +185,10 @@ def _validate_fit_flags(args: argparse.Namespace) -> None:
         _fail(
             f"--chunk-rows must be >= 1, got {args.chunk_rows}", EXIT_USAGE
         )
+    if getattr(args, "max_workers", None) is not None and args.max_workers < 1:
+        _fail(
+            f"--max-workers must be >= 1, got {args.max_workers}", EXIT_USAGE
+        )
     if getattr(args, "beam_width", None) is not None and args.beam_width < 1:
         _fail(
             f"--beam-width must be >= 1, got {args.beam_width}", EXIT_USAGE
@@ -225,6 +229,8 @@ def _fit_session(args: argparse.Namespace, path: str) -> LabelingSession:
             args.bound,
             strategy=getattr(args, "algorithm", "top_down"),
             shards=args.shards,
+            parallel=getattr(args, "parallel", False),
+            max_workers=getattr(args, "max_workers", None),
             **_strategy_options(args),
         )
     except ApiError:
@@ -717,6 +723,19 @@ def build_parser() -> argparse.ArgumentParser:
         "shard) instead of parsing it whole",
     )
     label.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan per-shard queries out to a persistent pool of "
+        "zero-copy worker processes (needs 2+ shards)",
+    )
+    label.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker-pool size cap for --parallel (clamped to the "
+        "shard count; default: one worker per CPU core)",
+    )
+    label.add_argument(
         "--beam-width",
         type=int,
         default=None,
@@ -800,6 +819,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the --fit-csv file in chunks of N rows",
     )
     estimate.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan per-shard queries out to a persistent pool of "
+        "zero-copy worker processes (needs 2+ shards)",
+    )
+    estimate.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker-pool size cap for --parallel (clamped to the "
+        "shard count; default: one worker per CPU core)",
+    )
+    estimate.add_argument(
         "--json",
         action="store_true",
         help='machine-readable output: {"estimates": [...]} (single '
@@ -842,6 +874,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="stream the CSV in chunks of N rows while fitting",
+    )
+    pack.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan per-shard queries out to a persistent pool of "
+        "zero-copy worker processes (needs 2+ shards)",
+    )
+    pack.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker-pool size cap for --parallel (clamped to the "
+        "shard count; default: one worker per CPU core)",
     )
     pack.add_argument(
         "--beam-width",

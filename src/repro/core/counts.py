@@ -45,9 +45,28 @@ from repro.core.pattern import Pattern, encode_groups
 from repro.dataset.schema import MISSING_CODE
 from repro.dataset.table import Dataset, combine_codes
 
-__all__ = ["PatternCounter", "is_counter_like", "as_counter"]
+__all__ = ["PatternCounter", "is_counter_like", "as_counter", "radix_fits"]
 
 _INT64_MAX = np.iinfo(np.int64).max
+
+
+def radix_fits(schema, attributes: Sequence[str]) -> bool:
+    """True when the Horner radix product over ``attributes`` fits 64 bits.
+
+    A schema-level property: every counter sharing the schema agrees, so
+    the sharded backend can decide mergeability without touching (or
+    materializing) any shard's data.  Beyond 64 bits
+    :func:`~repro.dataset.table.combine_codes` re-factorizes through
+    ``np.unique``, making keys data-dependent — dataset-side and
+    query-side keys could then disagree.
+    """
+    radix = 1
+    for attribute in attributes:
+        card = schema[attribute].cardinality
+        if card <= 0 or radix > _INT64_MAX // card:
+            return False
+        radix *= card
+    return True
 
 #: The duck-typed counter interface every counting backend must serve.
 #: :class:`PatternCounter` is the reference implementation;
@@ -255,17 +274,19 @@ class PatternCounter:
         )
 
     @classmethod
-    def from_pack(cls, path) -> "PatternCounter":
+    def from_pack(cls, path, *, verify: str = "lazy") -> "PatternCounter":
         """Reopen a single-shard pack as a lazily-mapped counter.
 
         The returned counter reads no shard bytes until first queried
         (see :class:`repro.persist.pack.PackedPatternCounter`).  Packs
         with several shards belong to
         :meth:`repro.core.sharding.ShardedPatternCounter.from_pack`.
+        ``verify`` is the reader's checksum policy (see
+        :func:`repro.persist.pack.open_pack`).
         """
         from repro.persist.pack import open_pack
 
-        reader = open_pack(path)
+        reader = open_pack(path, verify=verify)
         if reader.n_shards != 1:
             raise ValueError(
                 f"pack {path} holds {reader.n_shards} shards; load it "
@@ -292,18 +313,9 @@ class PatternCounter:
     # -- batched counting ---------------------------------------------------------
 
     def _radix_fits(self, attributes: tuple[str, ...]) -> bool:
-        """True when the Horner radix product over ``attributes`` fits
-        in 64 bits, i.e. the plain positional encoding is stable across
-        calls.  Beyond that, :func:`~repro.dataset.table.combine_codes`
-        re-factorizes through ``np.unique``, making keys data-dependent
-        — dataset-side and query-side keys could then disagree."""
-        radix = 1
-        for attribute in attributes:
-            card = self._dataset.schema[attribute].cardinality
-            if card <= 0 or radix > _INT64_MAX // card:
-                return False
-            radix *= card
-        return True
+        """True when the plain positional encoding over ``attributes`` is
+        stable across calls (see :func:`radix_fits`)."""
+        return radix_fits(self._dataset.schema, attributes)
 
     def encoded_rows(
         self, attributes: Sequence[str]
@@ -427,7 +439,15 @@ class PatternCounter:
             attrs
         ):
             return None
-        keys, _ = self._horner_keys(attrs)
+        keys, radix = self._horner_keys(attrs)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        # Dense path mirrors _distinct_key_count: while the key space
+        # stays near the row count, flatnonzero over one bincount emits
+        # the sorted distinct keys in O(n + radix) — the sort (or hash)
+        # a generic np.unique would pay dominates shard sizing.
+        if radix <= min(1 << 24, max(1 << 16, 8 * keys.size)):
+            return np.flatnonzero(np.bincount(keys, minlength=radix))
         return np.unique(keys)
 
     def label_size_many(
@@ -497,6 +517,25 @@ class PatternCounter:
             table = (keys, counts.astype(np.int64, copy=False))
             self._key_tables[attributes] = table
         return table
+
+    def key_table(
+        self, attributes: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Sorted ``(unique row ids, counts)`` over ``attributes``.
+
+        The mergeable counting face of the counter: two counters sharing
+        one schema produce comparable keys, so the key table of their
+        union is the sum-merge of their key tables — how
+        :class:`~repro.core.sharding.ShardedPatternCounter` builds its
+        merged tables (in process or in pool workers).  Returns ``None``
+        when the radix encoding cannot serve the attribute set (64-bit
+        overflow); missing values are fine — absent rows simply do not
+        contribute keys, exactly as in the single-counter batch kernel.
+        """
+        attrs = tuple(attributes)
+        if self.encoded_rows(attrs) is None:
+            return None
+        return self._key_table(attrs)
 
     def counts_for_codes(
         self, attributes: Sequence[str], combos: np.ndarray

@@ -24,9 +24,13 @@ Why shard:
   (:meth:`ShardedPatternCounter.add_shard`): the per-shard caches of the
   existing shards survive, only the cheap merged layer is recomputed,
   instead of the full rebind-and-recount a monolithic counter needs;
-* **parallel profiling** — per-shard joint tables are independent, so
-  they can be built in a :mod:`concurrent.futures` process pool
-  (``parallel=True``) and merged afterwards.
+* **parallel profiling** — per-shard queries are independent, so with
+  ``parallel=True`` they run on a persistent pool of zero-copy workers
+  (:class:`repro.core.parallel.ShardWorkerPool`): tasks ship only shard
+  *references* — pack directory + shard index for pack-backed shards,
+  one-time :mod:`multiprocessing.shared_memory` exports otherwise — and
+  per-shard partials are merged in the calling process with the same
+  lexicographic merge as the serial path, so labels stay byte-identical.
 
 :func:`make_counter` is the factory the upper layers call: it turns a
 dataset (plus a ``shards=`` knob), an iterable of chunk datasets, or an
@@ -35,22 +39,22 @@ existing counter-like object into the right counting backend.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.counts import PatternCounter, is_counter_like
+from repro.core.counts import PatternCounter, is_counter_like, radix_fits
+from repro.core.parallel import chunk_bounds as _chunk_ranges
 from repro.core.pattern import Pattern, encode_groups
 from repro.dataset.schema import MISSING_CODE, Schema
-from repro.dataset.table import Dataset
+from repro.dataset.table import Dataset, combine_codes
 
 __all__ = [
     "ShardedDatasetView",
     "ShardedPatternCounter",
     "make_counter",
     "merge_count_tables",
+    "merge_key_tables",
 ]
 
 
@@ -65,12 +69,32 @@ def merge_count_tables(
     produces, so a merged table is indistinguishable from a table built
     over the concatenated data.  Rows may contain ``-1`` (the
     partial-support projections of missing-value relations).
+
+    Each combination row is collapsed into one ``int64`` Horner key
+    (codes shifted by +1 so missing markers encode too) and the merge is
+    a single 1-D stable argsort + ``np.add.reduceat`` — the row-wise
+    ``np.unique(axis=0)`` it replaces paid a void-dtype comparison per
+    element.  Horner keys over per-column radixes are monotone in the
+    row's lexicographic order (as is :func:`combine_codes`'s overflow
+    re-factorization, which ranks through a *sorted* unique), so the
+    output order is identical.
     """
     if not parts:
         return (
             np.empty((0, n_cols), dtype=np.int32),
             np.empty(0, dtype=np.int64),
         )
+    if len(parts) == 1:
+        # Per-shard tables are already lexicographically sorted and
+        # deduplicated (joint_counts/pattern_projections output).
+        combos = np.asarray(parts[0][0])
+        counts = np.asarray(parts[0][1], dtype=np.int64)
+        if combos.shape[0] == 0:
+            return (
+                np.empty((0, n_cols), dtype=np.int32),
+                np.empty(0, dtype=np.int64),
+            )
+        return combos.astype(np.int32, copy=False), counts
     combos = np.vstack([np.asarray(p[0]) for p in parts])
     counts = np.concatenate(
         [np.asarray(p[1], dtype=np.int64) for p in parts]
@@ -80,36 +104,46 @@ def merge_count_tables(
             np.empty((0, n_cols), dtype=np.int32),
             np.empty(0, dtype=np.int64),
         )
-    unique, inverse = np.unique(combos, axis=0, return_inverse=True)
-    # bincount-with-weights beats ufunc.at's buffered scatter path by an
-    # order of magnitude; counts stay exact (integers < 2**53).
-    merged = np.bincount(
-        inverse.reshape(-1),
-        weights=counts.astype(np.float64, copy=False),
-        minlength=unique.shape[0],
-    ).astype(np.int64)
+    shifted = combos.astype(np.int64) + 1  # missing (-1) becomes 0
+    cards = shifted.max(axis=0) + 1
+    keys = combine_codes(shifted, [int(c) for c in cards])
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.empty(sorted_keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    merged = np.add.reduceat(counts[order], starts)
+    unique = combos[order[starts]]
     return unique.astype(np.int32, copy=False), merged
 
 
-def _build_shard_tables(
-    shard: Dataset, attribute_sets: Sequence[tuple[str, ...]]
-) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Process-pool worker: joint tables of one shard, one per set."""
-    counter = PatternCounter(shard)
-    return [counter.joint_table(attrs) for attrs in attribute_sets]
+def merge_key_tables(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum-merge per-shard sorted ``(keys, counts)`` key tables.
 
-
-def _shard_distinct_keys(
-    shard: Dataset, attribute_sets: Sequence[tuple[str, ...]]
-) -> list[np.ndarray | None]:
-    """Process-pool worker: distinct radix key sets of one shard.
-
-    ``None`` entries mark attribute sets the radix encoding cannot
-    serve (missing values / 64-bit overflow); the caller falls back to
-    the merged-projection path for those.
+    Key tables (:meth:`~repro.core.counts.PatternCounter.key_table`) are
+    additive exactly like count tables, and their keys are comparable
+    across shards (one shared schema, plain Horner encoding), so the
+    union's table is one concat + stable argsort + ``reduceat``.
     """
-    counter = PatternCounter(shard)
-    return [counter.distinct_keys(attrs) for attrs in attribute_sets]
+    if len(parts) == 1:
+        return parts[0]
+    keys = np.concatenate([p[0] for p in parts])
+    counts = np.concatenate([p[1] for p in parts])
+    if keys.size == 0:
+        return keys.astype(np.int64, copy=False), counts.astype(
+            np.int64, copy=False
+        )
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.empty(sorted_keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    merged = np.add.reduceat(counts[order], starts)
+    return sorted_keys[starts], merged
 
 
 class ShardedDatasetView:
@@ -225,13 +259,19 @@ class ShardedPatternCounter:
         the chunks of :func:`~repro.dataset.csvio.read_csv_chunks`
         directly.
     parallel:
-        Build per-shard joint tables in a process pool
-        (:func:`concurrent.futures.ProcessPoolExecutor`).  Worth it only
-        when shards are large — each pool call pickles the shard
-        datasets to the workers.  Query-time merging always happens in
-        the calling process.
+        Run per-shard queries on a persistent pool of zero-copy workers
+        (:class:`repro.core.parallel.ShardWorkerPool`): spawned lazily
+        on the first parallel query, reused across ``count_many`` /
+        ``joint_tables`` / ``label_size_many`` / fit, shut down via
+        :meth:`close` (or the context manager) and re-created after a
+        crashed worker.  Tasks ship shard *references*, not data —
+        pack-backed shards are re-mapped read-only in each worker,
+        in-memory shards are exported once to shared memory.  Query-time
+        merging always happens in the calling process.  Single-shard
+        counters ignore the flag and stay on the serial path.
     max_workers:
-        Pool size cap (default: ``min(n_shards, os.cpu_count())``).
+        Pool size cap, clamped to ``min(max_workers, n_shards)``
+        (default: ``min(n_shards, os.cpu_count())``).
     """
 
     def __init__(
@@ -278,7 +318,7 @@ class ShardedPatternCounter:
         self._schema = schema
         self._parallel = bool(parallel)
         self._max_workers = max_workers
-        self._pool: ProcessPoolExecutor | None = None
+        self._pool = None  # ShardWorkerPool, created lazily
         self._view = ShardedDatasetView(self)
         # Merged-layer caches; the per-shard counters keep their own.
         self._value_counts: dict[str, dict[Hashable, int]] = {}
@@ -288,6 +328,14 @@ class ShardedPatternCounter:
         ] = {}
         self._label_sizes: dict[tuple[str, ...], int] = {}
         self._full_rows: tuple[np.ndarray, np.ndarray] | None = None
+        # Merged sorted key tables, the batched-counting face: one
+        # sum-merge of the per-shard tables per attribute set, then
+        # every counts_for_codes batch is a single searchsorted against
+        # the merged table instead of a per-shard loop.  ``None`` marks
+        # sets the radix encoding cannot serve (64-bit overflow).
+        self._merged_key_tables: dict[
+            tuple[str, ...], tuple[np.ndarray, np.ndarray] | None
+        ] = {}
 
     # -- constructors -------------------------------------------------------------
 
@@ -333,14 +381,19 @@ class ShardedPatternCounter:
         parallel: bool = False,
         max_workers: int | None = None,
     ) -> "ShardedPatternCounter":
-        """Partition ``dataset`` into ``n_shards`` contiguous row ranges."""
+        """Partition ``dataset`` into ``n_shards`` contiguous row ranges.
+
+        Shards are zero-copy row-range views
+        (:meth:`~repro.dataset.table.Dataset.row_slice`) — partitioning
+        never duplicates the code matrix.
+        """
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         boundaries = np.linspace(
             0, dataset.n_rows, n_shards + 1, dtype=np.int64
         )
         shards = [
-            dataset.take(np.arange(boundaries[i], boundaries[i + 1]))
+            dataset.row_slice(boundaries[i], boundaries[i + 1])
             for i in range(n_shards)
         ]
         return cls(shards, parallel=parallel, max_workers=max_workers)
@@ -391,24 +444,99 @@ class ShardedPatternCounter:
         self._joint_tables.clear()
         self._label_sizes.clear()
         self._full_rows = None
-        # The pool is sized to the shard count, so a shard change
-        # retires it; the next parallel build re-creates it.
+        self._merged_key_tables.clear()
+        # The pool's shard references are frozen at pool build, so a
+        # shard change retires it; the next parallel query re-creates it
+        # over the new shard set.
         self._shutdown_pool()
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
+            pool, self._pool = self._pool, None
+            pool.close()
 
-    def _get_pool(self) -> ProcessPoolExecutor:
-        """One long-lived pool per counter (workers are expensive to
-        spawn and every submit pickles its shard anyway)."""
+    def _parallel_active(self) -> bool:
+        """Parallel dispatch applies only with 2+ shards — a K=1 counter
+        has nothing to fan out, so it never pays pool spawn cost."""
+        return self._parallel and len(self._counters) > 1
+
+    def _get_pool(self):
+        """The persistent worker pool, created lazily on first use.
+
+        One pool per counter: workers are expensive to spawn, and once
+        up they hold warm per-shard counters (pack mmaps or attached
+        shared-memory views), so reuse across query batches is where the
+        parallel path wins.
+        """
         if self._pool is None:
-            max_workers = self._max_workers or min(
-                len(self._counters), os.cpu_count() or 1
+            from repro.core.parallel import ShardWorkerPool
+
+            self._pool = ShardWorkerPool(
+                self._counters,
+                self._schema,
+                max_workers=self._max_workers,
             )
-            self._pool = ProcessPoolExecutor(max_workers=max_workers)
         return self._pool
+
+    def _run_parallel(self, tasks: Sequence[tuple[int, str, object]]):
+        """Dispatch tasks to the pool; retire it if the batch fails.
+
+        The ``finally`` guarantees a mid-flight failure (worker crash
+        past its retry, cancelled build, pickling error) never leaks the
+        executor or the shared-memory exports — the next parallel query
+        starts from a fresh pool.
+        """
+        failed = True
+        try:
+            results = self._get_pool().run_shard_tasks(tasks)
+            failed = False
+            return results
+        finally:
+            if failed:
+                self._shutdown_pool()
+
+    def _fan_out(
+        self, method: str, items: Sequence[tuple[str, ...]]
+    ) -> list[list]:
+        """Run ``method`` over every (shard, item-chunk) pair in the pool.
+
+        Chunked granularity: the item batch is split into M chunks so
+        K shards x M chunks tasks keep every worker busy even when
+        shards are skewed.  Returns per-shard result lists aligned with
+        ``items``.
+        """
+        pool = self._get_pool()
+        chunks = _chunk_ranges(len(items), pool.chunk_count(len(items)))
+        tasks = [
+            (shard_index, method, items[start:stop])
+            for shard_index in range(len(self._counters))
+            for start, stop in chunks
+        ]
+        results = self._run_parallel(tasks)
+        per_shard: list[list] = []
+        position = 0
+        for _ in range(len(self._counters)):
+            shard_results: list = []
+            for _ in chunks:
+                shard_results.extend(results[position])
+                position += 1
+            per_shard.append(shard_results)
+        return per_shard
+
+    def close(self) -> None:
+        """Shut the worker pool down and release its shared memory.
+
+        Idempotent, and safe on a counter that never went parallel; the
+        counter itself stays fully usable (a later parallel query simply
+        builds a fresh pool).
+        """
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ShardedPatternCounter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
@@ -432,7 +560,7 @@ class ShardedPatternCounter:
             0, dataset.n_rows, len(self._counters) + 1, dtype=np.int64
         )
         shards = [
-            dataset.take(np.arange(boundaries[i], boundaries[i + 1]))
+            dataset.row_slice(boundaries[i], boundaries[i + 1])
             for i in range(len(self._counters))
         ]
         for shard in shards:
@@ -472,16 +600,19 @@ class ShardedPatternCounter:
         *,
         parallel: bool = False,
         max_workers: int | None = None,
+        verify: str = "lazy",
     ) -> "ShardedPatternCounter":
         """Reopen a pack as a sharded counter over lazy shard counters.
 
         Every shard stays unread (not even checksummed) until a query
         touches it.  Single-shard packs are wrapped the same way, so
         the caller always gets the sharded interface it asked for.
+        ``verify`` is the checksum policy of the underlying reader (see
+        :func:`repro.persist.pack.open_pack`).
         """
         from repro.persist.pack import open_pack
 
-        reader = open_pack(path)
+        reader = open_pack(path, verify=verify)
         return cls.from_counters(
             [reader.shard_counter(i) for i in range(reader.n_shards)],
             reader.schema,
@@ -518,18 +649,72 @@ class ShardedPatternCounter:
         """Exact count ``c_D(p)``: the sum of per-shard counts."""
         return sum(counter.count(pattern) for counter in self._counters)
 
+    def _merged_key_table(
+        self, attrs: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Merged sorted key table over ``attrs``, built once and cached.
+
+        The per-shard tables (each a cached sorted group-by of its
+        shard's encoded rows) are built serially or fanned out to the
+        worker pool, then sum-merged with :func:`merge_key_tables`.
+        ``None`` when the radix encoding over ``attrs`` overflows 64
+        bits — callers fall back to the per-shard sum loop.
+        """
+        if attrs in self._merged_key_tables:
+            return self._merged_key_tables[attrs]
+        if not radix_fits(self._schema, attrs):
+            self._merged_key_tables[attrs] = None
+            return None
+        if self._parallel_active():
+            per_shard = self._fan_out("key_tables", [attrs])
+            parts = [tables[0] for tables in per_shard]
+        else:
+            parts = [
+                counter.key_table(attrs) for counter in self._counters
+            ]
+        # radix_fits is schema-level, and every shard shares the schema.
+        assert all(part is not None for part in parts)
+        merged = merge_key_tables(parts)
+        self._merged_key_tables[attrs] = merged
+        return merged
+
     def counts_for_codes(
         self, attributes: Sequence[str], combos: np.ndarray
     ) -> np.ndarray:
-        """Exact batched counts: per-shard kernel answers, summed."""
+        """Exact batched counts via one merged sorted key table.
+
+        First batch over an attribute set sum-merges the per-shard key
+        tables (optionally on the worker pool) into one sorted table;
+        every batch thereafter — this one included — costs a single
+        ``searchsorted`` against it, the same lookup a single counter's
+        promoted key table pays, instead of a per-shard kernel loop.
+        Radix-overflow sets fall back to summing per-shard answers.
+        """
         attrs = tuple(attributes)
         combos = np.asarray(combos)
-        total: np.ndarray | None = None
-        for counter in self._counters:
-            part = counter.counts_for_codes(attrs, combos)
-            total = part if total is None else total + part
-        assert total is not None  # >= 1 shard guaranteed
-        return total
+        if combos.ndim != 2 or combos.shape[1] != len(attrs):
+            raise ValueError(
+                f"combos must be (n, {len(attrs)}) for attributes {attrs}"
+            )
+        if combos.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        table = self._merged_key_table(attrs)
+        if table is None:
+            total: np.ndarray | None = None
+            for counter in self._counters:
+                part = counter.counts_for_codes(attrs, combos)
+                total = part if total is None else total + part
+            assert total is not None  # >= 1 shard guaranteed
+            return total
+        keys, counts = table
+        if keys.size == 0:
+            return np.zeros(combos.shape[0], dtype=np.int64)
+        cards = [self._schema[a].cardinality for a in attrs]
+        query_keys = combine_codes(combos, cards)
+        idx = np.searchsorted(keys, query_keys)
+        idx_clamped = np.minimum(idx, keys.size - 1)
+        found = keys[idx_clamped] == query_keys
+        return np.where(found, counts[idx_clamped], 0).astype(np.int64)
 
     def count_many(self, patterns: Iterable[Pattern]) -> np.ndarray:
         """Exact counts for an arbitrary pattern batch.
@@ -595,19 +780,14 @@ class ShardedPatternCounter:
         """Per-shard joint tables for several attribute sets.
 
         Serial path reads through (and warms) the per-shard counters'
-        caches; the parallel path farms whole shards to a process pool —
-        worker-side caches do not flow back, but the merged results land
-        in this counter's merged cache, which is what queries hit.
+        caches; the parallel path fans chunked (shard, sets) tasks to
+        the persistent zero-copy pool — worker-side caches persist in
+        the workers (the pool outlives the batch), and the merged
+        results land in this counter's merged cache, which is what
+        queries hit.
         """
-        if self._parallel and len(self._counters) > 1:
-            # The pool pickles shard datasets to the workers, so the
-            # parallel path materializes pack-backed shards up front.
-            pool = self._get_pool()
-            futures = [
-                pool.submit(_build_shard_tables, shard, attribute_sets)
-                for shard in self.shards
-            ]
-            return [future.result() for future in futures]
+        if self._parallel_active():
+            return self._fan_out("joint_tables", list(attribute_sets))
         return [
             [counter.joint_table(attrs) for attrs in attribute_sets]
             for counter in self._counters
@@ -669,16 +849,11 @@ class ShardedPatternCounter:
         """Per-shard distinct key sets for several attribute sets.
 
         Serial path reads through the per-shard counters (warming their
-        encoded-column caches); the parallel path farms whole shards to
-        the process pool, exactly like the joint-table builds.
+        encoded-column caches); the parallel path fans chunked tasks to
+        the persistent pool, exactly like the joint-table builds.
         """
-        if self._parallel and len(self._counters) > 1:
-            pool = self._get_pool()
-            futures = [
-                pool.submit(_shard_distinct_keys, shard, attribute_sets)
-                for shard in self.shards
-            ]
-            return [future.result() for future in futures]
+        if self._parallel_active():
+            return self._fan_out("distinct_keys", list(attribute_sets))
         return [
             [counter.distinct_keys(attrs) for attrs in attribute_sets]
             for counter in self._counters
@@ -787,6 +962,7 @@ def make_counter(
     *,
     shards: int | None = None,
     parallel: bool = False,
+    max_workers: int | None = None,
 ) -> PatternCounter | ShardedPatternCounter:
     """Build the right counting backend for ``source``.
 
@@ -811,8 +987,11 @@ def make_counter(
     shards:
         Target shard count (``None`` keeps the source's natural shape).
     parallel:
-        Passed to :class:`ShardedPatternCounter` (process-pool joint
-        table builds).
+        Passed to :class:`ShardedPatternCounter` (persistent zero-copy
+        worker pool for per-shard query fan-out).
+    max_workers:
+        Worker-pool size cap, clamped to the shard count; only
+        meaningful with ``parallel=True``.
     """
     if isinstance(source, (PatternCounter, ShardedPatternCounter)):
         return source
@@ -822,7 +1001,7 @@ def make_counter(
         if shards is None or shards <= 1:
             return PatternCounter(source)
         return ShardedPatternCounter.from_dataset(
-            source, shards, parallel=parallel
+            source, shards, parallel=parallel, max_workers=max_workers
         )
     try:
         chunks = [chunk for chunk in source]
@@ -851,8 +1030,10 @@ def make_counter(
             if shards <= 1:
                 return PatternCounter(merged)
             return ShardedPatternCounter.from_dataset(
-                merged, shards, parallel=parallel
+                merged, shards, parallel=parallel, max_workers=max_workers
             )
     if len(chunks) == 1 and (shards is None or shards <= 1):
         return PatternCounter(chunks[0])
-    return ShardedPatternCounter(chunks, parallel=parallel)
+    return ShardedPatternCounter(
+        chunks, parallel=parallel, max_workers=max_workers
+    )

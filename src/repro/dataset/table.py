@@ -94,7 +94,7 @@ class Dataset:
         (``-1`` = missing).  Copied defensively unless ``copy=False``.
     """
 
-    __slots__ = ("_schema", "_codes")
+    __slots__ = ("_schema", "_codes", "_missing_known")
 
     def __init__(
         self, schema: Schema, codes: np.ndarray, *, copy: bool = True
@@ -122,6 +122,7 @@ class Dataset:
         self._schema = schema
         self._codes = codes
         self._codes.setflags(write=False)
+        self._missing_known: bool | None = None
 
     # -- constructors -------------------------------------------------------------
 
@@ -378,8 +379,15 @@ class Dataset:
 
     @property
     def has_missing(self) -> bool:
-        """True when any cell of the relation is a missing value."""
-        return bool((self._codes == MISSING_CODE).any())
+        """True when any cell of the relation is a missing value.
+
+        Computed once and cached — datasets are immutable, and the hot
+        counting paths consult this repeatedly (a fresh scan would cost
+        ``O(n_rows * n_attrs)`` per call at production scale).
+        """
+        if self._missing_known is None:
+            self._missing_known = bool((self._codes == MISSING_CODE).any())
+        return self._missing_known
 
     def group_keys(self, attributes: Sequence[str]) -> np.ndarray:
         """Group-identity keys over ``attributes`` for *all* rows.
@@ -411,6 +419,24 @@ class Dataset:
         """Return the sub-relation of the given row ``indices``."""
         indices = np.asarray(indices)
         return Dataset(self._schema, self._codes[indices], copy=True)
+
+    def row_slice(self, start: int, stop: int) -> "Dataset":
+        """Zero-copy view of the contiguous row range ``[start, stop)``.
+
+        The returned dataset shares this one's code buffer — no copy and
+        no re-validation (the rows were validated when this dataset was
+        built), which is what makes partitioning a large relation into
+        shards free.  Out-of-range bounds clamp like ordinary slicing.
+        """
+        view = object.__new__(Dataset)
+        view._schema = self._schema
+        view._codes = self._codes[int(start) : int(stop)]
+        # A slice of a fully-present relation is fully present; a slice
+        # of a relation *with* missing values must re-scan on demand.
+        view._missing_known = (
+            False if self._missing_known is False else None
+        )
+        return view
 
     def head(self, n: int) -> "Dataset":
         """First ``n`` rows."""

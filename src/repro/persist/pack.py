@@ -30,6 +30,15 @@ self-contained, so estimating from a packed label touches *zero* shard
 files; the shard payloads exist for consumers that need the counters
 back (re-search under a new bound, exact evaluation, maintenance).
 
+That once-per-touch policy is the default (``verify="lazy"``) of a
+three-way knob on :func:`open_pack`: ``"eager"`` checksums every file
+at open (fail-fast deployments), and ``"skip"`` trusts the files
+outright.  ``"skip"`` exists for the worker processes of the parallel
+sharded backend — the *parent* verifies a shard's checksum once when it
+builds the worker pool, and each worker re-maps the same already-
+trusted file; without it every worker would re-hash every shard (the
+once-per-mapping guard is per-process state).
+
 Every write goes through :mod:`repro.persist.atomic` — temp file plus
 ``os.replace`` per file, manifest last — so a crash mid-pack leaves
 either the complete previous pack or an unreferenced temp file, never a
@@ -292,6 +301,21 @@ class _ShardHandle:
     def file_name(self) -> str:
         return self._entry["file"]
 
+    def reference(self) -> tuple[str, int]:
+        """``(pack directory, shard index)`` — the zero-copy address a
+        pool worker re-opens this shard by."""
+        return str(self._reader.path), self._index
+
+    def ensure_verified(self) -> None:
+        """Checksum the shard file now (no-op if already verified).
+
+        The parent-side half of the worker trust chain: verify here,
+        once, then let every worker open the pack with
+        ``verify="skip"``.  Honors the reader's own verify mode — a
+        reader opened with ``"skip"`` declared the files trusted.
+        """
+        self._reader._verify_file(self._entry, kind="shard")
+
     def materialize(self) -> tuple[Dataset, dict, dict, dict]:
         """Verify the shard file once and map every array read-only.
 
@@ -448,6 +472,23 @@ class PackedPatternCounter(PatternCounter):
             return self._dataset.n_rows
         return self._handle.rows
 
+    @property
+    def pack_shard_ref(self):
+        """Zero-copy worker address of this shard (pack dir + index).
+
+        The hook :class:`repro.core.parallel.ShardWorkerPool` probes
+        for: a counter exposing it is shipped to workers by reference
+        instead of being exported to shared memory.
+        """
+        from repro.core.parallel import PackShardRef
+
+        path, index = self._handle.reference()
+        return PackShardRef(path, index)
+
+    def ensure_verified(self) -> None:
+        """Verify the shard file's checksum without mapping it."""
+        self._handle.ensure_verified()
+
 
 class PackReader:
     """Lazily-mapped view of a ``repro-pack/1`` directory.
@@ -463,10 +504,23 @@ class PackReader:
       shard files are verified and mapped only when a query first needs
       them.
 
+    ``verify`` sets the checksum policy: ``"lazy"`` (default) hashes a
+    file once when first touched, ``"eager"`` hashes every file right
+    here at open, ``"skip"`` never hashes (for worker processes
+    re-opening a pack the parent already verified).  The stat screens
+    (existence, exact size) run in every mode.
+
     :attr:`stats` counts the files actually materialized.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    _VERIFY_MODES = ("eager", "lazy", "skip")
+
+    def __init__(self, path: str | Path, *, verify: str = "lazy") -> None:
+        if verify not in self._VERIFY_MODES:
+            raise ValueError(
+                f"verify must be one of {self._VERIFY_MODES}, got {verify!r}"
+            )
+        self._verify_mode = verify
         self._path = Path(path)
         manifest_path = self._path / MANIFEST_NAME
         if not self._path.is_dir():
@@ -540,6 +594,9 @@ class PackReader:
             _ShardHandle(self, index, entry)
             for index, entry in enumerate(shards)
         ]
+        if verify == "eager":
+            for entry, kind in self._iter_file_entries():
+                self._verify_file(entry, kind=kind)
 
     def _iter_file_entries(self) -> Iterator[tuple[dict, str]]:
         for entry in self._manifest["shards"]:
@@ -581,10 +638,19 @@ class PackReader:
 
     # -- verification ------------------------------------------------------------
 
+    @property
+    def verify_mode(self) -> str:
+        """The checksum policy this reader was opened with."""
+        return self._verify_mode
+
     def _verify_file(self, entry: dict, *, kind: str) -> None:
-        """Checksum ``entry``'s file once, before its bytes are trusted."""
+        """Checksum ``entry``'s file once, before its bytes are trusted.
+
+        Under ``verify="skip"`` this is a no-op — the caller opted out
+        of hashing (worker processes trusting the parent's pass).
+        """
         name = entry["file"]
-        if name in self._verified:
+        if name in self._verified or self._verify_mode == "skip":
             return
         file_path = self._path / name
         try:
@@ -656,12 +722,21 @@ class PackReader:
             self._counters[index] = counter
         return counter
 
-    def counter(self) -> PatternCounter | ShardedPatternCounter:
+    def counter(
+        self,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> PatternCounter | ShardedPatternCounter:
         """The pack's counting backend, in its natural shape.
 
         One shard yields a :class:`PackedPatternCounter`; several yield
         a :class:`~repro.core.sharding.ShardedPatternCounter` over lazy
         per-shard counters.  Either way nothing is read until queried.
+        With ``parallel=True`` the sharded backend fans queries out to
+        its zero-copy worker pool — workers re-map this pack's shard
+        files directly (``max_workers`` caps the pool).  The backend is
+        cached per reader; the first call's options win.
         """
         if self._merged is None:
             counters = [
@@ -672,14 +747,23 @@ class PackReader:
                 self._merged = counters[0]
             else:
                 self._merged = ShardedPatternCounter.from_counters(
-                    counters, self._schema
+                    counters,
+                    self._schema,
+                    parallel=parallel,
+                    max_workers=max_workers,
                 )
         return self._merged
 
 
-def open_pack(path: str | Path) -> PackReader:
-    """Open a ``repro-pack/1`` directory for lazy reading."""
-    return PackReader(path)
+def open_pack(path: str | Path, *, verify: str = "lazy") -> PackReader:
+    """Open a ``repro-pack/1`` directory for lazy reading.
+
+    ``verify`` picks the checksum policy: ``"lazy"`` (default) hashes
+    each file once on first touch, ``"eager"`` hashes everything at
+    open, ``"skip"`` trusts the files (workers re-opening a pack the
+    parent already verified).
+    """
+    return PackReader(path, verify=verify)
 
 
 def verify_pack(path: str | Path) -> dict[str, Any]:

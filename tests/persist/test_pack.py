@@ -392,3 +392,123 @@ class TestStorePack:
         figure2_counter.dump(tmp_path / "bare")
         with pytest.raises(BadRequestError, match="no labels"):
             LabelStore().publish_pack(tmp_path / "bare")
+
+
+# -- verify modes --------------------------------------------------------------
+
+
+class TestVerifyModes:
+    """The three-way checksum knob: ``eager`` / ``lazy`` / ``skip``.
+
+    ``PackStats.bytes_verified`` is the observable: eager hashes every
+    referenced file at open; lazy hashes each file exactly once, on
+    first touch; skip never hashes (the worker trust chain — the pool
+    parent verified once, workers reopen with ``verify="skip"``).
+    """
+
+    @pytest.fixture
+    def pack_dir(self, tmp_path, sharded):
+        label = build_label(sharded, ("gender", "race"))
+        return write_pack(tmp_path / "pack", sharded, labels={"demo": label})
+
+    @staticmethod
+    def _manifest_bytes(pack_dir):
+        manifest = json.loads((pack_dir / MANIFEST_NAME).read_text())
+        shard_bytes = sum(int(e["bytes"]) for e in manifest["shards"])
+        label_bytes = sum(int(e["bytes"]) for e in manifest["labels"])
+        return shard_bytes, label_bytes
+
+    def test_eager_hashes_every_file_at_open(self, pack_dir):
+        shard_bytes, label_bytes = self._manifest_bytes(pack_dir)
+        reader = open_pack(pack_dir, verify="eager")
+        assert reader.verify_mode == "eager"
+        assert reader.stats.bytes_verified == shard_bytes + label_bytes
+        # Touching payloads afterwards re-hashes nothing.
+        reader.shard_counter(0).count(PATTERNS[0])
+        reader.load_label("demo")
+        assert reader.stats.bytes_verified == shard_bytes + label_bytes
+
+    def test_lazy_hashes_once_on_first_touch(self, pack_dir):
+        reader = open_pack(pack_dir)  # lazy is the default
+        assert reader.verify_mode == "lazy"
+        assert reader.stats.bytes_verified == 0
+        counter = reader.shard_counter(1)
+        count = counter.count(PATTERNS[0])
+        after_first = reader.stats.bytes_verified
+        assert after_first > 0
+        # A second touch of the same shard does not re-hash it.
+        assert reader.shard_counter(1).count(PATTERNS[0]) == count
+        assert reader.stats.bytes_verified == after_first
+
+    def test_skip_never_hashes(self, pack_dir):
+        reader = open_pack(pack_dir, verify="skip")
+        assert reader.verify_mode == "skip"
+        reader.shard_counter(0).count(PATTERNS[0])
+        reader.load_label("demo")
+        assert reader.stats.bytes_verified == 0
+
+    def test_skip_trusts_corrupt_bytes(self, pack_dir):
+        # Same-size corruption passes the stat screen; a skip reader
+        # declared the files trusted, so it maps them without complaint
+        # (this is exactly what makes it safe only behind a parent that
+        # verified first).
+        _flip_last_byte(pack_dir / "label-demo.json")
+        reader = open_pack(pack_dir, verify="skip")
+        with pytest.raises(Exception):  # garbage JSON, not a checksum error
+            reader.load_label("demo")
+        assert reader.stats.bytes_verified == 0
+
+    def test_eager_catches_corruption_at_open(self, pack_dir):
+        _flip_last_byte(pack_dir / "label-demo.json")
+        with pytest.raises(ArtifactError, match="checksum"):
+            open_pack(pack_dir, verify="eager")
+
+    def test_invalid_mode_rejected(self, pack_dir):
+        with pytest.raises(ValueError, match="verify"):
+            open_pack(pack_dir, verify="never")
+
+    def test_ensure_verified_hashes_one_shard_once(self, pack_dir):
+        reader = open_pack(pack_dir)
+        counter = reader.shard_counter(0)
+        ref = counter.pack_shard_ref
+        assert ref is not None
+        assert ref.path == str(reader.path) and ref.index == 0
+        counter.ensure_verified()
+        after = reader.stats.bytes_verified
+        assert after > 0
+        counter.ensure_verified()  # idempotent — hashed exactly once
+        assert reader.stats.bytes_verified == after
+
+    def test_ensure_verified_honors_skip(self, pack_dir):
+        reader = open_pack(pack_dir, verify="skip")
+        reader.shard_counter(0).ensure_verified()
+        assert reader.stats.bytes_verified == 0
+
+    def test_pool_build_verifies_parent_side_once(self, pack_dir):
+        """The worker trust chain, parent half.
+
+        Building a pool over pack-backed counters checksums every shard
+        file right there — once — so workers can reopen the pack with
+        ``verify="skip"`` and still be covered.
+        """
+        from repro.core.parallel import PackShardRef, ShardWorkerPool
+
+        shard_bytes, _ = self._manifest_bytes(pack_dir)
+        reader = open_pack(pack_dir)
+        counter = reader.counter()
+        pool = ShardWorkerPool(
+            list(counter.shard_counters), counter.schema
+        )
+        try:
+            assert all(
+                isinstance(ref, PackShardRef) for ref in pool._refs
+            )
+            assert reader.stats.bytes_verified == shard_bytes
+            # A second pool over the same reader re-hashes nothing.
+            second = ShardWorkerPool(
+                list(counter.shard_counters), counter.schema
+            )
+            second.close()
+            assert reader.stats.bytes_verified == shard_bytes
+        finally:
+            pool.close()

@@ -161,6 +161,71 @@ def test_add_shard_equals_concat(data_strategy):
         )
 
 
+# -- parity across parallel execution modes -------------------------------------
+
+PARALLEL_MODES = (
+    "serial",
+    pytest.param("pool", marks=pytest.mark.parallel),
+    pytest.param("pack", marks=pytest.mark.parallel),
+)
+
+
+def _mode_counter(mode, data, k, tmp_path):
+    """Build a K-shard counter in one of the three execution modes."""
+    if mode == "serial":
+        return ShardedPatternCounter.from_dataset(data, k)
+    if mode == "pool":
+        return ShardedPatternCounter.from_dataset(
+            data, k, parallel=True, max_workers=2
+        )
+    from repro import write_pack
+
+    pack_dir = write_pack(
+        tmp_path / f"pack{k}", ShardedPatternCounter.from_dataset(data, k)
+    )
+    return ShardedPatternCounter.from_pack(
+        pack_dir, parallel=True, max_workers=2
+    )
+
+
+@pytest.mark.parametrize("k", (1, 2, 4))
+@pytest.mark.parametrize("mode", PARALLEL_MODES)
+def test_parallel_mode_parity(tmp_path, mode, k):
+    """Serial, shm-pool, and pack-backed workers agree byte for byte.
+
+    The parallel fan-out must be invisible: identical ``count_many``
+    vectors, identical joint tables, and labels whose JSON renderings
+    match the single-counter reference exactly, for every shard count
+    including the K=1 serial-routed case.
+    """
+    data = load_dataset("bluenile", n_rows=300, seed=7)
+    single = PatternCounter(data)
+    rng = np.random.default_rng(7)
+    workload = random_pattern_workload(
+        single, 25, rng, min_arity=1, max_arity=3
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+    expected_counts = list(single.count_many(patterns))
+    subset = data.attribute_names[:2]
+    reference = build_label(single, subset)
+
+    with _mode_counter(mode, data, k, tmp_path) as counter:
+        assert list(counter.count_many(patterns)) == expected_counts
+        # Repeat batch: warmed (promoted) key tables answer identically.
+        assert list(counter.count_many(patterns)) == expected_counts
+        combos, counts = single.joint_table(subset)
+        got_combos, got_counts = counter.joint_table(subset)
+        assert np.array_equal(combos, got_combos)
+        assert np.array_equal(counts, got_counts)
+        label = build_label(counter, subset)
+        assert label == reference
+        assert label.to_json() == reference.to_json()
+        if k == 1:
+            assert counter._pool is None  # K=1 routes serial
+        elif mode != "serial":
+            assert counter._pool is not None and counter._pool.started
+
+
 # -- parity on every shipped dataset generator ----------------------------------
 
 GENERATORS = ("bluenile", "compas", "creditcard")
