@@ -61,7 +61,10 @@ from repro.core.errors import evaluate_labels  # noqa: E402
 from repro.core.errors import ErrorSummary
 from repro.core.estimator import LabelEstimator  # noqa: E402
 from repro.core.search import top_down_search  # noqa: E402
-from repro.core.workload import random_pattern_workload  # noqa: E402
+from repro.core.workload import (  # noqa: E402
+    random_mixed_workload,
+    random_pattern_workload,
+)
 from repro.baselines.dephist import DependencyTreeEstimator  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 
@@ -146,7 +149,37 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         {"rows": rows, "queries": queries, "dataset": "bluenile"},
     )
 
-    # 2. Workload error evaluation of every surviving search candidate
+    # 2. Range predicates through the same kernel: a 50/50 mixed
+    #    equality/range workload.  The scalar path resolves each range
+    #    binding as boolean masks over the code columns (the reference
+    #    semantics); the batch path normalizes ranges to contiguous code
+    #    runs and answers them with two searchsorted probes against the
+    #    same cached sorted key tables equality batches use.  The
+    #    speedup column is the range-kernel acceptance bar (>= 5x).
+    mixed = random_mixed_workload(
+        workload_counter, queries, rng, min_arity=1, max_arity=4,
+        range_share=0.5,
+    )
+    mixed_patterns = [mixed.pattern(i) for i in range(len(mixed))]
+    scalar_range_counter = PatternCounter(dataset)
+    batch_range_counter = PatternCounter(dataset)
+    scenarios["range_count_many/mixed_workload"] = _scenario(
+        "range_count_many/mixed_workload",
+        lambda: [scalar_range_counter.count(p) for p in mixed_patterns],
+        lambda: batch_range_counter.count_many(mixed_patterns),
+        rounds,
+        {
+            "rows": rows,
+            "queries": queries,
+            "range_share": 0.5,
+            "ranged_patterns": sum(
+                p.has_ranges for p in mixed_patterns
+            ),
+            "dataset": "bluenile",
+        },
+    )
+
+    # 3. Workload error evaluation of every surviving search candidate
     #    (the evaluation phase of Algorithm 1), batched vs per-pattern.
     search_counter = PatternCounter(dataset)
     result = top_down_search(search_counter, bound, pattern_set=workload)
@@ -185,7 +218,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         },
     )
 
-    # 3 & 4 model the serving side — a published synopsis under query
+    # 4 & 5 model the serving side — a published synopsis under query
     # traffic — so they run on a 10x workload (batch dispatch amortizes
     # its per-template overhead across the queries sharing a template).
     serving_queries = queries * 10
@@ -194,7 +227,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
     )
     serving_patterns = [serving.pattern(i) for i in range(len(serving))]
 
-    # 3. Consumer-side serving: a published label answering a workload.
+    # 4. Consumer-side serving: a published label answering a workload.
     session = LabelingSession(result.label)
 
     def scalar_session() -> list[float]:
@@ -215,7 +248,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         },
     )
 
-    # 4. Baseline batch dispatch (GroupedEstimateMany over estimate_codes),
+    # 5. Baseline batch dispatch (GroupedEstimateMany over estimate_codes),
     #    on the baseline with the most expensive scalar path.
     dephist = DependencyTreeEstimator(dataset)
     scenarios["baseline_estimate_many/dephist"] = _scenario(
@@ -226,7 +259,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         {"rows": rows, "queries": serving_queries},
     )
 
-    # 5. Sharded counting backend: K merged shards must answer the same
+    # 6. Sharded counting backend: K merged shards must answer the same
     #    workload as one monolithic counter; this records the cost (or
     #    win) of the merge, i.e. sharded-vs-single throughput.  The
     #    sharded backend buys out-of-core ingestion and incremental
@@ -245,7 +278,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         b_key="sharded_median_s",
     )
 
-    # 6. Sharded label pipeline end-to-end: search + build through the
+    # 7. Sharded label pipeline end-to-end: search + build through the
     #    merged tables (the out-of-core fit path of LabelingSession).
     def single_fit() -> list[float]:
         counter = PatternCounter(dataset)
@@ -268,7 +301,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         b_key="sharded_median_s",
     )
 
-    # 7. The search engine's sizing kernel: level-wise label sizing, the
+    # 8. The search engine's sizing kernel: level-wise label sizing, the
     #    hot loop of every frontier strategy (Section IV-C: search
     #    dominates end-to-end cost).  Scalar path = one label_size call
     #    per subset, exactly what the pre-driver search did; batch path =
@@ -323,7 +356,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
         },
     )
 
-    # 8. The serving layer: N client threads hammering the micro-batcher
+    # 9. The serving layer: N client threads hammering the micro-batcher
     #    vs the naive per-request loop (one scalar Est(p, l) call per
     #    request — what a server without the batcher would do).  Traffic
     #    is duplicate-heavy (requests drawn from a distinct-pattern
@@ -402,7 +435,7 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
     )
     batcher.close()
 
-    # 9. Cold start: time-to-first-estimate for a fresh process.  The
+    # 10. Cold start: time-to-first-estimate for a fresh process.  The
     #    refit path is what a deployment without persistence pays on
     #    every restart (parse the CSV, re-run the label search); the
     #    pack path reopens a ``repro-pack/1`` written once at fit time
@@ -645,9 +678,20 @@ def run_scale(
         ),
         None,
     )
+    cpu_count = os.cpu_count() or 1
+    warnings: list[str] = []
+    if cpu_count == 1:
+        warnings.append(
+            "single-CPU host (cpu_count == 1): the parallel worker pool "
+            "cannot beat the serial path on one core — sharded/parallel "
+            "speedup columns in this report are not representative"
+        )
+    for message in warnings:
+        print(f"WARNING: {message}")
     return {
         "version": 1,
         "generated_by": "benchmarks/bench_report.py --scale",
+        "warnings": warnings,
         "methodology": (
             "median wall time over N rounds per path; parity asserted "
             "before timing; scale_update_refresh models an insert batch "

@@ -80,6 +80,17 @@ def main() -> None:
         description = ", ".join(f"{a}={v}" for a, v in pattern.items())
         print(f"  estimate_many[{description}] = {estimate:.1f}")
 
+    # Bindings are not limited to equality: a one-key {op: bound} object
+    # (ops =, <, <=, >, >=) turns a binding into a range predicate, and
+    # mixed workloads ride the same batched pass.  (The CLI spelling:
+    # repro estimate label.json 'age group>=under 20' gender=Female.)
+    ranged = [
+        Pattern({"age group": {"<": "under 20"}, "gender": "Female"}),
+        Pattern({"race": {">=": "Caucasian"}}),
+    ]
+    for pattern, estimate in zip(ranged, session.estimate_many(ranged)):
+        print(f"  estimate_many[{pattern}] = {estimate:.1f}")
+
     with tempfile.TemporaryDirectory() as tmp:
         path = session.save(Path(tmp) / "label.json")
         reloaded = LabelingSession.load(path)

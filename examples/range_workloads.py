@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Range predicates: interval queries over a labeled dataset.
+
+The pattern language accepts, next to the paper's equality bindings, a
+one-key ``{op: bound}`` object with ``op`` from ``=, <, <=, >, >=`` —
+``Pattern({"age group": {">=": "20-39"}, "gender": "F"})`` — and every
+surface (``PatternCounter``, labels, the sharded engine, the serve
+endpoint, CLI workload files) answers such patterns natively:
+
+* counting stays exact — a range is normalized once per attribute into
+  half-open *code runs* over the sorted domain and resolved with two
+  binary searches against the same cached key tables equality batches
+  use;
+* label estimates extend the paper's formula — the stored-count base
+  sums the matching pattern counts, the outside factors sum the
+  matching value fractions;
+* ``repro-label/3`` envelopes serialize range bindings as the same
+  ``{op: bound}`` objects, so saved labels round-trip them.
+
+This tour fits a label over a synthetic relation, runs a 50/50 mixed
+equality/range workload through the batched paths, and checks the
+counts against a row-by-row reference.
+
+Run:  python examples/range_workloads.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    LabelingSession,
+    Pattern,
+    PatternCounter,
+    ShardedPatternCounter,
+)
+from repro.core.workload import random_mixed_workload
+from repro.datasets import load_dataset
+
+
+def brute_count(data, pattern) -> int:
+    return sum(pattern.matches_row(data.row(i)) for i in range(data.n_rows))
+
+
+def main() -> None:
+    data = load_dataset("bluenile", n_rows=2000, seed=7)
+    counter = PatternCounter(data)
+    print(f"dataset: {data}\n")
+
+    # 1. Hand-written mixed patterns: dict syntax, exact counts.
+    # (color grades D..J are lexicographically ordered, so "<= F" reads
+    # as "color grade F or better".)
+    queries = [
+        Pattern({"color": {"<=": "F"}}),
+        Pattern({"color": {">": "F"}, "clarity": "VS1"}),
+        Pattern({"cut": "Ideal", "color": {"<=": "F"}}),
+    ]
+    print(f"{'pattern':<60}{'count':>6}{'brute':>7}")
+    for pattern in queries:
+        batch = int(counter.count_many([pattern])[0])
+        print(f"{str(pattern):<60}{batch:>6}{brute_count(data, pattern):>7}")
+
+    # 2. A generated 50/50 mixed workload through the batch kernel.
+    rng = np.random.default_rng(7)
+    workload = random_mixed_workload(
+        counter, 200, rng, min_arity=1, max_arity=3, range_share=0.5
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+    counts = counter.count_many(patterns)
+    ranged = sum(p.has_ranges for p in patterns)
+    print(
+        f"\nmixed workload: {len(patterns)} patterns "
+        f"({ranged} range-bearing), all counted in one batched pass"
+    )
+
+    # 3. The sharded engine answers the same workload identically.
+    sharded = ShardedPatternCounter.from_dataset(data, 4)
+    assert list(sharded.count_many(patterns)) == list(counts)
+    print("sharded counter (4 shards): byte-identical counts")
+
+    # 4. Labels estimate ranges with the same formula as equalities.
+    session = LabelingSession.fit(data, bound=60)
+    estimates = session.estimate_many(patterns)
+    errors = np.abs(np.asarray(estimates) - counts.astype(np.float64))
+    print(
+        f"label estimates over the mixed workload: "
+        f"max |error| = {errors.max():.1f}, mean = {errors.mean():.2f}"
+    )
+
+    # 5. Range bindings survive serialization (repro-label/3).
+    with tempfile.TemporaryDirectory() as tmp:
+        reloaded = LabelingSession.load(
+            session.save(Path(tmp) / "label.json")
+        )
+    probe = queries[0]
+    assert reloaded.estimate(probe) == session.estimate(probe)
+    print("save/load round trip: range estimates unchanged")
+
+
+if __name__ == "__main__":
+    main()

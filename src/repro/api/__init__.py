@@ -13,8 +13,9 @@ Three pieces (see ``DESIGN.md`` for the full architecture):
 * **LabelingSession** — the lifecycle facade:
   ``fit → estimate/estimate_many/evaluate → update → save/load``.
 * **Artifacts** — the versioned polymorphic JSON envelope
-  (``{"format": "repro-label/2", "kind": ...}``) that serializes every
-  label kind and still reads legacy bare ``Label.to_json`` output.
+  (``{"format": "repro-label/3", "kind": ...}``) that serializes every
+  label kind — range predicates included — and still reads
+  ``repro-label/2`` envelopes and legacy bare ``Label.to_json`` output.
 
 >>> from repro.api import LabelingSession
 >>> session = LabelingSession.fit(dataset, bound=50)

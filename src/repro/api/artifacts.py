@@ -5,7 +5,7 @@ until now only the plain subset :class:`~repro.core.label.Label` could be
 serialized.  This module defines one JSON envelope that carries any of
 the three label kinds the repository knows how to estimate from:
 
-``{"format": "repro-label/2", "kind": "label" | "flexible" | "multi", ...}``
+``{"format": "repro-label/3", "kind": "label" | "flexible" | "multi", ...}``
 
 * ``label`` — a subset label ``L_S(D)`` (payload: ``Label.to_dict()``);
 * ``flexible`` — a :class:`~repro.core.flexlabel.FlexibleLabel` with
@@ -13,11 +13,15 @@ the three label kinds the repository knows how to estimate from:
 * ``multi`` — a :class:`MultiLabelBundle`: several labels of the same
   dataset plus the reduce rule used to combine their estimates.
 
-:func:`from_artifact` additionally accepts the *legacy* bare
-``Label.to_json`` payload (no ``format`` key) so every label published by
-version 1.x keeps loading.  Values are stringified on the way out, the
-same convention ``Label.to_dict`` has always used, so round-tripping is
-estimate-identical for string-valued (CSV-born) relations.
+Version 3 of the envelope adds *predicate operators*: a flexible label's
+stored pattern bindings may be range predicates, serialized as one-key
+operator objects (``{"age": {">=": "30"}}``) next to plain equality
+strings.  :func:`from_artifact` accepts ``repro-label/2`` envelopes
+(operator-free by construction) and the *legacy* bare ``Label.to_json``
+payload (no ``format`` key) unchanged, so every label published by
+earlier versions keeps loading.  Values are stringified on the way out,
+the same convention ``Label.to_dict`` has always used, so round-tripping
+is estimate-identical for string-valued (CSV-born) relations.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from repro.persist.atomic import atomic_write_json
 from repro.core.estimator import LabelEstimator, MultiLabelEstimator
 from repro.core.flexlabel import FlexibleEstimator, FlexibleLabel
 from repro.core.label import Label
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, Predicate
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -44,7 +48,12 @@ __all__ = [
     "estimator_from_artifact",
 ]
 
-ARTIFACT_FORMAT = "repro-label/2"
+ARTIFACT_FORMAT = "repro-label/3"
+
+#: Envelope versions this reader accepts.  Version 2 payloads are a
+#: strict subset of version 3 (no operator bindings), so one parser
+#: serves both.
+_SUPPORTED_FORMATS = ("repro-label/2", ARTIFACT_FORMAT)
 
 #: Keys that identify a legacy bare ``Label.to_dict`` payload.
 _LEGACY_LABEL_KEYS = {"attributes", "pc", "vc", "total", "attribute_order"}
@@ -75,6 +84,13 @@ class MultiLabelBundle:
 # -- serialization ----------------------------------------------------------------
 
 
+def _binding_to_json(value: Any) -> Any:
+    """One pattern binding as JSON: equality string or operator object."""
+    if isinstance(value, Predicate):
+        return {value.op: str(value.value)}
+    return str(value)
+
+
 def _flexible_to_dict(label: FlexibleLabel) -> dict[str, Any]:
     return {
         "attribute_order": list(label.attribute_order),
@@ -82,7 +98,7 @@ def _flexible_to_dict(label: FlexibleLabel) -> dict[str, Any]:
         "pc": [
             {
                 "bindings": {
-                    attribute: str(value)
+                    attribute: _binding_to_json(value)
                     for attribute, value in pattern.items_sorted
                 },
                 "count": count,
@@ -190,10 +206,11 @@ def from_artifact(
             "artifact has no 'format' key and is not a legacy bare label "
             f"(expected keys {sorted(_LEGACY_LABEL_KEYS)})"
         )
-    if fmt != ARTIFACT_FORMAT:
+    if fmt not in _SUPPORTED_FORMATS:
+        supported = ", ".join(repr(f) for f in _SUPPORTED_FORMATS)
         raise ArtifactError(
             f"unsupported artifact format {fmt!r}; this version reads "
-            f"{ARTIFACT_FORMAT!r} and legacy bare labels"
+            f"{supported} and legacy bare labels"
         )
 
     kind = payload.get("kind")

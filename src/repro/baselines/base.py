@@ -18,7 +18,7 @@ from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core.pattern import Pattern, encode_groups
+from repro.core.pattern import Pattern, encode_groups, split_by_ranges
 from repro.dataset.schema import Schema
 
 __all__ = [
@@ -71,11 +71,26 @@ class GroupedEstimateMany:
         raise NotImplementedError
 
     def estimate_many(self, patterns: Iterable[Pattern]) -> list[float]:
-        """Vectorized estimates for an arbitrary pattern batch."""
+        """Vectorized estimates for an arbitrary pattern batch.
+
+        Range-bearing patterns cannot be encoded into a code matrix, so
+        they take the estimator's scalar ``estimate`` path; the
+        equality majority still flows through ``estimate_codes``.
+        """
         patterns = list(patterns)
         out = np.empty(len(patterns), dtype=np.float64)
-        for attrs, combos, indices in encode_groups(patterns, self._schema):
-            out[indices] = np.asarray(
+        equality, ranged = split_by_ranges(patterns)
+        for attrs, combos, indices in encode_groups(
+            [patterns[i] for i in equality], self._schema
+        ):
+            out[[equality[j] for j in indices]] = np.asarray(
                 self.estimate_codes(attrs, combos), dtype=np.float64
             )
+        for index in ranged:
+            out[index] = float(self.estimate(patterns[index]))
         return [float(v) for v in out]
+
+    def estimate(
+        self, pattern: Pattern
+    ) -> float:  # pragma: no cover - provided by the subclass
+        raise NotImplementedError

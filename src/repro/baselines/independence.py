@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.baselines.base import GroupedEstimateMany
 from repro.core.counts import PatternCounter
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, Predicate
 from repro.dataset.table import Dataset
 
 __all__ = ["IndependenceEstimator"]
@@ -51,7 +51,10 @@ class IndependenceEstimator(GroupedEstimateMany):
         """``|D| * prod frac(A = a)`` over the pattern's bindings."""
         estimate = float(self._total)
         for attribute, value in pattern.items_sorted:
-            estimate *= self._counter.fraction(attribute, value)
+            if isinstance(value, Predicate):
+                estimate *= self._counter.predicate_fraction(attribute, value)
+            else:
+                estimate *= self._counter.fraction(attribute, value)
         return estimate
 
     def estimate_codes(

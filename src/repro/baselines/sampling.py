@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.base import GroupedEstimateMany
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, Predicate
 from repro.dataset.table import Dataset, combine_codes
 
 __all__ = ["SamplingEstimator", "sample_size_for_bound"]
@@ -84,8 +84,14 @@ class SamplingEstimator(GroupedEstimateMany):
         """``c_S(p) * |D| / |S|``."""
         mask: np.ndarray | None = None
         for attribute, value in pattern.items_sorted:
-            code = self._schema[attribute].code_of(value)
-            column = self._sample.codes(attribute) == code
+            codes = self._sample.codes(attribute)
+            if isinstance(value, Predicate):
+                column = np.zeros(codes.shape[0], dtype=bool)
+                for lo, hi in self._schema[attribute].code_runs(value):
+                    column |= (codes >= lo) & (codes < hi)
+            else:
+                code = self._schema[attribute].code_of(value)
+                column = codes == code
             mask = column if mask is None else (mask & column)
         assert mask is not None
         return float(mask.sum()) * self._scale

@@ -133,16 +133,28 @@ def _fail(message: str, exit_code: int) -> NoReturn:
     raise CliError(message, exit_code)
 
 
+#: Binding operators in scan order: two-character operators first so
+#: ``age>=30`` never parses as attribute ``age>`` with operator ``=``.
+_BINDING_OPS = (">=", "<=", ">", "<", "=")
+
+
 def _parse_assignments(tokens: Sequence[str]) -> Pattern:
     assignments = {}
     for token in tokens:
-        if "=" not in token:
+        attribute = separator = value = ""
+        for op in _BINDING_OPS:
+            attribute, separator, value = token.partition(op)
+            if separator:
+                break
+        if not separator or not attribute:
             _fail(
-                f"pattern bindings look like attr=value, got {token!r}",
+                "pattern bindings look like attr=value or attr>=value "
+                f"(operators: {', '.join(_BINDING_OPS)}), got {token!r}",
                 EXIT_USAGE,
             )
-        attribute, _, value = token.partition("=")
-        assignments[attribute] = value
+        assignments[attribute] = (
+            value if separator == "=" else {separator: value}
+        )
     if not assignments:
         _fail("at least one attr=value binding is required", EXIT_USAGE)
     return Pattern(assignments)
@@ -754,7 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument(
         "--envelope",
         action="store_true",
-        help="write the versioned repro-label/2 envelope instead of the "
+        help="write the versioned repro-label/3 envelope instead of the "
         "legacy bare-label JSON (flexible labels always use the envelope)",
     )
     label.add_argument(

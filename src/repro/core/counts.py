@@ -41,13 +41,85 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.pattern import Pattern, encode_groups
+from repro.core.pattern import (
+    Pattern,
+    Predicate,
+    encode_groups,
+    encode_range_groups,
+    split_by_ranges,
+)
 from repro.dataset.schema import MISSING_CODE
 from repro.dataset.table import Dataset, combine_codes
 
-__all__ = ["PatternCounter", "is_counter_like", "as_counter", "radix_fits"]
+__all__ = [
+    "PatternCounter",
+    "is_counter_like",
+    "as_counter",
+    "radix_fits",
+    "expand_run_segments",
+]
 
 _INT64_MAX = np.iinfo(np.int64).max
+
+#: Per-pattern cap on the Horner prefix expansion of non-terminal range
+#: attributes.  A pattern whose earlier range attributes match more code
+#: combinations than this falls back to the mask path — the expansion
+#: would cost more than one data pass.
+_MAX_RUN_FANOUT = 4096
+
+
+def expand_run_segments(
+    runs_rows: Sequence[Sequence[Sequence[tuple[int, int]]]],
+    cardinalities: Sequence[int],
+    *,
+    max_fanout: int = _MAX_RUN_FANOUT,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Expand per-attribute code runs into Horner radix key segments.
+
+    ``runs_rows[j][i]`` holds pattern ``j``'s half-open ``(lo, hi)`` code
+    runs on attribute ``i``; ``cardinalities`` are the domain sizes in
+    the same attribute order.  Because the last attribute occupies the
+    least-significant radix digit, each of its runs stays one contiguous
+    *key* interval; every earlier attribute contributes one Horner
+    prefix per matched code.  Returns ``(seg_lo, seg_hi, owner,
+    overflowed)``: pattern ``owner[s]``'s count is the number of data
+    keys in ``[seg_lo[s], seg_hi[s])``, summed over its segments, and
+    ``overflowed`` lists patterns whose prefix expansion exceeded
+    ``max_fanout`` (resolve those by mask instead).
+    """
+    seg_lo: list[int] = []
+    seg_hi: list[int] = []
+    owner: list[int] = []
+    overflowed: list[int] = []
+    for j, runs in enumerate(runs_rows):
+        prefixes = [0]
+        empty = False
+        for i, attr_runs in enumerate(runs[:-1]):
+            card = cardinalities[i]
+            codes = [c for lo, hi in attr_runs for c in range(lo, hi)]
+            if not codes:
+                empty = True
+                break
+            if len(prefixes) * len(codes) > max_fanout:
+                overflowed.append(j)
+                empty = True
+                break
+            prefixes = [p * card + c for p in prefixes for c in codes]
+        if empty:
+            continue
+        last_card = cardinalities[-1]
+        for p in prefixes:
+            base = p * last_card
+            for lo, hi in runs[-1]:
+                seg_lo.append(base + lo)
+                seg_hi.append(base + hi)
+                owner.append(j)
+    return (
+        np.array(seg_lo, dtype=np.int64),
+        np.array(seg_hi, dtype=np.int64),
+        np.array(owner, dtype=np.int64),
+        overflowed,
+    )
 
 
 def radix_fits(schema, attributes: Sequence[str]) -> bool:
@@ -164,6 +236,11 @@ class PatternCounter:
         # same attribute set (a one-shot batch is cheaper via bincount).
         self._key_tables: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
         self._key_queries: dict[tuple[str, ...], int] = {}
+        # attribute set -> exclusive prefix sums of the key-table counts
+        # (cum[i] = rows whose key ranks below key i): the range kernel's
+        # companion of _key_tables, so a [lo, hi) key segment resolves
+        # with two binary probes.
+        self._key_cumsums: dict[tuple[str, ...], np.ndarray] = {}
 
     # -- cache lifecycle ----------------------------------------------------------
 
@@ -183,6 +260,7 @@ class PatternCounter:
         self._row_keys.clear()
         self._key_tables.clear()
         self._key_queries.clear()
+        self._key_cumsums.clear()
 
     def rebind(self, dataset: Dataset) -> "PatternCounter":
         """Point this counter at a new dataset snapshot and drop caches.
@@ -298,12 +376,25 @@ class PatternCounter:
     # -- single-pattern counting ----------------------------------------------
 
     def count(self, pattern: Pattern) -> int:
-        """Exact count ``c_D(p)`` by vectorized mask intersection."""
+        """Exact count ``c_D(p)`` by vectorized mask intersection.
+
+        The scalar reference path of the batch kernels, for equality and
+        range bindings alike: an equality contributes one ``codes ==
+        code`` mask, a range predicate ORs together one mask per
+        matching code run (missing values, code ``-1``, fall outside
+        every run and so never satisfy a predicate).
+        """
         schema = self._dataset.schema
         mask: np.ndarray | None = None
         for attribute, value in pattern.items_sorted:
-            code = schema[attribute].code_of(value)
-            column_mask = self._dataset.codes(attribute) == code
+            codes = self._dataset.codes(attribute)
+            if isinstance(value, Predicate):
+                column_mask = np.zeros(codes.shape, dtype=bool)
+                for lo, hi in schema[attribute].code_runs(value):
+                    column_mask |= (codes >= lo) & (codes < hi)
+            else:
+                code = schema[attribute].code_of(value)
+                column_mask = codes == code
             mask = column_mask if mask is None else (mask & column_mask)
             if not mask.any():
                 return 0
@@ -537,6 +628,85 @@ class PatternCounter:
             return None
         return self._key_table(attrs)
 
+    def _key_cumsum(self, attributes: tuple[str, ...]) -> np.ndarray:
+        """Exclusive prefix sums over the cached key table's counts."""
+        cum = self._key_cumsums.get(attributes)
+        if cum is None:
+            _keys, counts = self._key_table(attributes)
+            cum = np.concatenate(
+                (
+                    np.zeros(1, dtype=np.int64),
+                    np.cumsum(counts, dtype=np.int64),
+                )
+            )
+            self._key_cumsums[attributes] = cum
+        return cum
+
+    def _count_runs_mask(
+        self,
+        attributes: tuple[str, ...],
+        runs: Sequence[Sequence[tuple[int, int]]],
+    ) -> int:
+        """Mask-intersection count of one code-run row (fallback path)."""
+        mask: np.ndarray | None = None
+        for attribute, attr_runs in zip(attributes, runs):
+            codes = self._dataset.codes(attribute)
+            column_mask = np.zeros(codes.shape, dtype=bool)
+            for lo, hi in attr_runs:
+                column_mask |= (codes >= lo) & (codes < hi)
+            mask = column_mask if mask is None else (mask & column_mask)
+            if not mask.any():
+                return 0
+        assert mask is not None
+        return int(mask.sum())
+
+    def counts_for_runs(
+        self,
+        attributes: Sequence[str],
+        runs_rows: Sequence[Sequence[Sequence[tuple[int, int]]]],
+    ) -> np.ndarray:
+        """Exact counts ``c_D(p)`` for a homogeneous *code-run* batch.
+
+        The range twin of :meth:`counts_for_codes`: every pattern binds
+        exactly ``attributes``, and ``runs_rows[j][i]`` holds pattern
+        ``j``'s half-open ``(lo, hi)`` code runs on ``attributes[i]``
+        (an equality is the single run ``(code, code + 1)`` — see
+        :func:`repro.core.pattern.encode_range_groups`).  Each pattern
+        expands into Horner key segments against the same cached sorted
+        key table that serves the equality kernel, plus its cached
+        cumulative counts: one segment costs two ``searchsorted`` probes
+        — a contiguous range is as cheap as an equality.  Patterns whose
+        non-terminal range attributes would expand past the fanout cap,
+        and attribute sets whose radix product overflows 64 bits, fall
+        back to the mask path.
+        """
+        attrs = tuple(attributes)
+        runs_rows = list(runs_rows)
+        out = np.zeros(len(runs_rows), dtype=np.int64)
+        if not runs_rows:
+            return out
+        row_keys = self.encoded_rows(attrs)
+        if row_keys is None:
+            for j, runs in enumerate(runs_rows):
+                out[j] = self._count_runs_mask(attrs, runs)
+            return out
+        cards = [self._dataset.schema[a].cardinality for a in attrs]
+        seg_lo, seg_hi, owner, overflowed = expand_run_segments(
+            runs_rows, cards
+        )
+        if seg_lo.size:
+            keys, _counts = self._key_table(attrs)
+            if keys.size:
+                cum = self._key_cumsum(attrs)
+                hits = (
+                    cum[np.searchsorted(keys, seg_hi, side="left")]
+                    - cum[np.searchsorted(keys, seg_lo, side="left")]
+                )
+                np.add.at(out, owner, hits)
+        for j in overflowed:
+            out[j] = self._count_runs_mask(attrs, runs_rows[j])
+        return out
+
     def counts_for_codes(
         self, attributes: Sequence[str], combos: np.ndarray
     ) -> np.ndarray:
@@ -599,28 +769,57 @@ class PatternCounter:
     def count_many(self, patterns: Iterable[Pattern]) -> np.ndarray:
         """Exact counts ``c_D(p)`` for an arbitrary pattern batch.
 
-        The batch kernel behind workload evaluation: patterns are grouped
-        by their attribute tuple and each group is integer-encoded and
-        resolved in one vectorized lookup (see :meth:`counts_for_codes`).
-        Equivalent to ``[self.count(p) for p in patterns]`` — the scalar
-        path stays as the parity reference — but one group-by + binary
-        search instead of one mask intersection per pattern.
+        The batch kernel behind workload evaluation: equality-only
+        patterns are grouped by their attribute tuple and each group is
+        integer-encoded and resolved in one vectorized lookup (see
+        :meth:`counts_for_codes`); range-bearing patterns are grouped by
+        range signature, normalized to code runs, and resolved as key
+        segments against the same cached tables (see
+        :meth:`counts_for_runs`).  Equivalent to ``[self.count(p) for p
+        in patterns]`` — the scalar path stays as the parity reference —
+        but binary searches instead of one mask intersection per pattern.
         """
         patterns = list(patterns)
         out = np.zeros(len(patterns), dtype=np.int64)
         if not patterns:
             return out
+        schema = self._dataset.schema
+        equality, ranged = split_by_ranges(patterns)
+        if not ranged:
+            for attrs, combos, indices in encode_groups(patterns, schema):
+                out[indices] = self.counts_for_codes(attrs, combos)
+            return out
         for attrs, combos, indices in encode_groups(
-            patterns, self._dataset.schema
+            [patterns[i] for i in equality], schema
         ):
-            out[indices] = self.counts_for_codes(attrs, combos)
+            out[[equality[j] for j in indices]] = self.counts_for_codes(
+                attrs, combos
+            )
+        for order, runs_rows, indices in encode_range_groups(
+            [patterns[i] for i in ranged], schema
+        ):
+            out[[ranged[j] for j in indices]] = self.counts_for_runs(
+                order, runs_rows
+            )
         return out
 
     # -- per-attribute statistics -----------------------------------------------
 
+    def _require_attribute(self, attribute: str) -> None:
+        """Raise a self-explanatory ``KeyError`` for unknown attributes."""
+        if attribute not in self._dataset.schema:
+            known = ", ".join(
+                repr(name) for name in self._dataset.schema.names
+            )
+            raise KeyError(
+                f"no attribute named {attribute!r}; known attributes: "
+                f"{known}"
+            )
+
     def value_counts(self, attribute: str) -> dict[Hashable, int]:
         """Counts of every domain value of ``attribute`` (cached)."""
         if attribute not in self._value_counts:
+            self._require_attribute(attribute)
             self._value_counts[attribute] = self._dataset.value_counts(
                 attribute
             )
@@ -628,7 +827,14 @@ class PatternCounter:
 
     def value_count(self, attribute: str, value: Hashable) -> int:
         """Count ``c_D({A = a})`` of one attribute value."""
-        return self.value_counts(attribute)[value]
+        counts = self.value_counts(attribute)
+        try:
+            return counts[value]
+        except KeyError:
+            raise KeyError(
+                f"value {value!r} not in the active domain of attribute "
+                f"{attribute!r}"
+            ) from None
 
     def fractions(self, attribute: str) -> np.ndarray:
         """Independence factors per code of ``attribute``.
@@ -640,6 +846,7 @@ class PatternCounter:
         ``|D|`` for datasets without missing values.
         """
         if attribute not in self._fractions:
+            self._require_attribute(attribute)
             column = self._dataset.schema[attribute]
             counts = np.array(
                 [
@@ -660,6 +867,18 @@ class PatternCounter:
         """Single independence factor for ``attribute = value``."""
         code = self._dataset.schema[attribute].code_of(value)
         return float(self.fractions(attribute)[code])
+
+    def predicate_fraction(self, attribute: str, predicate) -> float:
+        """Summed independence factor of a predicate on ``attribute``.
+
+        The range generalization of :meth:`fraction`: the probability
+        mass of every domain value satisfying ``predicate``, read off
+        the cached per-code fraction array via the predicate's code
+        runs.
+        """
+        fractions = self.fractions(attribute)
+        runs = self._dataset.schema[attribute].code_runs(predicate)
+        return float(sum(fractions[lo:hi].sum() for lo, hi in runs))
 
     # -- attribute-set statistics -------------------------------------------------
 

@@ -34,7 +34,11 @@ import numpy as np
 from repro.core.counts import PatternCounter, as_counter
 from repro.core.estimator import LabelEstimator
 from repro.core.label import Label, build_label
-from repro.core.pattern import encode_groups
+from repro.core.pattern import (
+    encode_groups,
+    encode_range_groups,
+    split_by_ranges,
+)
 from repro.core.patternsets import PatternSet, full_pattern_set
 
 __all__ = [
@@ -43,6 +47,7 @@ __all__ = [
     "ErrorSummary",
     "Objective",
     "estimates_for_codes",
+    "estimates_for_runs",
     "vectorized_estimates",
     "grouped_estimates",
     "evaluate_label",
@@ -183,6 +188,57 @@ def estimates_for_codes(
     return estimates
 
 
+def _run_fraction(fractions: np.ndarray, runs) -> float:
+    """Summed independence factor of one binding's code runs.
+
+    Equality bindings arrive as the single run ``(c, c + 1)``, so this
+    reduces exactly to ``fractions[c]`` — the historical factor.
+    """
+    return float(sum(fractions[lo:hi].sum() for lo, hi in runs))
+
+
+def estimates_for_runs(
+    counter: PatternCounter,
+    label_attributes: Sequence[str],
+    order: Sequence[str],
+    runs_rows: Sequence,
+) -> np.ndarray:
+    """``Est(p, L_S(D))`` for each row of a homogeneous *code-run* batch.
+
+    The range twin of :func:`estimates_for_codes`: all patterns bind
+    exactly the attributes of ``order`` and ``runs_rows[j][i]`` holds
+    pattern ``j``'s half-open code runs on ``order[i]`` (an equality
+    binding is the single run ``(c, c + 1)``).  The base term
+    ``c_D(p|_S)`` is a batched run count over the shared attributes; the
+    independence factor of an attribute outside ``S`` is the summed
+    fraction mass of its runs.
+    """
+    order = tuple(order)
+    label_set = set(label_attributes)
+
+    shared = [a for a in order if a in label_set]
+    outside = [a for a in order if a not in label_set]
+
+    if shared:
+        positions = [order.index(a) for a in shared]
+        base = counter.counts_for_runs(
+            tuple(shared),
+            [tuple(row[i] for i in positions) for row in runs_rows],
+        ).astype(np.float64)
+    else:
+        base = np.full(len(runs_rows), float(counter.total_rows))
+
+    estimates = base
+    for attribute in outside:
+        position = order.index(attribute)
+        fractions = counter.fractions(attribute)
+        estimates = estimates * np.array(
+            [_run_fraction(fractions, row[position]) for row in runs_rows],
+            dtype=np.float64,
+        )
+    return estimates
+
+
 def vectorized_estimates(
     counter: PatternCounter,
     label_attributes: Sequence[str],
@@ -207,18 +263,31 @@ def grouped_estimates(
 ) -> np.ndarray:
     """Vectorized estimates for a *heterogeneous* pattern list.
 
-    Patterns are grouped by their attribute tuple; each group is encoded
-    into a code matrix and dispatched to :func:`estimates_for_codes`, so
-    workload-style pattern sets (mixed arities and attribute choices)
-    evaluate at vector speed instead of one Python call per pattern.
+    Patterns are grouped by their attribute tuple; equality-only groups
+    are encoded into code matrices and dispatched to
+    :func:`estimates_for_codes`, range-bearing groups into code-run rows
+    for :func:`estimates_for_runs` — so workload-style pattern sets
+    (mixed arities, attribute choices, and predicate kinds) evaluate at
+    vector speed instead of one Python call per pattern.
     """
+    patterns = list(patterns)
+    schema = counter.dataset.schema
     estimates = np.empty(len(patterns), dtype=np.float64)
-    for attrs, combos, indices in encode_groups(
-        list(patterns), counter.dataset.schema
-    ):
-        estimates[indices] = estimates_for_codes(
-            counter, label_attributes, attrs, combos
-        )
+    equality, ranged = split_by_ranges(patterns)
+    if equality:
+        for attrs, combos, indices in encode_groups(
+            [patterns[i] for i in equality], schema
+        ):
+            estimates[[equality[j] for j in indices]] = estimates_for_codes(
+                counter, label_attributes, attrs, combos
+            )
+    if ranged:
+        for order, runs_rows, indices in encode_range_groups(
+            [patterns[i] for i in ranged], schema
+        ):
+            estimates[[ranged[j] for j in indices]] = estimates_for_runs(
+                counter, label_attributes, order, runs_rows
+            )
     return estimates
 
 
@@ -288,7 +357,9 @@ class BatchLabelEvaluator:
     evaluator therefore encodes ``P`` once:
 
     * patterns are grouped by attribute tuple into code matrices (a
-      tabular set is a single group, for free);
+      tabular set is a single group, for free); range-bearing patterns
+      form their own code-run groups, scored through the same cached
+      key tables via :meth:`~repro.core.counts.PatternCounter.counts_for_runs`;
     * per group and attribute, the independence-factor column
       ``fractions(A)[codes]`` is computed lazily and cached — candidates
       share these columns, which is where the batched pass wins;
@@ -317,12 +388,20 @@ class BatchLabelEvaluator:
         )
         # Each group: (attribute tuple, code matrix, target indices).
         self._groups: list[tuple[tuple[str, ...], np.ndarray, np.ndarray]] = []
+        # Range-bearing groups: (attribute order, runs rows, indices).
+        self._range_groups: list[
+            tuple[tuple[str, ...], list, np.ndarray]
+        ] = []
         self._fraction_columns: dict[tuple[int, str], np.ndarray] = {}
+        self._range_fraction_columns: dict[tuple[int, str], np.ndarray] = {}
         # (group index, shared attribute tuple) -> estimate vector.  The
         # estimates of a group are fully determined by which of its
         # attributes the candidate covers, and candidate subsets overlap
         # heavily, so most evaluate() calls are pure cache hits.
         self._group_estimates: dict[
+            tuple[int, tuple[str, ...]], np.ndarray
+        ] = {}
+        self._range_group_estimates: dict[
             tuple[int, tuple[str, ...]], np.ndarray
         ] = {}
         if not self._vectorizable:
@@ -343,11 +422,31 @@ class BatchLabelEvaluator:
             patterns = [
                 pattern_set.pattern(i) for i in range(len(pattern_set))
             ]
+            schema = counter.dataset.schema
+            equality, ranged = split_by_ranges(patterns)
             for attrs, combos, indices in encode_groups(
-                patterns, counter.dataset.schema
+                [patterns[i] for i in equality], schema
             ):
                 self._groups.append(
-                    (attrs, combos, np.asarray(indices, dtype=np.intp))
+                    (
+                        attrs,
+                        combos,
+                        np.asarray(
+                            [equality[j] for j in indices], dtype=np.intp
+                        ),
+                    )
+                )
+            for order, runs_rows, indices in encode_range_groups(
+                [patterns[i] for i in ranged], schema
+            ):
+                self._range_groups.append(
+                    (
+                        order,
+                        runs_rows,
+                        np.asarray(
+                            [ranged[j] for j in indices], dtype=np.intp
+                        ),
+                    )
                 )
 
     @property
@@ -366,6 +465,24 @@ class BatchLabelEvaluator:
                 combos[:, position]
             ]
             self._fraction_columns[key] = column
+        return column
+
+    def _range_fraction_column(
+        self, group_index: int, attribute: str, position: int
+    ) -> np.ndarray:
+        key = (group_index, attribute)
+        column = self._range_fraction_columns.get(key)
+        if column is None:
+            _, runs_rows, _ = self._range_groups[group_index]
+            fractions = self._counter.fractions(attribute)
+            column = np.array(
+                [
+                    _run_fraction(fractions, row[position])
+                    for row in runs_rows
+                ],
+                dtype=np.float64,
+            )
+            self._range_fraction_columns[key] = column
         return column
 
     def estimates(self, label_attributes: Sequence[str]) -> np.ndarray:
@@ -399,6 +516,35 @@ class BatchLabelEvaluator:
                     group_index, attribute, position
                 )
             self._group_estimates[(group_index, shared)] = estimates
+            out[indices] = estimates
+        for group_index, (order, runs_rows, indices) in enumerate(
+            self._range_groups
+        ):
+            shared = tuple(a for a in order if a in label_set)
+            cached = self._range_group_estimates.get((group_index, shared))
+            if cached is not None:
+                out[indices] = cached
+                continue
+            if shared:
+                positions = [order.index(a) for a in shared]
+                estimates = self._counter.counts_for_runs(
+                    shared,
+                    [
+                        tuple(row[i] for i in positions)
+                        for row in runs_rows
+                    ],
+                ).astype(np.float64)
+            else:
+                estimates = np.full(
+                    len(runs_rows), float(self._counter.total_rows)
+                )
+            for position, attribute in enumerate(order):
+                if attribute in label_set:
+                    continue
+                estimates = estimates * self._range_fraction_column(
+                    group_index, attribute, position
+                )
+            self._range_group_estimates[(group_index, shared)] = estimates
             out[indices] = estimates
         return out
 

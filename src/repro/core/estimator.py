@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.counts import as_counter
 from repro.core.label import Label, build_label
-from repro.core.pattern import Pattern, group_by_attributes
+from repro.core.pattern import Pattern, Predicate, group_by_attributes
 
 __all__ = ["LabelEstimator", "MultiLabelEstimator"]
 
@@ -82,22 +82,32 @@ class LabelEstimator:
         for attribute, value in pattern.items_sorted:
             if attribute in self._attr_set:
                 continue
-            estimate *= label.value_fraction(attribute, value)
+            if isinstance(value, Predicate):
+                estimate *= label.predicate_fraction(attribute, value)
+            else:
+                estimate *= label.value_fraction(attribute, value)
         return estimate
 
     def estimate_many(self, patterns: Iterable[Pattern]) -> list[float]:
         """Batched ``Est(p, l)`` for a query list.
 
         Equivalent to ``[self.estimate(p) for p in patterns]`` but the
-        restricted base counts come from the label's cached marginal
-        tables (:meth:`~repro.core.label.Label.marginal_counts`): one
+        restricted base counts of equality patterns come from the
+        label's cached marginal tables
+        (:meth:`~repro.core.label.Label.marginal_counts`): one
         dictionary lookup per pattern instead of an ``O(|PC|)`` scan.
+        Range-bearing patterns take the scalar path — their base is a
+        predicate-filtered sum over ``PC``, which no marginal key can
+        serve.
         """
         patterns = list(patterns)
         label = self._label
         attr_set = self._attr_set
         out: list[float] = []
         for pattern in patterns:
+            if pattern.has_ranges:
+                out.append(self.estimate(pattern))
+                continue
             bound_in_s = tuple(
                 a for a in label.attributes if a in pattern
             )

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.counts import PatternCounter
 from repro.core.errors import ErrorSummary
-from repro.core.pattern import Pattern, group_by_attributes
+from repro.core.pattern import Pattern, Predicate, group_by_attributes
 from repro.core.patternsets import PatternSet, full_pattern_set
 
 __all__ = ["FlexibleLabel", "FlexibleEstimator", "greedy_flexible_label"]
@@ -131,6 +131,21 @@ class FlexibleEstimator:
             return None, float(self._label.total)
         return best, float(self._label.pc[best])
 
+    def _fraction_of(self, attribute: str, value) -> float:
+        """Independence factor of one binding (range-aware).
+
+        Equality bindings look up their value fraction directly; a range
+        predicate sums the fractions of every recorded value it matches.
+        """
+        fractions = self._fractions[attribute]
+        if isinstance(value, Predicate):
+            return sum(
+                fraction
+                for recorded, fraction in fractions.items()
+                if value.matches(recorded)
+            )
+        return fractions[value]
+
     def estimate(self, pattern: Pattern) -> float:
         """``Est(p)`` with the maximal-overlap stored base."""
         base_pattern, base = self.best_base(pattern)
@@ -141,7 +156,7 @@ class FlexibleEstimator:
         for attribute, value in pattern.items_sorted:
             if attribute in covered:
                 continue
-            estimate *= self._fractions[attribute][value]
+            estimate *= self._fraction_of(attribute, value)
         return estimate
 
     def estimate_many(self, patterns) -> list[float]:
@@ -175,7 +190,7 @@ class FlexibleEstimator:
                 for attribute, value in pattern.items_sorted:
                     if attribute in covered:
                         continue
-                    estimate *= self._fractions[attribute][value]
+                    estimate *= self._fraction_of(attribute, value)
                 out[index] = estimate
         return out
 

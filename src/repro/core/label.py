@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator, Mapping, Sequence
 
 from repro.core.counts import PatternCounter, as_counter
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, Predicate
 from repro.dataset.table import Dataset
 
 __all__ = ["Label", "build_label", "label_size"]
@@ -113,11 +113,36 @@ class Label:
         return sum(len(counts) for counts in self.vc.values())
 
     def pattern_count(self, pattern: Pattern) -> int | None:
-        """Exact stored count when ``Attr(p) == S``; ``None`` otherwise."""
+        """Exact stored count when ``Attr(p) == S``; ``None`` otherwise.
+
+        Range-bearing patterns over exactly ``S`` resolve through the
+        predicate sum over the fully-bound ``PC`` entries (exact on
+        relations without missing values, where ``PC`` is the complete
+        joint over ``S``).
+        """
         if pattern.attributes != tuple(sorted(self.attributes)):
             return None
+        if pattern.has_ranges:
+            return self._predicate_sum(pattern)
         combo = tuple(pattern[a] for a in self.attributes)
         return self.pc.get(combo, 0)
+
+    def _predicate_sum(self, pattern: Pattern) -> int:
+        """Sum of fully-bound ``PC`` entries satisfying every predicate."""
+        positions = [
+            (i, pattern.predicate(a))
+            for i, a in enumerate(self.attributes)
+            if a in pattern
+        ]
+        total = 0
+        for combo, count in self.pc.items():
+            if None in combo:
+                continue  # partial-support keys are served exactly, not summed
+            if all(
+                predicate.matches(combo[i]) for i, predicate in positions
+            ):
+                total += count
+        return total
 
     def restricted_count(self, pattern: Pattern) -> int:
         """Count ``c_D(p)`` of a pattern binding a *subset* of ``S``.
@@ -131,16 +156,21 @@ class Label:
            labeled relation has no missing values, because ``PC`` is
            then the complete joint over ``S``.
 
-        For missing-value relations the fallback can undercount (tuples
-        undefined on part of ``S`` are invisible to fully-bound
-        entries); the Appendix A reduction only ever queries restrictions
-        that are stored keys, so its estimates stay exact.
+        Range-bearing patterns always resolve through path 2, with each
+        stored combination filtered by the pattern's predicates (ranges
+        are never stored keys).  For missing-value relations the
+        fallback can undercount (tuples undefined on part of ``S`` are
+        invisible to fully-bound entries); the Appendix A reduction only
+        ever queries restrictions that are stored keys, so its estimates
+        stay exact.
         """
         if not set(pattern.attributes) <= set(self.attributes):
             raise ValueError(
                 f"pattern binds {pattern.attributes}, not all within the "
                 f"label's attribute set {self.attributes}"
             )
+        if pattern.has_ranges:
+            return self._predicate_sum(pattern)
         exact_key = tuple(
             pattern.get(attribute) for attribute in self.attributes
         )
@@ -199,6 +229,28 @@ class Label:
             raise KeyError(
                 f"value {value!r} not recorded for attribute {attribute!r}"
             ) from None
+
+    def predicate_fraction(
+        self, attribute: str, predicate: Predicate
+    ) -> float:
+        """Summed independence factor of a predicate on ``attribute``.
+
+        The range generalization of :meth:`value_fraction`: the fraction
+        mass of every recorded value satisfying ``predicate``, read from
+        the label's own ``VC`` — labels stay self-contained for range
+        workloads too.
+        """
+        try:
+            fractions = self._fractions[attribute]
+        except KeyError:
+            raise KeyError(
+                f"attribute {attribute!r} not recorded in VC"
+            ) from None
+        return sum(
+            fraction
+            for value, fraction in fractions.items()
+            if predicate.matches(value)
+        )
 
     def iter_pc_patterns(self) -> Iterator[tuple[Pattern, int]]:
         """Iterate ``PC`` entries as :class:`Pattern` objects."""

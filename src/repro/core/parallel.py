@@ -179,6 +179,12 @@ def _run_shard_task(shard_index: int, method: str, payload: Any) -> Any:
     if method == "counts_for_codes":
         attrs, combos = payload
         return counter.counts_for_codes(attrs, combos)
+    if method == "counts_for_runs":
+        # Range predicates cross the process boundary as half-open code
+        # runs — plain ints, so the payload pickles without touching any
+        # shard data.
+        attrs, runs_rows = payload
+        return counter.counts_for_runs(attrs, runs_rows)
     raise ValueError(f"unknown shard task {method!r}")
 
 

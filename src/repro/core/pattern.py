@@ -1,45 +1,169 @@
-"""Patterns: attribute-value combinations (Definition 2.1) and grouping.
+"""Patterns: attribute predicates (Definition 2.1, extended) and grouping.
 
-A :class:`Pattern` is an immutable mapping from attribute names to domain
-values, e.g. ``Pattern({"age group": "under 20", "marital status":
-"single"})``.  A tuple *satisfies* a pattern when it carries exactly the
-pattern's value on every pattern attribute (Definition 2.3); the *count*
-``c_D(p)`` is the number of satisfying tuples.
+A :class:`Pattern` is an immutable mapping from attribute names to
+*predicates*.  The paper's patterns are pure equalities — ``Pattern({"age
+group": "under 20"})`` — and that construction is unchanged.  A binding
+may also be a :class:`Predicate` (or its spec form, a one-key mapping
+``{op: bound}`` with ``op`` from :data:`OPS`), turning the pattern into a
+mixed equality/range filter: ``Pattern({"age": {">=": 30}, "gender":
+"F"})``.  A tuple *satisfies* a pattern when every bound attribute's
+value passes its predicate (Definition 2.3 for equalities, the natural
+interval reading for ranges); the *count* ``c_D(p)`` is the number of
+satisfying tuples.
 
 Patterns are hashable and order-insensitive: two patterns with the same
-attribute-value pairs are equal regardless of construction order.
+attribute-predicate pairs are equal regardless of construction order.
+Equality bindings are stored as the raw domain value — exactly as before
+this module knew about ranges — so pure-equality patterns hash, compare,
+and iterate identically to their historical selves.
 
-:func:`encode_groups` is the shared front half of every batch path: a
-mixed workload is grouped by attribute tuple and each group is encoded
+:func:`encode_groups` is the shared front half of every equality batch
+path: a workload is grouped by attribute tuple and each group is encoded
 into one integer code matrix, ready for the vectorized kernels.
+:func:`encode_range_groups` is its interval twin: range-bearing patterns
+are grouped by (attributes, range signature) and every binding is
+normalized to half-open code runs over the attribute's sorted domain.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Mapping, Sequence
+import operator
+from typing import Any, Hashable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["Pattern", "group_by_attributes", "encode_groups"]
+__all__ = [
+    "OPS",
+    "Predicate",
+    "Pattern",
+    "group_by_attributes",
+    "encode_groups",
+    "encode_range_groups",
+    "split_by_ranges",
+]
+
+#: Supported predicate operators, in spec syntax.
+OPS = ("=", "<", "<=", ">", ">=")
+
+_OP_FUNCS = {
+    "=": operator.eq,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """A single-attribute predicate: ``tuple value <op> bound``.
+
+    ``op`` is one of :data:`OPS`.  Equality predicates exist for
+    uniformity (``Pattern.predicate`` always returns one) but are
+    *canonicalized away* inside :class:`Pattern`: an ``{"=": v}`` or
+    ``Predicate("=", v)`` binding is stored as the bare value ``v``, so
+    it is indistinguishable from historical equality construction.
+
+    Range predicates order values under Python's comparison operators —
+    for string domains (all shipped datasets) that is lexicographic
+    order, matching the ``repr``-sorted active domains.
+    """
+
+    __slots__ = ("op", "value")
+
+    def __init__(self, op: str, value: Hashable) -> None:
+        if op not in _OP_FUNCS:
+            raise ValueError(
+                f"unknown predicate operator {op!r}; expected one of: "
+                + ", ".join(OPS)
+            )
+        if value is None:
+            raise ValueError(
+                "None is not a predicate bound (missing values never "
+                "satisfy a pattern)"
+            )
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Predicate is immutable")
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    def matches(self, value: Any) -> bool:
+        """Does ``value`` satisfy this predicate?  ``None`` never does.
+
+        Range comparison against an unorderable value (e.g. a string
+        category vs. an integer bound) raises ``TypeError`` — callers
+        holding the attribute name wrap it with context.
+        """
+        if value is None:
+            return False
+        return bool(_OP_FUNCS[self.op](value, self.value))
+
+    @staticmethod
+    def normalize(spec: Any) -> "Hashable | Predicate":
+        """Canonical stored form of a binding spec.
+
+        Accepts a raw domain value (equality), a :class:`Predicate`, or
+        a one-key mapping ``{op: bound}``.  Equality specs collapse to
+        the raw value; range specs collapse to a :class:`Predicate`.
+        """
+        if isinstance(spec, Predicate):
+            return spec.value if spec.op == "=" else spec
+        if isinstance(spec, Mapping):
+            if len(spec) != 1:
+                raise ValueError(
+                    f"a predicate spec must have exactly one operator "
+                    f"key from {OPS}, got {dict(spec)!r}"
+                )
+            ((op, bound),) = spec.items()
+            if op not in _OP_FUNCS:
+                raise ValueError(
+                    f"unknown predicate operator {op!r}; expected one "
+                    "of: " + ", ".join(OPS)
+                )
+            if op == "=":
+                return bound
+            return Predicate(op, bound)
+        return spec
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Predicate):
+            return self.op == other.op and self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Predicate, self.op, self.value))
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.op!r}, {self.value!r})"
 
 
 class Pattern(Mapping[str, Hashable]):
-    """An immutable attribute → value mapping.
+    """An immutable attribute → predicate mapping.
 
     Parameters
     ----------
     assignments:
-        Mapping (or iterable of pairs) from attribute name to domain value.
+        Mapping (or iterable of pairs) from attribute name to a binding
+        spec: a raw domain value (equality), a :class:`Predicate`, or a
+        one-key ``{op: bound}`` mapping with ``op`` from :data:`OPS`.
         Must be non-empty; an empty pattern would be satisfied by every
         tuple and is not a pattern under Definition 2.1.
     """
 
-    __slots__ = ("_items", "_lookup", "_hash")
+    __slots__ = ("_items", "_lookup", "_hash", "_has_ranges")
 
     def __init__(
         self, assignments: Mapping[str, Hashable] | Iterator[tuple[str, Hashable]]
     ) -> None:
-        items = tuple(sorted(dict(assignments).items(), key=lambda kv: kv[0]))
+        raw = dict(assignments)
+        items = tuple(
+            (attribute, Predicate.normalize(raw[attribute]))
+            for attribute in sorted(raw)
+        )
         if not items:
             raise ValueError("a pattern must bind at least one attribute")
         for attribute, value in items:
@@ -56,6 +180,9 @@ class Pattern(Mapping[str, Hashable]):
         self._items = items
         self._lookup = dict(items)
         self._hash = hash(items)
+        self._has_ranges = any(
+            isinstance(value, Predicate) for _, value in items
+        )
 
     # -- mapping protocol ---------------------------------------------------------
 
@@ -77,7 +204,12 @@ class Pattern(Mapping[str, Hashable]):
         return NotImplemented
 
     def __repr__(self) -> str:
-        body = ", ".join(f"{a}={v!r}" for a, v in self._items)
+        body = ", ".join(
+            f"{a}{v.op}{v.value!r}"
+            if isinstance(v, Predicate)
+            else f"{a}={v!r}"
+            for a, v in self._items
+        )
         return f"Pattern({body})"
 
     # -- paper notation -----------------------------------------------------------
@@ -89,8 +221,41 @@ class Pattern(Mapping[str, Hashable]):
 
     @property
     def items_sorted(self) -> tuple[tuple[str, Hashable], ...]:
-        """Canonical (attribute-sorted) item tuple."""
+        """Canonical (attribute-sorted) item tuple.
+
+        Equality bindings appear as raw domain values (the historical
+        shape); range bindings appear as :class:`Predicate` objects.
+        """
         return self._items
+
+    # -- predicates ---------------------------------------------------------------
+
+    @property
+    def has_ranges(self) -> bool:
+        """True when at least one binding is a range predicate."""
+        return self._has_ranges
+
+    @property
+    def range_attributes(self) -> tuple[str, ...]:
+        """The attributes bound by range predicates (sorted)."""
+        return tuple(
+            a for a, v in self._items if isinstance(v, Predicate)
+        )
+
+    def predicate(self, attribute: str) -> Predicate:
+        """The binding of ``attribute`` as a uniform :class:`Predicate`."""
+        value = self._lookup[attribute]
+        if isinstance(value, Predicate):
+            return value
+        return Predicate("=", value)
+
+    def to_spec(self) -> dict[str, Any]:
+        """JSON-ready spec: raw values for equalities, ``{op: bound}``
+        one-key dicts for ranges.  ``Pattern(p.to_spec()) == p``."""
+        return {
+            a: {v.op: v.value} if isinstance(v, Predicate) else v
+            for a, v in self._items
+        }
 
     def restrict(self, attributes) -> "Pattern | None":
         """``p|_S``: the pattern restricted to the given attribute set.
@@ -128,9 +293,14 @@ class Pattern(Mapping[str, Hashable]):
 
     def matches_row(self, row: Mapping[str, Hashable]) -> bool:
         """Tuple satisfaction (Definition 2.3) against a row dict."""
-        return all(
-            row.get(attribute) == value for attribute, value in self._items
-        )
+        for attribute, value in self._items:
+            actual = row.get(attribute)
+            if isinstance(value, Predicate):
+                if not value.matches(actual):
+                    return False
+            elif actual != value:
+                return False
+        return True
 
 
 def group_by_attributes(
@@ -162,6 +332,12 @@ def encode_groups(
     resolves a domain value (unknown values raise, exactly like the
     scalar paths).
     """
+    for pattern in patterns:
+        if pattern.has_ranges:
+            raise ValueError(
+                f"encode_groups is equality-only; {pattern!r} binds a "
+                "range predicate — route it through encode_range_groups"
+            )
     encoded = []
     for attrs, indices in group_by_attributes(patterns).items():
         combos = np.array(
@@ -172,4 +348,68 @@ def encode_groups(
             dtype=np.int32,
         )
         encoded.append((attrs, combos, indices))
+    return encoded
+
+
+def split_by_ranges(
+    patterns: Sequence["Pattern"],
+) -> tuple[list[int], list[int]]:
+    """Partition workload indices into (equality-only, range-bearing).
+
+    The shared dispatch seam of every batch path: equality indices flow
+    to :func:`encode_groups` and the historical code-matrix kernels
+    (byte-for-byte unchanged), range indices to
+    :func:`encode_range_groups` and the code-run kernels.
+    """
+    equality: list[int] = []
+    ranged: list[int] = []
+    for index, pattern in enumerate(patterns):
+        (ranged if pattern.has_ranges else equality).append(index)
+    return equality, ranged
+
+
+def encode_range_groups(
+    patterns: Sequence["Pattern"], schema
+) -> list[tuple[tuple[str, ...], list[tuple], list[int]]]:
+    """Group range-bearing patterns and normalize bindings to code runs.
+
+    Returns one ``(order, runs_rows, indices)`` triple per distinct
+    ``(attributes, range-attributes)`` signature:
+
+    * ``order`` — the group's attributes in kernel order: equality-bound
+      attributes first (sorted), then range attributes by ascending
+      domain cardinality.  The widest range thus lands in the
+      least-significant radix position, where a run of ``w`` adjacent
+      codes costs one ``searchsorted`` segment instead of ``w`` prefix
+      expansions.
+    * ``runs_rows[j][i]`` — the half-open ``(lo, hi)`` code runs of
+      pattern ``patterns[indices[j]]`` on attribute ``order[i]``
+      (equality bindings contribute the single run ``(code, code+1)``).
+
+    ``schema`` is any mapping-style schema whose columns expose
+    ``code_runs`` (see :meth:`repro.dataset.schema.Column.code_runs`).
+    The payload is plain Python ints and tuples on purpose: it crosses
+    the worker-pool process boundary as-is.
+    """
+    groups: dict[tuple[tuple[str, ...], tuple[str, ...]], list[int]] = {}
+    for index, pattern in enumerate(patterns):
+        key = (pattern.attributes, pattern.range_attributes)
+        groups.setdefault(key, []).append(index)
+    encoded = []
+    for (attrs, range_attrs), indices in groups.items():
+        range_set = set(range_attrs)
+        ranged = sorted(
+            range_attrs, key=lambda a: (schema[a].cardinality, a)
+        )
+        order = tuple(
+            a for a in attrs if a not in range_set
+        ) + tuple(ranged)
+        runs_rows = [
+            tuple(
+                schema[a].code_runs(patterns[i].predicate(a))
+                for a in order
+            )
+            for i in indices
+        ]
+        encoded.append((order, runs_rows, indices))
     return encoded

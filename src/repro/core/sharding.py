@@ -43,9 +43,19 @@ from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.counts import PatternCounter, is_counter_like, radix_fits
+from repro.core.counts import (
+    PatternCounter,
+    expand_run_segments,
+    is_counter_like,
+    radix_fits,
+)
 from repro.core.parallel import chunk_bounds as _chunk_ranges
-from repro.core.pattern import Pattern, encode_groups
+from repro.core.pattern import (
+    Pattern,
+    encode_groups,
+    encode_range_groups,
+    split_by_ranges,
+)
 from repro.dataset.schema import MISSING_CODE, Schema
 from repro.dataset.table import Dataset, combine_codes
 
@@ -336,6 +346,9 @@ class ShardedPatternCounter:
         self._merged_key_tables: dict[
             tuple[str, ...], tuple[np.ndarray, np.ndarray] | None
         ] = {}
+        # Exclusive prefix sums over the merged key tables' counts: the
+        # range kernel's companion cache (see counts_for_runs).
+        self._merged_key_cumsums: dict[tuple[str, ...], np.ndarray] = {}
 
     # -- constructors -------------------------------------------------------------
 
@@ -445,6 +458,7 @@ class ShardedPatternCounter:
         self._label_sizes.clear()
         self._full_rows = None
         self._merged_key_tables.clear()
+        self._merged_key_cumsums.clear()
         # The pool's shard references are frozen at pool build, so a
         # shard change retires it; the next parallel query re-creates it
         # over the new shard set.
@@ -716,27 +730,150 @@ class ShardedPatternCounter:
         found = keys[idx_clamped] == query_keys
         return np.where(found, counts[idx_clamped], 0).astype(np.int64)
 
+    def _merged_key_cumsum(self, attrs: tuple[str, ...]) -> np.ndarray:
+        """Exclusive prefix sums over the merged key table's counts."""
+        cum = self._merged_key_cumsums.get(attrs)
+        if cum is None:
+            table = self._merged_key_table(attrs)
+            assert table is not None  # caller checked
+            cum = np.concatenate(
+                (
+                    np.zeros(1, dtype=np.int64),
+                    np.cumsum(table[1], dtype=np.int64),
+                )
+            )
+            self._merged_key_cumsums[attrs] = cum
+        return cum
+
+    def counts_for_runs(
+        self,
+        attributes: Sequence[str],
+        runs_rows: Sequence[Sequence[Sequence[tuple[int, int]]]],
+    ) -> np.ndarray:
+        """Exact batched counts for a homogeneous *code-run* batch.
+
+        The range twin of :meth:`counts_for_codes`: patterns arrive as
+        per-attribute half-open code runs (see
+        :func:`repro.core.pattern.encode_range_groups`) and are expanded
+        into Horner key segments against the merged sorted key table —
+        one segment costs two ``searchsorted`` probes into the cached
+        cumulative counts, exactly like the single counter.  When the
+        radix encoding cannot serve the attribute set, the per-shard
+        answers are summed instead — fanned out over the worker pool
+        when one is active, with the code runs themselves (plain Python
+        ints) crossing the process boundary as the task payload.
+        """
+        attrs = tuple(attributes)
+        runs_rows = list(runs_rows)
+        out = np.zeros(len(runs_rows), dtype=np.int64)
+        if not runs_rows:
+            return out
+        table = self._merged_key_table(attrs)
+        if table is None:
+            return self._counts_for_runs_per_shard(attrs, runs_rows)
+        seg_lo, seg_hi, owner, overflowed = expand_run_segments(
+            runs_rows, [self._schema[a].cardinality for a in attrs]
+        )
+        keys, _counts = table
+        if seg_lo.size and keys.size:
+            cum = self._merged_key_cumsum(attrs)
+            hits = (
+                cum[np.searchsorted(keys, seg_hi, side="left")]
+                - cum[np.searchsorted(keys, seg_lo, side="left")]
+            )
+            np.add.at(out, owner, hits)
+        if overflowed:
+            rows = [runs_rows[j] for j in overflowed]
+            fallback = self._counts_for_runs_per_shard(attrs, rows)
+            out[overflowed] = fallback
+        return out
+
+    def _counts_for_runs_per_shard(
+        self,
+        attrs: tuple[str, ...],
+        runs_rows: list,
+    ) -> np.ndarray:
+        """Sum per-shard ``counts_for_runs`` answers (pool-parallel)."""
+        if self._parallel_active():
+            pool = self._get_pool()
+            chunks = _chunk_ranges(
+                len(runs_rows), pool.chunk_count(len(runs_rows))
+            )
+            tasks = [
+                (
+                    shard_index,
+                    "counts_for_runs",
+                    (attrs, runs_rows[start:stop]),
+                )
+                for shard_index in range(len(self._counters))
+                for start, stop in chunks
+            ]
+            results = self._run_parallel(tasks)
+            out = np.zeros(len(runs_rows), dtype=np.int64)
+            position = 0
+            for _ in range(len(self._counters)):
+                for start, stop in chunks:
+                    out[start:stop] += np.asarray(
+                        results[position], dtype=np.int64
+                    )
+                    position += 1
+            return out
+        total: np.ndarray | None = None
+        for counter in self._counters:
+            part = counter.counts_for_runs(attrs, runs_rows)
+            total = part if total is None else total + part
+        assert total is not None  # >= 1 shard guaranteed
+        return total
+
     def count_many(self, patterns: Iterable[Pattern]) -> np.ndarray:
         """Exact counts for an arbitrary pattern batch.
 
         Patterns are encoded once (shared with the single-counter batch
-        kernel) and each code group is resolved against every shard's
-        cached key tables; group sums are exact by additivity.
+        kernel) and each group — equality code matrices and range
+        code-run groups alike — is resolved against the merged key
+        tables; group sums are exact by additivity.
         """
         patterns = list(patterns)
         out = np.zeros(len(patterns), dtype=np.int64)
         if not patterns:
             return out
-        for attrs, combos, indices in encode_groups(patterns, self.schema):
-            out[indices] = self.counts_for_codes(attrs, combos)
+        equality, ranged = split_by_ranges(patterns)
+        if not ranged:
+            for attrs, combos, indices in encode_groups(
+                patterns, self.schema
+            ):
+                out[indices] = self.counts_for_codes(attrs, combos)
+            return out
+        for attrs, combos, indices in encode_groups(
+            [patterns[i] for i in equality], self.schema
+        ):
+            out[[equality[j] for j in indices]] = self.counts_for_codes(
+                attrs, combos
+            )
+        for order, runs_rows, indices in encode_range_groups(
+            [patterns[i] for i in ranged], self.schema
+        ):
+            out[[ranged[j] for j in indices]] = self.counts_for_runs(
+                order, runs_rows
+            )
         return out
 
     # -- per-attribute statistics ---------------------------------------------------
+
+    def _require_attribute(self, attribute: str) -> None:
+        """Raise a self-explanatory ``KeyError`` for unknown attributes."""
+        if attribute not in self._schema:
+            known = ", ".join(repr(name) for name in self._schema.names)
+            raise KeyError(
+                f"no attribute named {attribute!r}; known attributes: "
+                f"{known}"
+            )
 
     def value_counts(self, attribute: str) -> dict[Hashable, int]:
         """Merged value counts (domains are shared, so keys align)."""
         cached = self._value_counts.get(attribute)
         if cached is None:
+            self._require_attribute(attribute)
             merged: dict[Hashable, int] = {}
             for counter in self._counters:
                 for value, count in counter.value_counts(attribute).items():
@@ -745,12 +882,20 @@ class ShardedPatternCounter:
         return cached
 
     def value_count(self, attribute: str, value: Hashable) -> int:
-        return self.value_counts(attribute)[value]
+        counts = self.value_counts(attribute)
+        try:
+            return counts[value]
+        except KeyError:
+            raise KeyError(
+                f"value {value!r} not in the active domain of attribute "
+                f"{attribute!r}"
+            ) from None
 
     def fractions(self, attribute: str) -> np.ndarray:
         """Global independence factors, from the merged value counts."""
         cached = self._fractions.get(attribute)
         if cached is None:
+            self._require_attribute(attribute)
             column = self.schema[attribute]
             counts = np.array(
                 [
@@ -771,6 +916,12 @@ class ShardedPatternCounter:
     def fraction(self, attribute: str, value: Hashable) -> float:
         code = self.schema[attribute].code_of(value)
         return float(self.fractions(attribute)[code])
+
+    def predicate_fraction(self, attribute: str, predicate) -> float:
+        """Summed independence factor of a predicate on ``attribute``."""
+        fractions = self.fractions(attribute)
+        runs = self.schema[attribute].code_runs(predicate)
+        return float(sum(fractions[lo:hi].sum() for lo, hi in runs))
 
     # -- attribute-set statistics ---------------------------------------------------
 

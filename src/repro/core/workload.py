@@ -28,11 +28,12 @@ import itertools
 import numpy as np
 
 from repro.core.counts import PatternCounter
-from repro.core.pattern import Pattern
+from repro.core.pattern import Pattern, Predicate
 from repro.core.patternsets import PatternSet
 
 __all__ = [
     "random_pattern_workload",
+    "random_mixed_workload",
     "arity_pattern_set",
     "marginals_pattern_set",
 ]
@@ -66,6 +67,21 @@ def random_pattern_workload(
         Inclusive bounds on the number of bound attributes; ``max_arity``
         defaults to the full attribute count.
     """
+    patterns = _draw_tuple_patterns(
+        counter, n_patterns, rng, min_arity=min_arity, max_arity=max_arity
+    )
+    return PatternSet.from_patterns(counter, patterns)
+
+
+def _draw_tuple_patterns(
+    counter: PatternCounter,
+    n_patterns: int,
+    rng: np.random.Generator,
+    *,
+    min_arity: int,
+    max_arity: int | None,
+) -> list[Pattern]:
+    """The shared tuple-sampling loop behind the workload generators."""
     if n_patterns < 1:
         raise ValueError("n_patterns must be positive")
     dataset = counter.dataset
@@ -98,6 +114,61 @@ def random_pattern_workload(
         patterns.append(
             Pattern({present[i]: row[present[i]] for i in chosen})
         )
+    return patterns
+
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def _is_orderable(column) -> bool:
+    """True when every pair of the column's categories can be compared."""
+    try:
+        sorted(value for value in column.categories if value is not None)
+    except TypeError:
+        return False
+    return True
+
+
+def random_mixed_workload(
+    counter: PatternCounter,
+    n_patterns: int,
+    rng: np.random.Generator,
+    *,
+    min_arity: int = 1,
+    max_arity: int | None = None,
+    range_share: float = 0.5,
+) -> PatternSet:
+    """Draw a workload mixing equality and range predicates.
+
+    Patterns are sampled from data tuples exactly as in
+    :func:`random_pattern_workload`; each pattern is then, with
+    probability ``range_share``, converted to a *range* pattern by
+    replacing one randomly-chosen binding's equality value with a
+    comparison predicate anchored at that value (operator drawn
+    uniformly from ``<``, ``<=``, ``>``, ``>=``).  Only attributes
+    whose active domain is totally orderable are eligible anchors —
+    mixed-type domains keep their equality bindings.
+
+    This is the workload shape of the range benchmarks: roughly half
+    the queries exercise the code-run kernel, the other half the
+    historical equality kernels, through the same batched entry point.
+    """
+    if not 0.0 <= range_share <= 1.0:
+        raise ValueError("range_share must be within [0, 1]")
+    drawn = _draw_tuple_patterns(
+        counter, n_patterns, rng, min_arity=min_arity, max_arity=max_arity
+    )
+    schema = counter.dataset.schema
+    orderable = {column.name: _is_orderable(column) for column in schema}
+    patterns: list[Pattern] = []
+    for pattern in drawn:
+        spec = dict(pattern.items_sorted)
+        eligible = [a for a in spec if orderable[a]]
+        if eligible and float(rng.random()) < range_share:
+            attribute = eligible[int(rng.integers(0, len(eligible)))]
+            op = _RANGE_OPS[int(rng.integers(0, len(_RANGE_OPS)))]
+            spec[attribute] = Predicate(op, spec[attribute])
+        patterns.append(Pattern(spec))
     return PatternSet.from_patterns(counter, patterns)
 
 

@@ -39,6 +39,9 @@ class Column:
     _index: Mapping[Hashable, int] = field(
         init=False, repr=False, compare=False, hash=False, default=None
     )
+    _run_cache: dict = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -53,6 +56,7 @@ class Column:
                 )
             index[category] = position
         object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_run_cache", {})
 
     @property
     def cardinality(self) -> int:
@@ -87,6 +91,59 @@ class Column:
     def with_name(self, name: str) -> "Column":
         """Return a copy of this column under a different ``name``."""
         return Column(name, self.categories)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def matching_codes(self, predicate) -> tuple[int, ...]:
+        """Codes of every category satisfying ``predicate``, ascending.
+
+        ``predicate`` is a :class:`repro.core.pattern.Predicate` (duck
+        typed: anything with ``op``, ``value`` and ``matches``).  An
+        equality predicate resolves through the domain index — unknown
+        values raise ``KeyError`` exactly like :meth:`code_of`.  Range
+        predicates scan the domain; a bound that cannot be ordered
+        against the categories raises a ``TypeError`` naming the
+        attribute.  A range matching nothing returns the empty tuple
+        (the pattern simply has count zero).
+        """
+        if predicate.op == "=":
+            return (self.code_of(predicate.value),)
+        matched = []
+        for code, category in enumerate(self.categories):
+            try:
+                hit = predicate.matches(category)
+            except TypeError:
+                raise TypeError(
+                    f"attribute {self.name!r}: cannot order category "
+                    f"{category!r} against bound {predicate.value!r}"
+                ) from None
+            if hit:
+                matched.append(code)
+        return tuple(matched)
+
+    def code_runs(self, predicate) -> tuple[tuple[int, int], ...]:
+        """``predicate`` as maximal half-open ``(lo, hi)`` code runs.
+
+        The active domain is sorted by ``repr``, not by value, so a
+        value interval is a *union of contiguous code runs*, not always
+        one run (codes of "10" and "9" are not adjacent in a numeric
+        string domain).  Runs are merged maximally: a predicate matching
+        the whole domain collapses to the single run ``(0, cardinality)``
+        and an equality to ``(code, code + 1)``.  Cached per
+        ``(op, bound)`` — repeat workloads normalize for free.
+        """
+        key = (predicate.op, predicate.value)
+        cached = self._run_cache.get(key)
+        if cached is None:
+            runs = []
+            for code in self.matching_codes(predicate):
+                if runs and runs[-1][1] == code:
+                    runs[-1][1] = code + 1
+                else:
+                    runs.append([code, code + 1])
+            cached = tuple((lo, hi) for lo, hi in runs)
+            self._run_cache[key] = cached
+        return cached
 
 
 class Schema:

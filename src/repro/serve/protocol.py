@@ -102,7 +102,10 @@ class EstimateRequest:
 
         Accepts ``{"pattern": {attr: value, ...}}`` for one pattern or
         ``{"patterns": [{...}, ...]}`` for a batch; values follow the
-        artifact convention (CSV-born labels store strings).
+        artifact convention (CSV-born labels store strings).  A binding
+        value may also be a one-key operator object — ``{"age": {">=":
+        "30"}}`` — selecting the range predicate instead of equality
+        (the operators of ``repro.core.pattern.OPS``).
         """
         if not isinstance(payload, Mapping):
             raise BadRequestError(
@@ -139,12 +142,15 @@ class EstimateRequest:
         return cls(label=label, patterns=tuple(patterns))
 
     def to_payload(self) -> dict[str, Any]:
-        """The JSON body shape (used by the ``repro query`` client)."""
+        """The JSON body shape (used by the ``repro query`` client).
+
+        Bindings serialize through ``Pattern.to_spec`` so range
+        predicates become the same one-key operator objects
+        ``from_payload`` parses.
+        """
         if len(self.patterns) == 1:
-            return {"pattern": dict(self.patterns[0].items_sorted)}
-        return {
-            "patterns": [dict(p.items_sorted) for p in self.patterns]
-        }
+            return {"pattern": self.patterns[0].to_spec()}
+        return {"patterns": [p.to_spec() for p in self.patterns]}
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""The repro-label/2 envelope: shapes, errors, and back-compat."""
+"""The repro-label/3 envelope: shapes, errors, and back-compat."""
 
 from __future__ import annotations
 
@@ -17,6 +17,7 @@ from repro.api import (
 )
 from repro.core.flexlabel import FlexibleEstimator, FlexibleLabel
 from repro.core.label import Label
+from repro.core.pattern import Predicate
 
 
 @pytest.fixture
@@ -94,9 +95,19 @@ class TestParsing:
         with pytest.raises(ArtifactError, match="'label', 'flexible'"):
             from_artifact({"format": ARTIFACT_FORMAT, "kind": "sketch"})
 
-    def test_unknown_format_version(self):
-        with pytest.raises(ArtifactError, match="repro-label/2"):
+    def test_unknown_format_version_lists_supported(self):
+        with pytest.raises(
+            ArtifactError, match=r"repro-label/2.*repro-label/3"
+        ):
             from_artifact({"format": "repro-label/99", "kind": "label"})
+
+    def test_v2_envelope_still_loads(self, label):
+        """A pre-range envelope (format repro-label/2) parses unchanged."""
+        payload = to_artifact(label)
+        assert payload["format"] == "repro-label/3"
+        legacy = dict(payload, format="repro-label/2")
+        parsed = from_artifact(json.dumps(legacy))
+        assert parsed == label
 
     def test_not_json(self):
         with pytest.raises(ArtifactError, match="not valid JSON"):
@@ -113,6 +124,42 @@ class TestParsing:
     def test_bare_object_without_label_keys(self):
         with pytest.raises(ArtifactError, match="legacy bare label"):
             from_artifact({"something": "else"})
+
+
+class TestRangeBindings:
+    """Range predicates in flexible labels survive the wire format."""
+
+    @pytest.fixture
+    def ranged(self, figure2, figure2_counter) -> FlexibleLabel:
+        pattern = Pattern(
+            {"gender": "Female", "race": Predicate(">=", "Hispanic")}
+        )
+        return FlexibleLabel(
+            pc={pattern: figure2_counter.count(pattern)},
+            vc={
+                col.name: figure2_counter.value_counts(col.name)
+                for col in figure2.schema
+            },
+            total=figure2.n_rows,
+            attribute_order=figure2.attribute_names,
+        )
+
+    def test_range_bindings_serialize_as_operator_objects(self, ranged):
+        payload = to_artifact(ranged)
+        assert payload["format"] == "repro-label/3"
+        entry = payload["flexible"]["pc"][0]
+        assert entry["bindings"] == {
+            "gender": "Female",
+            "race": {">=": "Hispanic"},
+        }
+        json.dumps(payload)  # operator objects are plain JSON
+
+    def test_range_round_trip(self, ranged):
+        parsed = from_artifact(json.dumps(to_artifact(ranged)))
+        assert isinstance(parsed, FlexibleLabel)
+        assert parsed == ranged
+        (pattern,) = parsed.pc
+        assert pattern["race"] == Predicate(">=", "Hispanic")
 
 
 class TestEstimatorFromArtifact:

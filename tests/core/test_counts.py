@@ -73,6 +73,21 @@ class TestValueStatistics:
         counter = PatternCounter(data)
         assert counter.fraction("a", "x") == pytest.approx(2 / 3)
 
+    def test_unknown_attribute_error_names_itself_and_the_known(
+        self, figure2_counter
+    ):
+        """The KeyError names the bad attribute AND the valid ones."""
+        for method in (
+            figure2_counter.value_counts,
+            figure2_counter.fractions,
+        ):
+            with pytest.raises(KeyError) as info:
+                method("zodiac")
+            message = str(info.value)
+            assert "'zodiac'" in message
+            assert "known attributes" in message
+            assert "gender" in message and "race" in message
+
 
 class TestAttributeSetStatistics:
     def test_label_size_example_2_10(self, figure2_counter):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pattern import Pattern
+from repro.core.pattern import OPS, Pattern, Predicate, encode_groups
 
 
 class TestConstruction:
@@ -91,3 +91,101 @@ class TestOperations:
         assert pattern.matches_row({"a": 1, "b": 2, "c": 3})
         assert not pattern.matches_row({"a": 1, "b": 9})
         assert not pattern.matches_row({"a": 1})  # b missing
+
+
+class TestPredicate:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown predicate operator"):
+            Predicate("!=", 3)
+
+    def test_none_bound_rejected(self):
+        with pytest.raises(ValueError, match="None"):
+            Predicate(">=", None)
+
+    def test_immutable(self):
+        predicate = Predicate(">=", 3)
+        with pytest.raises(AttributeError, match="immutable"):
+            predicate.value = 4
+
+    def test_matches(self):
+        assert Predicate(">=", 3).matches(3)
+        assert Predicate(">", 3).matches(4)
+        assert not Predicate("<", 3).matches(3)
+        assert Predicate("<=", 3).matches(3)
+        assert Predicate("=", 3).matches(3)
+        assert not Predicate("=", 3).matches(4)
+
+    def test_none_value_never_matches(self):
+        for op in OPS:
+            assert not Predicate(op, 3).matches(None)
+
+    def test_equality_and_hash(self):
+        assert Predicate(">=", 3) == Predicate(">=", 3)
+        assert Predicate(">=", 3) != Predicate(">", 3)
+        assert hash(Predicate(">=", 3)) == hash(Predicate(">=", 3))
+        # A predicate never compares equal to its bare bound: equality
+        # bindings are canonicalized away, range bindings never are.
+        assert Predicate(">=", 3) != 3
+
+    def test_normalize_collapses_equality(self):
+        assert Predicate.normalize({"=": "v"}) == "v"
+        assert Predicate.normalize(Predicate("=", "v")) == "v"
+        assert Predicate.normalize({">=": "v"}) == Predicate(">=", "v")
+        assert Predicate.normalize("v") == "v"
+
+    def test_normalize_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="exactly one operator"):
+            Predicate.normalize({">=": 1, "<": 2})
+        with pytest.raises(ValueError, match="unknown predicate operator"):
+            Predicate.normalize({"~=": 1})
+
+
+class TestRangePatterns:
+    def test_operator_dict_spec(self):
+        pattern = Pattern({"age": {">=": 30}, "gender": "F"})
+        assert pattern["age"] == Predicate(">=", 30)
+        assert pattern["gender"] == "F"
+        assert pattern.has_ranges
+        assert pattern.range_attributes == ("age",)
+
+    def test_equality_spec_stays_raw_value(self):
+        # {"=": v} and Predicate("=", v) collapse to the historical shape.
+        assert Pattern({"a": {"=": 1}}) == Pattern({"a": 1})
+        assert Pattern({"a": Predicate("=", 1)}) == Pattern({"a": 1})
+        assert not Pattern({"a": {"=": 1}}).has_ranges
+
+    def test_hash_and_equality_order_insensitive(self):
+        p1 = Pattern({"a": Predicate("<", 5), "b": 2})
+        p2 = Pattern({"b": 2, "a": {"<": 5}})
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_predicate_method_is_uniform(self):
+        pattern = Pattern({"a": 1, "b": Predicate(">", 0)})
+        assert pattern.predicate("a") == Predicate("=", 1)
+        assert pattern.predicate("b") == Predicate(">", 0)
+
+    def test_to_spec_round_trip(self):
+        pattern = Pattern({"age": {">=": 30}, "gender": "F"})
+        spec = pattern.to_spec()
+        assert spec == {"age": {">=": 30}, "gender": "F"}
+        assert Pattern(spec) == pattern
+
+    def test_matches_row_with_ranges(self):
+        pattern = Pattern({"age": {">=": 30}, "gender": "F"})
+        assert pattern.matches_row({"age": 30, "gender": "F"})
+        assert not pattern.matches_row({"age": 29, "gender": "F"})
+        assert not pattern.matches_row({"age": 31, "gender": "M"})
+        assert not pattern.matches_row({"gender": "F"})  # age missing
+
+    def test_repr_shows_operator(self):
+        assert "age>=30" in repr(Pattern({"age": {">=": 30}}))
+
+    def test_restrict_and_drop_preserve_predicates(self):
+        pattern = Pattern({"a": Predicate("<", 5), "b": 2})
+        assert pattern.restrict({"a"}) == Pattern({"a": {"<": 5}})
+        assert pattern.drop("b") == Pattern({"a": {"<": 5}})
+
+    def test_encode_groups_rejects_range_patterns(self):
+        with pytest.raises(ValueError, match="equality-only"):
+            encode_groups([Pattern({"a": {">=": 1}})], schema=None)

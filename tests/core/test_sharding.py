@@ -124,6 +124,17 @@ class TestMergedAnswers:
             reference.fraction("race", "Hispanic")
         )
 
+    def test_unknown_attribute_error_names_itself_and_the_known(
+        self, sharded
+    ):
+        for method in (sharded.value_counts, sharded.fractions):
+            with pytest.raises(KeyError) as info:
+                method("zodiac")
+            message = str(info.value)
+            assert "'zodiac'" in message
+            assert "known attributes" in message
+            assert "gender" in message
+
     def test_pattern_codecs(self, sharded):
         pattern = sharded.pattern_from_codes(["gender", "race"], [0, 1])
         assert sharded.codes_from_pattern(pattern) == {

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.pattern import Predicate
 from repro.dataset.schema import MISSING_CODE, Column, Schema
 
 
@@ -55,6 +56,45 @@ class TestColumn:
         renamed = column.with_name("colour")
         assert renamed.name == "colour"
         assert renamed.categories == column.categories
+
+
+class TestCodeRuns:
+    """Predicates normalize to maximal half-open code runs."""
+
+    def test_equality_is_a_single_unit_run(self):
+        column = Column("color", ("blue", "green", "red"))
+        assert column.code_runs(Predicate("=", "green")) == ((1, 2),)
+
+    def test_contiguous_matches_merge_to_one_run(self):
+        column = Column("grade", ("A", "B", "C", "D"))
+        assert column.code_runs(Predicate("<=", "B")) == ((0, 2),)
+        assert column.code_runs(Predicate(">", "B")) == ((2, 4),)
+
+    def test_whole_domain_collapses_to_one_run(self):
+        column = Column("grade", ("A", "B", "C"))
+        assert column.code_runs(Predicate("<=", "Z")) == ((0, 3),)
+
+    def test_numeric_domain_splits_into_multiple_runs(self):
+        # Integer categories in repr-sorted order: 10 and 11 sit between
+        # 1 and 2, so "value <= 9" matches codes {0, 3, 4} — two runs.
+        column = Column("n", (1, 10, 11, 2, 9))
+        assert column.code_runs(Predicate("<=", 9)) == ((0, 1), (3, 5))
+        assert column.code_runs(Predicate(">=", 10)) == ((1, 3),)
+        assert column.code_runs(Predicate(">", 0)) == ((0, 5),)
+
+    def test_empty_match_is_empty_tuple(self):
+        column = Column("grade", ("A", "B"))
+        assert column.code_runs(Predicate(">", "Z")) == ()
+
+    def test_runs_are_cached_per_op_and_bound(self):
+        column = Column("grade", ("A", "B", "C"))
+        first = column.code_runs(Predicate(">=", "B"))
+        assert column.code_runs(Predicate(">=", "B")) is first
+
+    def test_unorderable_bound_names_attribute(self):
+        column = Column("grade", ("A", "B"))
+        with pytest.raises(TypeError, match="'grade'"):
+            column.code_runs(Predicate(">=", 7))
 
 
 class TestSchema:

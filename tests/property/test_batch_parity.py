@@ -27,6 +27,7 @@ from repro import (
 from repro.api import RegistryError, make_estimator, registered_estimators
 from repro.api.registry import estimate_many as registry_estimate_many
 from repro.core.errors import BatchLabelEvaluator, evaluate_labels
+from repro.core.pattern import OPS, Predicate
 from repro.core.patternsets import PatternSet, full_pattern_set
 
 # -- strategies -----------------------------------------------------------------
@@ -89,9 +90,48 @@ def workloads(draw, data: Dataset, min_patterns=1, max_patterns=12):
 
 
 @st.composite
+def mixed_workloads(draw, data: Dataset, min_patterns=1, max_patterns=12):
+    """Random patterns mixing equality bindings and range predicates.
+
+    Each binding independently draws an operator from :data:`OPS`; the
+    ``=`` draw keeps the historical equality shape, the comparison draws
+    anchor a range predicate at a domain value (the ``v0``/``v1``/...
+    string domains are totally ordered, so every operator is valid).
+    """
+    names = list(data.attribute_names)
+    schema = data.schema
+    n_patterns = draw(st.integers(min_patterns, max_patterns))
+    patterns = []
+    for _ in range(n_patterns):
+        arity = draw(st.integers(1, len(names)))
+        attrs = draw(
+            st.lists(
+                st.sampled_from(names),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        spec = {}
+        for a in attrs:
+            value = draw(st.sampled_from(list(schema[a].categories)))
+            op = draw(st.sampled_from(OPS))
+            spec[a] = value if op == "=" else Predicate(op, value)
+        patterns.append(Pattern(spec))
+    return patterns
+
+
+@st.composite
 def dataset_and_workload(draw, allow_missing=False):
     data = draw(datasets(allow_missing=allow_missing))
     return data, draw(workloads(data))
+
+
+def _brute_count(data: Dataset, pattern: Pattern) -> int:
+    """Row-by-row reference count via ``Pattern.matches_row``."""
+    return sum(
+        pattern.matches_row(data.row(i)) for i in range(data.n_rows)
+    )
 
 
 SETTINGS = settings(
@@ -137,6 +177,20 @@ def test_count_many_matches_scalar_loop_with_missing(data_workload):
     assert list(counter.count_many(patterns)) == [
         counter.count(p) for p in patterns
     ]
+
+
+@SETTINGS
+@given(st.data())
+def test_count_many_matches_brute_force_mixed(data_strategy):
+    """Mixed equality/range workloads: kernel == scalar == brute force."""
+    data = data_strategy.draw(datasets(allow_missing=True))
+    patterns = data_strategy.draw(mixed_workloads(data))
+    counter = PatternCounter(data)
+    brute = [_brute_count(data, p) for p in patterns]
+    assert [counter.count(p) for p in patterns] == brute
+    assert list(counter.count_many(patterns)) == brute
+    # Repeat batch: warm key tables and cumsum caches, still identical.
+    assert list(counter.count_many(patterns)) == brute
 
 
 # -- batched evaluate_label == scalar -------------------------------------------
@@ -189,6 +243,36 @@ def test_evaluate_labels_matches_per_candidate_calls(data_strategy):
         assert summary.mean_q == pytest.approx(reference.mean_q, rel=1e-9)
 
 
+@SETTINGS
+@given(st.data())
+def test_batched_evaluation_matches_scalar_estimator_mixed(data_strategy):
+    """Range-bearing pattern sets through the batch evaluation pass."""
+    data = data_strategy.draw(datasets())
+    counter = PatternCounter(data)
+    patterns = data_strategy.draw(mixed_workloads(data))
+    pattern_set = PatternSet.from_patterns(counter, patterns)
+    subset = _subsets_of(data_strategy.draw, data)
+
+    scalar_estimator = LabelEstimator(build_label(counter, subset))
+    scalar_estimates = np.array(
+        [scalar_estimator.estimate(p) for p in patterns]
+    )
+
+    evaluator = BatchLabelEvaluator(counter, pattern_set)
+    np.testing.assert_allclose(
+        evaluator.estimates(tuple(sorted(subset))),
+        scalar_estimates,
+        rtol=1e-9,
+        atol=1e-12,
+    )
+    batch_summary = evaluator.evaluate(subset)
+    plain_summary = evaluate_label(counter, subset, pattern_set)
+    for field in ("n_patterns", "max_abs", "mean_abs", "max_q", "mean_q"):
+        assert getattr(batch_summary, field) == pytest.approx(
+            getattr(plain_summary, field), rel=1e-9
+        ), field
+
+
 # -- estimate vs estimate_many across every registered backend ------------------
 
 _BACKEND_PARAMS = {
@@ -232,6 +316,25 @@ def test_estimate_many_matches_estimate_for_all_backends(data_workload):
             estimator = make_estimator(name, data, **params)
         except RegistryError:
             continue  # optional dependency missing (e.g. networkx)
+        scalar = [float(estimator.estimate(p)) for p in patterns]
+        batched = registry_estimate_many(estimator, patterns)
+        np.testing.assert_allclose(
+            batched, scalar, rtol=1e-9, atol=1e-12, err_msg=name
+        )
+
+
+#: Backends whose scalar ``estimate`` understands range predicates; the
+#: DBMS-statistics baselines (dephist, postgres) stay equality-only.
+_RANGE_BACKENDS = ("label", "flexible", "multi_label", "independence", "sampling")
+
+
+@SETTINGS
+@given(st.data())
+def test_estimate_many_matches_estimate_for_range_backends(data_strategy):
+    data = data_strategy.draw(datasets())
+    patterns = data_strategy.draw(mixed_workloads(data))
+    for name in _RANGE_BACKENDS:
+        estimator = make_estimator(name, data, **_BACKEND_PARAMS[name])
         scalar = [float(estimator.estimate(p)) for p in patterns]
         batched = registry_estimate_many(estimator, patterns)
         np.testing.assert_allclose(

@@ -19,15 +19,25 @@ from hypothesis import strategies as st
 
 from repro import (
     Dataset,
+    Pattern,
     PatternCounter,
     ShardedPatternCounter,
     build_label,
     top_down_search,
 )
-from repro.core.workload import random_pattern_workload
+from repro.core.pattern import Predicate
+from repro.core.workload import (
+    random_mixed_workload,
+    random_pattern_workload,
+)
 from repro.datasets import load_dataset
 
-from tests.property.test_batch_parity import datasets, workloads
+from tests.property.test_batch_parity import (
+    _brute_count,
+    datasets,
+    mixed_workloads,
+    workloads,
+)
 
 SHARD_COUNTS = (1, 2, 3, 7)
 
@@ -161,6 +171,22 @@ def test_add_shard_equals_concat(data_strategy):
         )
 
 
+@SETTINGS
+@given(st.data(), st.booleans())
+def test_mixed_range_counts_match_single_counter(data_strategy, allow_missing):
+    """Mixed equality/range workloads: sharded == single == brute force."""
+    data = data_strategy.draw(datasets(allow_missing=allow_missing))
+    patterns = data_strategy.draw(mixed_workloads(data))
+    brute = [_brute_count(data, p) for p in patterns]
+    single = PatternCounter(data)
+    assert list(single.count_many(patterns)) == brute
+    for k in SHARD_COUNTS:
+        sharded = _sharded(data, k)
+        assert list(sharded.count_many(patterns)) == brute, k
+        # Repeat batch: merged key tables and cumsums stay identical.
+        assert list(sharded.count_many(patterns)) == brute, k
+
+
 # -- parity across parallel execution modes -------------------------------------
 
 PARALLEL_MODES = (
@@ -224,6 +250,77 @@ def test_parallel_mode_parity(tmp_path, mode, k):
             assert counter._pool is None  # K=1 routes serial
         elif mode != "serial":
             assert counter._pool is not None and counter._pool.started
+
+
+@pytest.mark.parametrize("k", (1, 2, 4))
+@pytest.mark.parametrize("mode", PARALLEL_MODES)
+def test_parallel_mode_parity_mixed_ranges(tmp_path, mode, k):
+    """Range predicates cross the worker boundary byte for byte.
+
+    A 50/50 equality/range workload must come back identical from the
+    serial path, the shm-pool workers, and the pack-backed workers — the
+    code-run task encoding is part of the worker protocol now.
+    """
+    data = load_dataset("bluenile", n_rows=300, seed=7)
+    single = PatternCounter(data)
+    rng = np.random.default_rng(11)
+    workload = random_mixed_workload(
+        single, 25, rng, min_arity=1, max_arity=3, range_share=0.5
+    )
+    patterns = [workload.pattern(i) for i in range(len(workload))]
+    assert any(p.has_ranges for p in patterns)
+    expected = [_brute_count(data, p) for p in patterns]
+    assert list(single.count_many(patterns)) == expected
+
+    with _mode_counter(mode, data, k, tmp_path) as counter:
+        assert list(counter.count_many(patterns)) == expected
+        # Repeat batch: warmed key tables and cumsums answer identically.
+        assert list(counter.count_many(patterns)) == expected
+        assert [counter.count(p) for p in patterns[:5]] == expected[:5]
+
+
+def test_range_counts_survive_radix_overflow_pool(tmp_path):
+    """The ``counts_for_runs`` pool task fires on radix overflow.
+
+    A pattern binding eight attributes of cardinality 256 pushes the
+    Horner radix to 2**64, so no merged key table exists for that set
+    and its code runs must fan out to the per-shard workers as the
+    ``counts_for_runs`` task.
+    """
+    rng = np.random.default_rng(13)
+    names = [f"A{i}" for i in range(8)]
+    domains = {n: tuple(f"{v:03d}" for v in range(256)) for n in names}
+    columns = {
+        n: [f"{v:03d}" for v in rng.integers(0, 4, size=64)]
+        for n in names
+    }
+    data = Dataset.from_columns(columns, domains=domains)
+    single = PatternCounter(data)
+    wide_spec = {n: Predicate(">=", "001") for n in names}
+    patterns = [
+        Pattern(wide_spec),
+        Pattern({**wide_spec, "A0": "002", "A1": Predicate("<", "003")}),
+        Pattern({"A3": Predicate(">", "000"), "A4": Predicate("<=", "002")}),
+    ]
+    expected = [_brute_count(data, p) for p in patterns]
+    assert [single.count(p) for p in patterns] == expected
+    assert list(single.count_many(patterns)) == expected
+
+    with ShardedPatternCounter.from_dataset(
+        data, 2, parallel=True, max_workers=2
+    ) as sharded:
+        assert list(sharded.count_many(patterns)) == expected
+        assert list(sharded.count_many(patterns)) == expected
+        # The premise of this test: the 8-attribute radix genuinely
+        # overflows, so the wide patterns had no merged key table and
+        # took the per-shard pool path.
+        overflow_sets = [
+            attrs
+            for attrs, table in sharded._merged_key_tables.items()
+            if table is None
+        ]
+        assert overflow_sets, "expected a radix-overflow attribute set"
+        assert sharded._pool is not None and sharded._pool.started
 
 
 # -- parity on every shipped dataset generator ----------------------------------

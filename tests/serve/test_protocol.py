@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Pattern
+from repro.core.pattern import Predicate
 from repro.serve import (
     BadRequestError,
     ErrorResponse,
@@ -49,6 +50,45 @@ class TestEstimateRequest:
     def test_rejects_malformed_payloads(self, payload, message):
         with pytest.raises(BadRequestError, match=message):
             EstimateRequest.from_payload("demo", payload)
+
+    def test_operator_object_parses_to_range_predicate(self):
+        request = EstimateRequest.from_payload(
+            "demo", {"pattern": {"age": {">=": "30"}, "gender": "F"}}
+        )
+        (pattern,) = request.patterns
+        assert pattern == Pattern(
+            {"age": Predicate(">=", "30"), "gender": "F"}
+        )
+        # to_payload round-trips through the same operator-object shape.
+        payload = request.to_payload()
+        assert payload == {
+            "pattern": {"age": {">=": "30"}, "gender": "F"}
+        }
+        assert EstimateRequest.from_payload("demo", payload) == request
+
+    def test_multi_pattern_range_round_trip(self):
+        request = EstimateRequest.from_payload(
+            "demo",
+            {"patterns": [{"a": {"<": "5"}}, {"b": "2"}]},
+        )
+        assert request.patterns[0]["a"] == Predicate("<", "5")
+        assert EstimateRequest.from_payload(
+            "demo", request.to_payload()
+        ) == request
+
+    @pytest.mark.parametrize(
+        "binding",
+        [
+            {"~=": "30"},  # unknown operator
+            {">=": "30", "<": "40"},  # multi-key dict is ambiguous
+            {},  # empty dict selects nothing
+        ],
+    )
+    def test_bad_operator_objects_are_rejected(self, binding):
+        with pytest.raises(BadRequestError, match="pattern 0"):
+            EstimateRequest.from_payload(
+                "demo", {"pattern": {"age": binding}}
+            )
 
     def test_empty_name_and_patterns_rejected(self):
         with pytest.raises(BadRequestError, match="name a label"):

@@ -75,14 +75,14 @@ class TestLabelCommand:
         assert code == 0
         assert out.read_text() == label_path.read_text()
 
-    def test_envelope_flag_writes_v2_format(self, csv_path, tmp_path):
+    def test_envelope_flag_writes_v3_format(self, csv_path, tmp_path):
         out = tmp_path / "envelope.json"
         code = main(
             ["label", str(csv_path), "--bound", "5", "--envelope", "-o", str(out)]
         )
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["format"] == "repro-label/2"
+        assert payload["format"] == "repro-label/3"
         assert payload["kind"] == "label"
 
     def test_greedy_flexible_strategy_writes_envelope(
@@ -382,6 +382,35 @@ class TestEstimateWorkloadBatch:
             lines = capsys.readouterr().out.strip().splitlines()
             assert len(lines) == 3, algorithm
             assert all(float(line) >= 0 for line in lines), algorithm
+
+    def test_range_operator_inline_matches_workload_file(
+        self, label_path, tmp_path, capsys
+    ):
+        """`attr>=value` inline == `{attr: {">=": value}}` in a file."""
+        assert main(
+            [
+                "estimate",
+                str(label_path),
+                "age group>=under 20",
+                "gender=Female",
+            ]
+        ) == 0
+        inline = capsys.readouterr().out.strip().split(" ")[0]
+
+        workload = tmp_path / "ranged.json"
+        workload.write_text(
+            json.dumps(
+                [{"age group": {">=": "under 20"}, "gender": "Female"}]
+            )
+        )
+        assert main(
+            ["estimate", str(label_path), "--workload", str(workload)]
+        ) == 0
+        assert capsys.readouterr().out.strip() == inline
+
+    def test_unknown_operator_token_is_usage_error(self, label_path):
+        with pytest.raises(SystemExit, match="attr>=value"):
+            main(["estimate", str(label_path), "gender~Female"])
 
     def test_invalid_json_is_a_clean_error(self, label_path, tmp_path):
         bad = tmp_path / "bad.json"
