@@ -497,6 +497,109 @@ def run(rows: int, queries: int, rounds: int, bound: int) -> dict:
             b_key="pack_median_s",
         )
 
+    # 11. Streaming ingestion: the write path of ``repro serve --stream``.
+    #    The synchronous path applies every batch with ``apply_inserts``
+    #    (label arithmetic only, no durability, no serving); the streamed
+    #    path pushes the same batches through a ``StreamIngestor`` —
+    #    WAL-logged with fsync, counted as insert shards, and published
+    #    as a versioned snapshot swap per batch.  Before timing, a cold
+    #    WAL replay is asserted byte-identical to the synchronous
+    #    maintainer (the durability contract), and the per-publish swap
+    #    latency — the reader-visible pause bound — must stay under
+    #    10 ms at p99.
+    from repro import StreamConfig  # noqa: E402
+    from repro.core.maintenance import apply_inserts  # noqa: E402
+    from repro.stream import StreamIngestor, WriteAheadLog  # noqa: E402
+
+    stream_attrs = tuple(
+        LabelingSession.fit(dataset, bound).artifact.attributes
+    )
+    n_batches = 32
+    batch_rows = max(1, rows // (n_batches * 4))
+    stream_rng = np.random.default_rng(7)
+    stream_batches = [
+        dataset.take(
+            stream_rng.integers(0, dataset.n_rows, size=batch_rows)
+        )
+        for _ in range(n_batches)
+    ]
+
+    def sync_maintained() -> list[int]:
+        label = build_label(PatternCounter(dataset), stream_attrs)
+        for batch in stream_batches:
+            label = apply_inserts(label, batch)
+        return sorted(label.pc.values())
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as sdir:
+        wal_seq = iter(range(1_000_000))
+
+        def _fresh_ingestor(replay_of: Path | None = None) -> StreamIngestor:
+            wal_dir = (
+                replay_of
+                if replay_of is not None
+                else Path(sdir) / f"wal-{next(wal_seq)}"
+            )
+            return StreamIngestor(
+                build_label(PatternCounter(dataset), stream_attrs),
+                wal=WriteAheadLog(wal_dir),
+                counter=PatternCounter(dataset),
+                config=StreamConfig(drift_threshold=None),
+                replay=replay_of is not None,
+            )
+
+        last_ingestor: list[StreamIngestor] = []
+
+        def streamed() -> list[int]:
+            ingestor = _fresh_ingestor()
+            for batch in stream_batches:
+                ingestor.submit(inserted=batch)
+            last_ingestor[:] = [ingestor]
+            return sorted(ingestor.label.pc.values())
+
+        # Durability contract: a cold replay of the WAL the streamed
+        # run wrote reconstructs the synchronous label byte-identically.
+        streamed()
+        replayed = _fresh_ingestor(replay_of=last_ingestor[0].wal.directory)
+        sync_label = build_label(PatternCounter(dataset), stream_attrs)
+        for batch in stream_batches:
+            sync_label = apply_inserts(sync_label, batch)
+        if replayed.label.to_json() != sync_label.to_json():
+            raise AssertionError(
+                "streaming_ingest: WAL replay is not byte-identical to "
+                "synchronous maintenance"
+            )
+
+        record = _scenario(
+            "streaming_ingest/wal_publish",
+            sync_maintained,
+            streamed,
+            rounds,
+            {
+                "rows": rows,
+                "batches": n_batches,
+                "batch_rows": batch_rows,
+                "label_size": len(sync_label.pc),
+                "byte_identical_replay": True,
+            },
+            a_key="sync_median_s",
+            b_key="streamed_median_s",
+        )
+        publisher = last_ingestor[0].publisher
+        publish_p99_ms = publisher.latency_quantile(0.99) * 1e3
+        if publish_p99_ms >= 10.0:
+            raise AssertionError(
+                f"streaming_ingest: p99 publish swap {publish_p99_ms:.2f} "
+                "ms breaches the 10 ms reader-pause bound"
+            )
+        record["publish_p50_ms"] = round(
+            publisher.latency_quantile(0.5) * 1e3, 3
+        )
+        record["publish_p99_ms"] = round(publish_p99_ms, 3)
+        record["batches_per_s"] = round(
+            n_batches / record["streamed_median_s"], 1
+        )
+        scenarios["streaming_ingest/wal_publish"] = record
+
     return {
         "version": 1,
         "generated_by": "benchmarks/bench_report.py",
@@ -691,6 +794,11 @@ def run_scale(
     return {
         "version": 1,
         "generated_by": "benchmarks/bench_report.py --scale",
+        # Top-level so report consumers can gate on host shape without
+        # digging into config: parallel speedups measured on one core
+        # are not representative.
+        "cpu_count": cpu_count,
+        "single_cpu": cpu_count == 1,
         "warnings": warnings,
         "methodology": (
             "median wall time over N rounds per path; parity asserted "

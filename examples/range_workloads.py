@@ -14,7 +14,7 @@ endpoint, CLI workload files) answers such patterns natively:
 * label estimates extend the paper's formula — the stored-count base
   sums the matching pattern counts, the outside factors sum the
   matching value fractions;
-* ``repro-label/3`` envelopes serialize range bindings as the same
+* ``repro-label/4`` envelopes serialize range bindings as the same
   ``{op: bound}`` objects, so saved labels round-trip them.
 
 This tour fits a label over a synthetic relation, runs a 50/50 mixed
@@ -88,7 +88,7 @@ def main() -> None:
         f"max |error| = {errors.max():.1f}, mean = {errors.mean():.2f}"
     )
 
-    # 5. Range bindings survive serialization (repro-label/3).
+    # 5. Range bindings survive serialization (repro-label/4).
     with tempfile.TemporaryDirectory() as tmp:
         reloaded = LabelingSession.load(
             session.save(Path(tmp) / "label.json")

@@ -106,6 +106,7 @@ from repro.api import (
     MultiLabelBundle,
     RegistryError,
     SessionError,
+    StreamConfig,
     dump_artifact,
     estimator_from_artifact,
     from_artifact,
@@ -182,6 +183,7 @@ __all__ = [
     "marginals_pattern_set",
     # repro.api facade (the front door; see DESIGN.md)
     "LabelingSession",
+    "StreamConfig",
     "make_estimator",
     "make_strategy",
     "register_estimator",

@@ -13,9 +13,10 @@ Three pieces (see ``DESIGN.md`` for the full architecture):
 * **LabelingSession** — the lifecycle facade:
   ``fit → estimate/estimate_many/evaluate → update → save/load``.
 * **Artifacts** — the versioned polymorphic JSON envelope
-  (``{"format": "repro-label/3", "kind": ...}``) that serializes every
+  (``{"format": "repro-label/4", "kind": ...}``) that serializes every
   label kind — range predicates included — and still reads
-  ``repro-label/2`` envelopes and legacy bare ``Label.to_json`` output.
+  ``repro-label/2``/``repro-label/3`` envelopes and legacy bare
+  ``Label.to_json`` output.
 
 >>> from repro.api import LabelingSession
 >>> session = LabelingSession.fit(dataset, bound=50)
@@ -42,6 +43,7 @@ from repro.api.registry import (
     NaiveConfig,
     Strategy,
     StrategySpec,
+    StreamConfig,
     TopDownConfig,
     estimate_many,
     estimator_spec,
@@ -77,6 +79,8 @@ __all__ = [
     "BeamConfig",
     "AnytimeConfig",
     "GreedyFlexibleConfig",
+    # streaming config
+    "StreamConfig",
     "register_strategy",
     "registered_strategies",
     "strategy_spec",

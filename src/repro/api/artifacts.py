@@ -5,7 +5,7 @@ until now only the plain subset :class:`~repro.core.label.Label` could be
 serialized.  This module defines one JSON envelope that carries any of
 the three label kinds the repository knows how to estimate from:
 
-``{"format": "repro-label/3", "kind": "label" | "flexible" | "multi", ...}``
+``{"format": "repro-label/4", "kind": "label" | "flexible" | "multi", ...}``
 
 * ``label`` — a subset label ``L_S(D)`` (payload: ``Label.to_dict()``);
 * ``flexible`` — a :class:`~repro.core.flexlabel.FlexibleLabel` with
@@ -13,15 +13,20 @@ the three label kinds the repository knows how to estimate from:
 * ``multi`` — a :class:`MultiLabelBundle`: several labels of the same
   dataset plus the reduce rule used to combine their estimates.
 
-Version 3 of the envelope adds *predicate operators*: a flexible label's
-stored pattern bindings may be range predicates, serialized as one-key
-operator objects (``{"age": {">=": "30"}}``) next to plain equality
-strings.  :func:`from_artifact` accepts ``repro-label/2`` envelopes
-(operator-free by construction) and the *legacy* bare ``Label.to_json``
-payload (no ``format`` key) unchanged, so every label published by
-earlier versions keeps loading.  Values are stringified on the way out,
-the same convention ``Label.to_dict`` has always used, so round-tripping
-is estimate-identical for string-valued (CSV-born) relations.
+Version 3 of the envelope added *predicate operators*: a flexible
+label's stored pattern bindings may be range predicates, serialized as
+one-key operator objects (``{"age": {">=": "30"}}``) next to plain
+equality strings.  Version 4 makes subset-label payloads
+*type-preserving*: pattern values are emitted as native JSON scalars and
+``VC`` entries as ``[value, count]`` pairs, so a label loaded from disk
+is maintenance-equivalent to the live object it was saved from — the
+streaming pack-checkpoint recovery (load checkpoint, replay WAL tail)
+depends on this for integer-valued relations, where the old stringified
+form silently forked ``0`` from ``'0'``.  :func:`from_artifact` accepts
+``repro-label/2`` and ``repro-label/3`` envelopes and the *legacy* bare
+``Label.to_json`` payload (no ``format`` key) unchanged, so every label
+published by earlier versions keeps loading with its historical
+all-strings convention.
 """
 
 from __future__ import annotations
@@ -48,12 +53,13 @@ __all__ = [
     "estimator_from_artifact",
 ]
 
-ARTIFACT_FORMAT = "repro-label/3"
+ARTIFACT_FORMAT = "repro-label/4"
 
 #: Envelope versions this reader accepts.  Version 2 payloads are a
-#: strict subset of version 3 (no operator bindings), so one parser
-#: serves both.
-_SUPPORTED_FORMATS = ("repro-label/2", ARTIFACT_FORMAT)
+#: strict subset of version 3 (no operator bindings), and version 4
+#: only changes how subset-label scalars are encoded —
+#: ``Label.from_dict`` reads both shapes — so one parser serves all.
+_SUPPORTED_FORMATS = ("repro-label/2", "repro-label/3", ARTIFACT_FORMAT)
 
 #: Keys that identify a legacy bare ``Label.to_dict`` payload.
 _LEGACY_LABEL_KEYS = {"attributes", "pc", "vc", "total", "attribute_order"}

@@ -68,6 +68,7 @@ __all__ = [
     "BeamConfig",
     "AnytimeConfig",
     "GreedyFlexibleConfig",
+    "StreamConfig",
     "register_strategy",
     "registered_strategies",
     "strategy_spec",
@@ -613,6 +614,62 @@ class GreedyFlexibleConfig:
     shards: int | None = None
     parallel: bool = False
     max_workers: int | None = None
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Policy knobs of the streaming ingestion pipeline (``repro.stream``).
+
+    Lives beside the strategy configs so the whole pipeline is
+    configured the registry way: a frozen, validated dataclass that
+    ``LabelingSession.stream()`` and ``repro serve --stream`` both
+    accept.  ``None`` disables the corresponding trigger.
+
+    * ``compact_every`` / ``compact_min_rows`` — fold the accumulated
+      insert-shard tail back into the base counter after this many tail
+      shards / tail rows (whichever trips first; the compaction itself
+      runs on a background thread, off the reader path).
+    * ``pack_dir`` — checkpoint each compaction as a ``repro-pack/1``
+      directory and truncate the WAL through the checkpointed batch.
+    * ``drift_threshold`` — flag the maintained label stale when its
+      sampled-recount max error exceeds this factor of the baseline
+      error; staleness kicks off an ``anytime`` re-search under
+      ``research_budget_seconds`` wall-clock on a background thread.
+    * ``drift_check_every`` / ``drift_sample`` — recount cadence
+      (batches between checks) and sampled workload size.
+    * ``research_bound`` — ``|PC|`` budget of the re-search; ``None``
+      re-uses the current label's size (always feasible: the current
+      subset witnesses its own bound).
+    * ``fsync`` — fsync every WAL append (durability vs throughput; the
+      bench flips this off to time the in-memory path).
+    """
+
+    compact_every: int | None = 16
+    compact_min_rows: int | None = None
+    pack_dir: str | None = None
+    drift_threshold: float | None = 4.0
+    drift_check_every: int = 8
+    drift_sample: int = 256
+    research_budget_seconds: float = 5.0
+    research_bound: int | None = None
+    fsync: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.compact_every is not None and self.compact_every < 1:
+            raise RegistryError("compact_every must be >= 1 (or None)")
+        if self.compact_min_rows is not None and self.compact_min_rows < 1:
+            raise RegistryError("compact_min_rows must be >= 1 (or None)")
+        if self.drift_threshold is not None and self.drift_threshold < 1.0:
+            raise RegistryError("drift_threshold must be >= 1 (or None)")
+        if self.drift_check_every < 1:
+            raise RegistryError("drift_check_every must be >= 1")
+        if self.drift_sample < 1:
+            raise RegistryError("drift_sample must be >= 1")
+        if self.research_budget_seconds <= 0:
+            raise RegistryError("research_budget_seconds must be > 0")
+        if self.research_bound is not None and self.research_bound < 1:
+            raise RegistryError("research_bound must be >= 1 (or None)")
 
 
 @dataclass(frozen=True)

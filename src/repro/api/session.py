@@ -39,7 +39,8 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
     from repro.serve.service import LabelService
-    from repro.serve.store import LabelSnapshot
+    from repro.serve.store import LabelSnapshot, LabelStore
+    from repro.stream.ingest import StreamIngestor
 
 from repro.api.artifacts import (
     MultiLabelBundle,
@@ -50,6 +51,7 @@ from repro.api.artifacts import (
 )
 from repro.persist.atomic import atomic_write_json
 from repro.api.errors import ArtifactError, SessionError
+from repro.api.registry import StreamConfig
 from repro.api.registry import estimate_many as _estimate_many
 from repro.api.registry import make_strategy
 from repro.core.counts import PatternCounter
@@ -439,6 +441,61 @@ class LabelingSession:
         if start:
             service.start()
         return service
+
+    def stream(
+        self,
+        wal_dir: str | Path,
+        *,
+        name: str = "label",
+        store: "LabelStore | None" = None,
+        config: "StreamConfig | None" = None,
+        replay: bool = False,
+        estimator: str | None = None,
+        **estimator_params: Any,
+    ) -> "StreamIngestor":
+        """Hand this session's label to the streaming ingestion pipeline.
+
+        Builds a :class:`~repro.stream.ingest.StreamIngestor` over the
+        current label and (when the session has one) its live counting
+        backend: every subsequent batch is WAL-logged to ``wal_dir``
+        *before* it is applied, counted as an insert shard, and
+        published in one atomic snapshot swap — with background
+        compaction and drift-triggered re-search per ``config`` (a
+        :class:`~repro.api.registry.StreamConfig`).
+
+        Pass the store of a running
+        :class:`~repro.serve.service.LabelService` as ``store`` to make
+        every published version immediately reader-visible; with
+        ``replay=True`` the WAL's existing records for ``name`` are
+        re-applied first (crash recovery).
+
+        The ingestor owns the streamed state from here on — the session
+        itself is left untouched (its label stays at the pre-stream
+        version, like a handed-out :meth:`snapshot`).
+        """
+        from repro.stream.ingest import StreamIngestor
+        from repro.stream.wal import WriteAheadLog
+
+        artifact = self._state[0]
+        if not isinstance(artifact, Label):
+            raise SessionError(
+                f"streaming maintenance is only supported for subset "
+                f"labels, not {self.kind!r} artifacts"
+            )
+        if config is None:
+            config = StreamConfig()
+        wal = WriteAheadLog(wal_dir, fsync=config.fsync)
+        return StreamIngestor(
+            artifact,
+            wal=wal,
+            counter=self.counter,
+            store=store,
+            name=name,
+            config=config,
+            replay=replay,
+            estimator=estimator,
+            **estimator_params,
+        )
 
     # -- persistence ------------------------------------------------------------
 

@@ -15,7 +15,11 @@ Both implement the :class:`~repro.baselines.base.CardinalityEstimator`
 protocol shared with :class:`~repro.core.estimator.LabelEstimator`.
 """
 
-from repro.baselines.base import CardinalityEstimator, TabularEstimator
+from repro.baselines.base import (
+    CardinalityEstimator,
+    TabularEstimator,
+    UnsupportedPredicateError,
+)
 from repro.baselines.postgres import PostgresEstimator, PgStatistic
 from repro.baselines.sampling import SamplingEstimator, sample_size_for_bound
 from repro.baselines.independence import IndependenceEstimator
@@ -25,6 +29,7 @@ __all__ = [
     "DependencyTreeEstimator",
     "CardinalityEstimator",
     "TabularEstimator",
+    "UnsupportedPredicateError",
     "PostgresEstimator",
     "PgStatistic",
     "SamplingEstimator",

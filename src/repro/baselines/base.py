@@ -25,7 +25,23 @@ __all__ = [
     "CardinalityEstimator",
     "TabularEstimator",
     "GroupedEstimateMany",
+    "UnsupportedPredicateError",
 ]
+
+
+class UnsupportedPredicateError(TypeError):
+    """The pattern uses a predicate this estimator's synopsis cannot see.
+
+    The DBMS-statistics baselines (``dephist``, ``postgres``) answer
+    from *equality-keyed* synopses: per-value frequency tables indexed
+    by category code (``pg_statistic`` MCV lists, dependency-tree edge
+    tables).  A range predicate selects a *set* of codes, and these
+    synopses store no order over codes to aggregate by — answering
+    would mean silently summing per-value entries under an independence
+    assumption the baseline never claimed.  Raising keeps the
+    comparison honest; see DESIGN.md ("Why the DBMS baselines are
+    equality-only").  The label estimators handle ranges natively.
+    """
 
 
 @runtime_checkable

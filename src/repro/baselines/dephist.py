@@ -31,7 +31,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.core.counts import PatternCounter
-from repro.baselines.base import GroupedEstimateMany
+from repro.baselines.base import GroupedEstimateMany, UnsupportedPredicateError
 from repro.core.pattern import Pattern
 from repro.dataset.table import Dataset, combine_codes
 
@@ -146,6 +146,12 @@ class DependencyTreeEstimator(GroupedEstimateMany):
 
     def estimate(self, pattern: Pattern) -> float:
         """Induced-subtree factorization estimate of ``c_D(p)``."""
+        if pattern.has_ranges:
+            raise UnsupportedPredicateError(
+                "the dependency-tree synopsis is equality-only: its "
+                "marginal and edge tables are keyed by single category "
+                "codes, so a range predicate has no entry to look up"
+            )
         bound = set(pattern.attributes)
         probability = 1.0
         for attribute in pattern.attributes:

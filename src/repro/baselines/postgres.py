@@ -32,7 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import GroupedEstimateMany
+from repro.baselines.base import GroupedEstimateMany, UnsupportedPredicateError
 from repro.core.pattern import Pattern
 from repro.dataset.schema import MISSING_CODE
 from repro.dataset.table import Dataset
@@ -207,6 +207,13 @@ class PostgresEstimator(GroupedEstimateMany):
         Product of per-clause selectivities times ``|D|``, clamped below
         at one row exactly like PostgreSQL's planner output.
         """
+        if pattern.has_ranges:
+            raise UnsupportedPredicateError(
+                "the pg_statistic synopsis is equality-only: MCV "
+                "selectivities are keyed by single category codes "
+                "(var_eq_const); range predicates have no counterpart "
+                "over unordered categorical codes"
+            )
         selectivity = 1.0
         for attribute, value in pattern.items_sorted:
             selectivity *= self.selectivity(attribute, value)

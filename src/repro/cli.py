@@ -539,6 +539,10 @@ def _service_from_args(args: argparse.Namespace):
         _fail(f"--window-ms must be >= 0, got {args.window_ms}", EXIT_USAGE)
     if args.max_batch < 1:
         _fail(f"--max-batch must be >= 1, got {args.max_batch}", EXIT_USAGE)
+    if args.stream and not args.wal_dir:
+        _fail("--stream requires --wal-dir DIR", EXIT_USAGE)
+    if args.wal_dir and not args.stream:
+        _fail("--wal-dir only makes sense with --stream", EXIT_USAGE)
     if args.artifact_dir and args.labels:
         _fail(
             "give either label artifact files or --artifact-dir, not both",
@@ -588,7 +592,70 @@ def _service_from_args(args: argparse.Namespace):
             )
     for name, artifact in zip(names, artifacts):
         service.store.publish(name, artifact)
+    if args.stream:
+        _attach_streams(service, args, pack_reader)
     return service
+
+
+def _attach_streams(service, args: argparse.Namespace, pack_reader) -> None:
+    """Wire ``serve --stream``: replay the WAL, attach ingestors.
+
+    Every served subset label gets a
+    :class:`~repro.stream.ingest.StreamIngestor` over one shared
+    write-ahead log (records carry the label name); existing log records
+    are replayed on top of the loaded artifacts before the socket starts
+    answering, so a crashed server restarts into exactly the state its
+    last acknowledged update left.  A pack deployment serving a single
+    label also re-attaches the pack's counting backend, which re-enables
+    background compaction and drift-triggered re-search.
+    """
+    from repro.api.registry import StreamConfig
+    from repro.core.label import Label
+    from repro.stream.ingest import StreamIngestor
+    from repro.stream.wal import WalError, WriteAheadLog
+
+    wal = WriteAheadLog(args.wal_dir)
+    try:
+        replay = wal.replay()
+    except WalError as exc:
+        _fail(f"cannot replay WAL {args.wal_dir!r}: {exc}", EXIT_MALFORMED)
+    if replay.dropped_tail:
+        print(
+            f"WAL: dropped torn tail ({replay.reason}); "
+            f"{len(replay.records)} earlier batch(es) replay cleanly",
+            file=sys.stderr,
+        )
+    streamable = [
+        name
+        for name in service.store.names()
+        if isinstance(service.store.get(name).artifact, Label)
+    ]
+    if not streamable:
+        _fail(
+            "--stream needs at least one subset-label artifact (flexible "
+            "and multi-label artifacts cannot be maintained exactly)",
+            EXIT_USAGE,
+        )
+    counter = None
+    if pack_reader is not None and len(streamable) == 1:
+        counter = pack_reader.counter()
+    for name in streamable:
+        ingestor = StreamIngestor(
+            service.store.get(name).artifact,
+            wal=wal,
+            counter=counter,
+            store=service.store,
+            name=name,
+            config=StreamConfig(),
+            replay=True,
+        )
+        service.attach_stream(ingestor)
+    replayed = len(replay.records)
+    if replayed:
+        print(
+            f"WAL: replayed {replayed} batch(es) from {args.wal_dir}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -599,6 +666,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "to stop",
         file=sys.stderr,
     )
+    if service.streams:
+        print(
+            f"streaming updates (WAL: {args.wal_dir}) for "
+            f"[{', '.join(sorted(service.streams))}]",
+            file=sys.stderr,
+        )
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -766,7 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument(
         "--envelope",
         action="store_true",
-        help="write the versioned repro-label/3 envelope instead of the "
+        help="write the versioned repro-label/4 envelope instead of the "
         "legacy bare-label JSON (flexible labels always use the envelope)",
     )
     label.add_argument(
@@ -966,6 +1039,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="pattern count that cuts the window short (default 1024)",
+    )
+    serve.add_argument(
+        "--stream",
+        action="store_true",
+        help="accept updates durably: every POST /labels/<name>/update "
+        "is logged to a write-ahead log before it is applied, and a "
+        "restart replays the log — requires --wal-dir",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="write-ahead-log directory for --stream (created if "
+        "missing; a non-empty log is replayed before serving starts)",
     )
     serve.add_argument(
         "--verbose",

@@ -30,6 +30,34 @@ from repro.dataset.table import Dataset
 __all__ = ["Label", "build_label", "label_size"]
 
 
+def _scalar_to_json(value: Hashable) -> Any:
+    """A value as a JSON scalar, keeping its type whenever JSON can.
+
+    Numpy scalars unwrap to their Python equivalents via ``.item()``;
+    anything JSON has no scalar for falls back to ``str``, matching the
+    historical all-strings convention.
+    """
+    if value is None or isinstance(value, (str, int, float)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        unwrapped = item()
+        if unwrapped is None or isinstance(unwrapped, (str, int, float)):
+            return unwrapped
+    return str(value)
+
+
+def _vc_items(counts: Any) -> Iterator[tuple[Hashable, Any]]:
+    """Iterate a serialized ``VC`` entry in either wire shape.
+
+    ``repro-label/4`` writes ``[[value, count], ...]`` pairs (value
+    types preserved); earlier versions wrote ``{str(value): count}``.
+    """
+    if isinstance(counts, Mapping):
+        return iter(counts.items())
+    return ((value, count) for value, count in counts)
+
+
 @dataclass(frozen=True)
 class Label:
     """A pattern count-based label ``L_S(D)``.
@@ -263,22 +291,33 @@ class Label:
     # -- serialization ----------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation (all values stringified)."""
+        """JSON-ready representation.
+
+        JSON-representable scalar values (strings, ints, floats, bools,
+        ``None``) are emitted natively; anything else falls back to
+        ``str``.  ``VC`` entries are ``[value, count]`` pairs rather
+        than an object so value types survive the trip — JSON object
+        keys are always strings, and a label whose domain is ``{0, 1}``
+        must not come back as ``{'0', '1'}``: maintenance applied after
+        a load (the streaming pack-checkpoint recovery path) would then
+        silently diverge from the live label.
+        """
         return {
             "attributes": list(self.attributes),
             "attribute_order": list(self.attribute_order),
             "total": self.total,
             "pc": [
                 {
-                    "values": [
-                        None if v is None else str(v) for v in combo
-                    ],
+                    "values": [_scalar_to_json(v) for v in combo],
                     "count": count,
                 }
                 for combo, count in self.pc.items()
             ],
             "vc": {
-                attribute: {str(value): count for value, count in counts.items()}
+                attribute: [
+                    [_scalar_to_json(value), count]
+                    for value, count in counts.items()
+                ]
                 for attribute, counts in self.vc.items()
             },
         }
@@ -289,7 +328,14 @@ class Label:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Label":
-        """Inverse of :meth:`to_dict` (values come back as strings)."""
+        """Inverse of :meth:`to_dict`.
+
+        Values keep the JSON scalar types they were written with.  The
+        pre-``repro-label/4`` ``VC`` shape — an object keyed by
+        stringified values — is still accepted, so labels published by
+        earlier versions keep loading (with their historical
+        all-strings convention).
+        """
         return cls(
             attributes=tuple(payload["attributes"]),
             pc={
@@ -297,7 +343,9 @@ class Label:
                 for entry in payload["pc"]
             },
             vc={
-                attribute: {value: int(count) for value, count in counts.items()}
+                attribute: {
+                    value: int(count) for value, count in _vc_items(counts)
+                }
                 for attribute, counts in payload["vc"].items()
             },
             total=int(payload["total"]),

@@ -204,6 +204,26 @@ class ShardedDatasetView:
             f"{self._counter.n_shards} shards, {self.schema!r})"
         )
 
+    def row(self, index: int) -> dict[str, Hashable]:
+        """One logical row as ``{attribute: value}`` (shard order).
+
+        Rows are numbered across shards in shard order — the same order
+        ``non_missing_mask`` concatenates.  This is what lets the
+        workload samplers (and the streaming drift monitor's sampled
+        recounts) draw tuples straight from a sharded deployment without
+        materializing the concatenation.
+        """
+        if index < 0:
+            index += self.n_rows
+        offset = index
+        for shard in self._shards:
+            if offset < shard.n_rows:
+                return shard.row(offset)
+            offset -= shard.n_rows
+        raise IndexError(
+            f"row index {index} out of range for {self.n_rows} rows"
+        )
+
     @property
     def has_missing(self) -> bool:
         return any(shard.has_missing for shard in self._shards)

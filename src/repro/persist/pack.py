@@ -11,7 +11,7 @@ search, cache warming) and cheap to store.  The directory layout:
                          # per-file checksums — always written LAST
       shard-0000.bin     # one flat binary file per shard: the numpy
       shard-0001.bin     # payloads of that shard's PatternCounter state
-      label-<name>.json  # optional label envelopes (repro-label/3)
+      label-<name>.json  # optional label envelopes (repro-label/4)
 
 Each ``shard-NNNN.bin`` is a concatenation of standard ``.npy`` blocks
 (``np.lib.format.write_array`` version 1.0, never pickled), one per
@@ -191,7 +191,7 @@ def write_pack(
     labels:
         Optional ``name -> artifact`` mapping (labels, flexible labels,
         bundles, or their estimators); each is serialized through the
-        ``repro-label/3`` envelope into the pack, making the pack a
+        ``repro-label/4`` envelope into the pack, making the pack a
         self-contained deployment ``repro serve --artifact-dir`` can
         publish without touching shard payloads.
     include_caches:

@@ -257,6 +257,21 @@ class _Handler(BaseHTTPRequestHandler):
             if "deleted" in body
             else None
         )
+        ingestor = service.streams.get(name)
+        if ingestor is not None:
+            # Streaming label: WAL-first durability, then the same
+            # atomic publish readers already resolve.
+            from repro.stream.wal import StreamError
+
+            try:
+                status = ingestor.submit(inserted=inserted, deleted=deleted)
+            except StreamError as exc:
+                raise BadRequestError(str(exc)) from exc
+            payload = service.store.get(name).describe()
+            payload["streamed"] = True
+            payload["seq"] = status.seq
+            self._send_json(200, payload)
+            return
         published = service.store.update(
             name, inserted=inserted, deleted=deleted
         )
@@ -305,6 +320,9 @@ class LabelService:
         self.batcher = MicroBatcher(window=window, max_batch=max_batch)
         self.request_timeout = request_timeout
         self.verbose = verbose
+        #: Streaming ingestors by label name; updates to these labels go
+        #: WAL-first through the ingestor instead of ``store.update``.
+        self.streams: dict[str, Any] = {}
         self._server = _Server((host, port), _Handler)
         self._server.service = self
         self._thread: threading.Thread | None = None
@@ -350,6 +368,28 @@ class LabelService:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.batcher.close()
+        for ingestor in self.streams.values():
+            ingestor.join(timeout=5.0)
+
+    # -- streaming --------------------------------------------------------------
+
+    def attach_stream(self, ingestor: Any) -> "LabelService":
+        """Route a label's updates through a streaming ingestor.
+
+        The ingestor must publish into this service's store (so its
+        snapshot swaps are what readers resolve); once attached,
+        ``POST /labels/<name>/update`` for that label is WAL-logged and
+        applied by the ingestor instead of ``store.update`` — same
+        request and response shape, plus ``streamed``/``seq`` fields.
+        """
+        if ingestor.store is not self.store:
+            raise ValueError(
+                f"ingestor for {ingestor.name!r} publishes into a "
+                "different store than this service reads from; build it "
+                "with store=service.store"
+            )
+        self.streams[ingestor.name] = ingestor
+        return self
 
     def __enter__(self) -> "LabelService":
         return self.start()

@@ -1,0 +1,126 @@
+"""Versioned copy-on-write publishing with swap-latency accounting.
+
+The streaming pipeline's contract with readers is *zero pause*: every
+applied batch, compaction, and drift re-search ends in exactly one
+atomic snapshot swap into the existing
+:class:`~repro.serve.store.LabelStore` — the store readers already
+resolve lock-free.  :class:`LabelPublisher` is that single publish path,
+plus the bookkeeping the bench and the drift monitor need: per-publish
+wall-clock latencies (the upper bound on any reader-visible pause; the
+swap itself is one dict assignment inside it) and the current version.
+
+Nothing here adds a locking discipline of its own — ``LabelStore``
+already serializes writers and keeps readers lock-free; the publisher
+just routes every streaming state change through it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.serve.store import LabelSnapshot, LabelStore
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.flexlabel import FlexibleLabel
+    from repro.core.label import Label
+
+__all__ = ["LabelPublisher"]
+
+
+class LabelPublisher:
+    """One named label's atomic publish path into a ``LabelStore``.
+
+    Parameters
+    ----------
+    store:
+        Share the store a :class:`~repro.serve.service.LabelService`
+        reads from to make every publish immediately reader-visible; a
+        private store is created when omitted.
+    name:
+        The published label name.
+    estimator:
+        Registry backend name for the published snapshots (``None``
+        picks the artifact kind's default).
+    history:
+        How many publish latencies to retain for the quantile stats.
+    """
+
+    def __init__(
+        self,
+        store: LabelStore | None = None,
+        name: str = "label",
+        *,
+        estimator: str | None = None,
+        history: int = 1024,
+        **estimator_params: Any,
+    ) -> None:
+        self.store = store if store is not None else LabelStore()
+        self.name = name
+        self._estimator = estimator
+        self._estimator_params = dict(estimator_params)
+        self._latencies: deque[float] = deque(maxlen=history)
+        self._lock = threading.Lock()
+
+    def publish(self, artifact: "Label | FlexibleLabel") -> LabelSnapshot:
+        """Publish ``artifact`` as the next version; one atomic swap.
+
+        The estimator is rebuilt off to the side and the (artifact,
+        estimator) pair replaces the store entry in a single dict
+        assignment — in-flight readers keep their snapshot, new readers
+        see the new version.  The measured wall time (estimator build +
+        swap) is recorded as the publish latency.
+        """
+        start = time.perf_counter()
+        snapshot = self.store.publish(
+            self.name,
+            artifact,
+            estimator=self._estimator,
+            **self._estimator_params,
+        )
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._latencies.append(elapsed)
+        return snapshot
+
+    # -- introspection ----------------------------------------------------------
+
+    def snapshot(self) -> LabelSnapshot:
+        """The currently published snapshot."""
+        return self.store.get(self.name)
+
+    @property
+    def version(self) -> int:
+        """Version of the current snapshot (0 before the first publish)."""
+        if self.name not in self.store:
+            return 0
+        return self.store.get(self.name).version
+
+    @property
+    def latencies(self) -> tuple[float, ...]:
+        """Recorded per-publish wall times, oldest first (seconds)."""
+        with self._lock:
+            return tuple(self._latencies)
+
+    def latency_quantile(self, q: float) -> float:
+        """The ``q``-quantile publish latency in seconds (0 when empty).
+
+        Nearest-rank on the retained history — what the bench records as
+        the reader-visible pause bound (p50/p99).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            ordered = sorted(self._latencies)
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelPublisher(name={self.name!r}, version={self.version}, "
+            f"publishes={len(self.latencies)})"
+        )

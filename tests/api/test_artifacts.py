@@ -1,4 +1,4 @@
-"""The repro-label/3 envelope: shapes, errors, and back-compat."""
+"""The repro-label/4 envelope: shapes, errors, and back-compat."""
 
 from __future__ import annotations
 
@@ -104,10 +104,22 @@ class TestParsing:
     def test_v2_envelope_still_loads(self, label):
         """A pre-range envelope (format repro-label/2) parses unchanged."""
         payload = to_artifact(label)
-        assert payload["format"] == "repro-label/3"
+        assert payload["format"] == "repro-label/4"
         legacy = dict(payload, format="repro-label/2")
         parsed = from_artifact(json.dumps(legacy))
         assert parsed == label
+
+    def test_v3_stringified_vc_still_loads(self, label):
+        """The pre-v4 VC shape — an object keyed by str(value) — parses."""
+        payload = to_artifact(label)
+        body = payload["label"]
+        body["vc"] = {
+            attribute: {str(value): count for value, count in pairs}
+            for attribute, pairs in body["vc"].items()
+        }
+        parsed = from_artifact(json.dumps(dict(payload, format="repro-label/3")))
+        assert parsed.total == label.total
+        assert set(parsed.vc) == set(label.vc)
 
     def test_not_json(self):
         with pytest.raises(ArtifactError, match="not valid JSON"):
@@ -146,7 +158,7 @@ class TestRangeBindings:
 
     def test_range_bindings_serialize_as_operator_objects(self, ranged):
         payload = to_artifact(ranged)
-        assert payload["format"] == "repro-label/3"
+        assert payload["format"] == "repro-label/4"
         entry = payload["flexible"]["pc"][0]
         assert entry["bindings"] == {
             "gender": "Female",

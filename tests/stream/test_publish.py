@@ -1,0 +1,64 @@
+"""Publisher: versioned snapshot swaps and latency accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.label import build_label
+from repro.serve.store import LabelStore
+from repro.stream import LabelPublisher
+
+pytestmark = pytest.mark.stream
+
+
+@pytest.fixture
+def label(figure2):
+    return build_label(figure2, ["gender", "race"])
+
+
+class TestPublish:
+    def test_versions_count_up_from_zero(self, label):
+        publisher = LabelPublisher(name="lab")
+        assert publisher.version == 0
+        assert publisher.publish(label).version == 1
+        assert publisher.publish(label).version == 2
+        assert publisher.version == 2
+
+    def test_shared_store_sees_every_publish(self, label):
+        store = LabelStore()
+        publisher = LabelPublisher(store, "lab")
+        publisher.publish(label)
+        assert store.get("lab").artifact is label
+
+    def test_snapshot_returns_current(self, label):
+        publisher = LabelPublisher(name="lab")
+        publisher.publish(label)
+        assert publisher.snapshot().artifact is label
+
+
+class TestLatencies:
+    def test_every_publish_is_timed(self, label):
+        publisher = LabelPublisher(name="lab")
+        for _ in range(5):
+            publisher.publish(label)
+        assert len(publisher.latencies) == 5
+        assert all(t >= 0.0 for t in publisher.latencies)
+
+    def test_history_window_caps_retention(self, label):
+        publisher = LabelPublisher(name="lab", history=3)
+        for _ in range(5):
+            publisher.publish(label)
+        assert len(publisher.latencies) == 3
+
+    def test_quantiles_nearest_rank(self, label):
+        publisher = LabelPublisher(name="lab")
+        publisher._latencies.extend([0.4, 0.1, 0.3, 0.2])
+        assert publisher.latency_quantile(0.0) == 0.1
+        assert publisher.latency_quantile(0.5) == 0.2
+        assert publisher.latency_quantile(1.0) == 0.4
+
+    def test_quantile_validation_and_empty(self):
+        publisher = LabelPublisher(name="lab")
+        assert publisher.latency_quantile(0.99) == 0.0
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            publisher.latency_quantile(1.5)

@@ -75,14 +75,14 @@ class TestLabelCommand:
         assert code == 0
         assert out.read_text() == label_path.read_text()
 
-    def test_envelope_flag_writes_v3_format(self, csv_path, tmp_path):
+    def test_envelope_flag_writes_current_format(self, csv_path, tmp_path):
         out = tmp_path / "envelope.json"
         code = main(
             ["label", str(csv_path), "--bound", "5", "--envelope", "-o", str(out)]
         )
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["format"] == "repro-label/3"
+        assert payload["format"] == "repro-label/4"
         assert payload["kind"] == "label"
 
     def test_greedy_flexible_strategy_writes_envelope(
