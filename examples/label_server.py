@@ -14,6 +14,11 @@ three roles the ``repro.serve`` subsystem separates:
   update`` publishes version 2 mid-traffic; readers never block, and
   each response's ``version`` field says which snapshot answered it.
 
+The service runs the scale-out configuration (4 micro-batcher workers
+behind a version-keyed result cache), and ``GET /stats`` shows what the
+traffic did to it: per-worker batch counters, cache hit rate, and the
+store's publish generation.
+
 Run:  python examples/label_server.py
 """
 
@@ -45,7 +50,9 @@ def main() -> None:
     print(f"fitted: {session!r}")
 
     # -- publish behind the HTTP surface (ephemeral port) ----------------------
-    service = session.serve(name="bluenile", window=0.002)
+    service = session.serve(
+        name="bluenile", window=0.002, workers=4, cache_entries=512
+    )
     print(f"serving at {service.url}  ->  GET /labels")
     catalog = json.load(urllib.request.urlopen(service.url + "/labels"))
     print(f"catalog: {catalog['labels']}")
@@ -84,6 +91,18 @@ def main() -> None:
         f"{service.batcher.stats.patterns} patterns)"
     )
 
+    # -- observability: GET /stats ---------------------------------------------
+    stats = json.load(urllib.request.urlopen(service.url + "/stats"))
+    cache_stats = stats["cache"]
+    totals = stats["workers"]["totals"]
+    print(
+        f"/stats: {stats['workers']['count']} workers answered "
+        f"{totals['requests']} tickets in {totals['flushes']} flushes; "
+        f"cache hit rate {cache_stats['hit_rate']:.2f} "
+        f"({cache_stats['hits']} hits, {cache_stats['entries']} resident)"
+    )
+    assert cache_stats["hit_rate"] > 0  # repeats never reached a worker
+
     # -- live maintenance ------------------------------------------------------
     probe = queries[0]
     before = post_json(estimate_url, {"pattern": probe})
@@ -99,6 +118,13 @@ def main() -> None:
         f"{after['estimates'][0]:.1f} (v{after['version']})"
     )
     assert after["estimates"][0] == before["estimates"][0] + 5
+    # The version bump made every v1 cache entry unreachable — no flush
+    # happened, the store's publish generation just moved on.
+    stats = json.load(urllib.request.urlopen(service.url + "/stats"))
+    print(
+        f"store generation {stats['store']['generation']}, "
+        f"versions {stats['store']['versions']}"
+    )
 
     service.stop()
     print("server stopped")

@@ -418,6 +418,8 @@ class LabelingSession:
         name: str = "label",
         host: str = "127.0.0.1",
         port: int = 0,
+        workers: int = 1,
+        cache_entries: int = 0,
         window: float = 0.001,
         max_batch: int = 1024,
         start: bool = True,
@@ -427,15 +429,24 @@ class LabelingSession:
         Builds a :class:`~repro.serve.service.LabelService`, publishes
         the current artifact under ``name``, and (by default) starts
         serving on a background thread — ``service.url`` is ready to
-        query.  Further labels can be published into ``service.store``;
-        maintenance through ``POST /labels/<name>/update`` (or
-        ``service.store.update``) versions the *served* label without
-        touching this session.  Call ``service.stop()`` when done.
+        query.  ``workers`` runs that many micro-batcher flush loops
+        side by side, and ``cache_entries`` bounds the version-keyed
+        result cache consulted before any request is enqueued (0, the
+        default, disables it).  Further labels can be published into
+        ``service.store``; maintenance through ``POST
+        /labels/<name>/update`` (or ``service.store.update``) versions
+        the *served* label without touching this session.  Call
+        ``service.stop()`` when done.
         """
         from repro.serve.service import LabelService
 
         service = LabelService(
-            host=host, port=port, window=window, max_batch=max_batch
+            host=host,
+            port=port,
+            workers=workers,
+            cache_entries=cache_entries,
+            window=window,
+            max_batch=max_batch,
         )
         service.store.publish(name, self._state[0])
         if start:

@@ -539,6 +539,14 @@ def _service_from_args(args: argparse.Namespace):
         _fail(f"--window-ms must be >= 0, got {args.window_ms}", EXIT_USAGE)
     if args.max_batch < 1:
         _fail(f"--max-batch must be >= 1, got {args.max_batch}", EXIT_USAGE)
+    if args.workers < 1:
+        _fail(f"--workers must be >= 1, got {args.workers}", EXIT_USAGE)
+    if args.cache_entries < 0:
+        _fail(
+            f"--cache-entries must be >= 0 (0 disables the cache), got "
+            f"{args.cache_entries}",
+            EXIT_USAGE,
+        )
     if args.stream and not args.wal_dir:
         _fail("--stream requires --wal-dir DIR", EXIT_USAGE)
     if args.wal_dir and not args.stream:
@@ -574,6 +582,8 @@ def _service_from_args(args: argparse.Namespace):
         service = LabelService(
             host=args.host,
             port=args.port,
+            workers=args.workers,
+            cache_entries=args.cache_entries,
             window=args.window_ms / 1000.0,
             max_batch=args.max_batch,
             verbose=args.verbose,
@@ -666,6 +676,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "to stop",
         file=sys.stderr,
     )
+    if args.workers > 1 or args.cache_entries:
+        cache_note = (
+            f"result cache {args.cache_entries} entries"
+            if args.cache_entries
+            else "cache disabled"
+        )
+        print(
+            f"scale-out: {args.workers} batch worker(s), {cache_note} "
+            f"(GET {service.url}/stats)",
+            file=sys.stderr,
+        )
     if service.streams:
         print(
             f"streaming updates (WAL: {args.wal_dir}) for "
@@ -1026,6 +1047,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8321,
         help="bind port (default 8321; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="micro-batcher worker count: N independent flush loops "
+        "over the lock-free label store (default 1)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=0,
+        help="bound of the version-keyed result cache consulted before "
+        "a request is enqueued; stale entries become unreachable on "
+        "every publish (default 0 = cache disabled)",
     )
     serve.add_argument(
         "--window-ms",

@@ -12,10 +12,17 @@ queries *without* the data; this package is that story under traffic:
 * :mod:`~repro.serve.batching` — :class:`MicroBatcher`: concurrent
   requests coalesce into one batch-kernel call, byte-identical to the
   scalar path;
+* :mod:`~repro.serve.workers` — :class:`WorkerGroup`: N independent
+  micro-batcher workers over the lock-free store, hash-affine request
+  admission (the horizontal scale-out path);
+* :mod:`~repro.serve.cache` — :class:`ResultCache`: bounded result
+  cache keyed by ``(label, version, pattern)`` with TinyLFU-style
+  admission control — publish-invalidation is free because a version
+  bump makes stale entries unreachable;
 * :mod:`~repro.serve.service` — :class:`LabelService`: the stdlib
   ``ThreadingHTTPServer`` JSON endpoint (``GET /labels``, ``GET
-  /labels/<name>/card``, ``POST /labels/<name>/estimate``, ``POST
-  /labels/<name>/update``).
+  /labels/<name>/card``, ``GET /stats``, ``POST
+  /labels/<name>/estimate``, ``POST /labels/<name>/update``).
 
 >>> from repro.serve import LabelService
 >>> service = LabelService()
@@ -28,7 +35,13 @@ or, one hop from a fitted session::
     service = LabelingSession.fit(data, bound=50).serve(name="demo")
 """
 
-from repro.serve.batching import BatcherStats, EstimateTicket, MicroBatcher
+from repro.serve.batching import (
+    BatcherClosedError,
+    BatcherStats,
+    EstimateTicket,
+    MicroBatcher,
+)
+from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.protocol import (
     BadRequestError,
     ErrorResponse,
@@ -40,6 +53,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.service import LabelService
 from repro.serve.store import LabelSnapshot, LabelStore
+from repro.serve.workers import GroupEstimate, WorkerGroup
 
 __all__ = [
     # protocol
@@ -57,6 +71,13 @@ __all__ = [
     "MicroBatcher",
     "EstimateTicket",
     "BatcherStats",
+    "BatcherClosedError",
+    # workers
+    "WorkerGroup",
+    "GroupEstimate",
+    # cache
+    "ResultCache",
+    "CacheStats",
     # service
     "LabelService",
 ]

@@ -44,7 +44,12 @@ from repro.core.pattern import Pattern
 from repro.serve.protocol import ServeError
 from repro.serve.store import LabelSnapshot
 
-__all__ = ["MicroBatcher", "EstimateTicket", "BatcherStats"]
+__all__ = [
+    "MicroBatcher",
+    "EstimateTicket",
+    "BatcherStats",
+    "BatcherClosedError",
+]
 
 
 class BatcherClosedError(ServeError, RuntimeError):
@@ -87,7 +92,15 @@ class EstimateTicket:
             )
         if self._error is not None:
             raise self._error
-        assert self._values is not None
+        if self._values is None:
+            # The flush event fired without answering this ticket: the
+            # worker thread died mid-flush.  A typed error beats the
+            # silent drop (or an assert) — callers see the same
+            # ServeError shape every other rejection uses.
+            raise BatcherClosedError(
+                "the micro-batcher worker exited without answering "
+                "this request"
+            )
         return self._values
 
     def done(self) -> bool:
@@ -172,13 +185,26 @@ class MicroBatcher:
         return self.submit(snapshot, patterns).result(timeout)
 
     def close(self, *, timeout: float | None = 5.0) -> None:
-        """Stop admitting requests; drain what is pending, stop the worker."""
+        """Stop admitting requests; drain what is pending, stop the worker.
+
+        Idempotent.  New :meth:`submit` calls raise
+        :class:`BatcherClosedError` from the moment close is entered;
+        everything already enqueued is flushed before the worker thread
+        exits (or poisoned with the same typed error if the worker
+        cannot finish), so no ticket is ever silently dropped.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
             self._cond.notify_all()
         self._worker.join(timeout)
+        if not self._worker.is_alive():
+            # Normal exit drains first, so pending is empty here unless
+            # the worker died; either way nothing can flush these now.
+            self._poison_pending(
+                BatcherClosedError("the micro-batcher is closed")
+            )
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -220,7 +246,39 @@ class MicroBatcher:
             taken = self._take_batch()
             if taken is None:
                 return
-            self._flush(*taken)
+            batch, event = taken
+            try:
+                self._flush(batch, event)
+            except BaseException as exc:
+                # _flush already isolates per-group failures; anything
+                # escaping it (interpreter shutdown, a BaseException
+                # from deep inside a kernel) would kill this thread and
+                # leave every waiting caller hanging forever.  Close
+                # the batcher and poison the casualties instead.
+                error = BatcherClosedError(
+                    f"the micro-batcher worker died: {exc!r}"
+                )
+                error.__cause__ = exc
+                for ticket in batch:
+                    if ticket._values is None and ticket._error is None:
+                        ticket._error = error
+                with self._cond:
+                    self._closed = True
+                self._poison_pending(error)
+                raise
+
+    def _poison_pending(self, error: BatcherClosedError) -> None:
+        """Fail every enqueued-but-unflushed ticket with ``error``."""
+        with self._cond:
+            pending = self._pending
+            self._pending = []
+            self._pending_patterns = 0
+            event = self._flush_event
+        if pending:
+            for ticket in pending:
+                if ticket._values is None and ticket._error is None:
+                    ticket._error = error
+            event.set()
 
     def _flush(
         self, batch: list[EstimateTicket], event: threading.Event

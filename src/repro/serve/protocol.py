@@ -159,13 +159,17 @@ class EstimateResponse:
 
     ``version`` is the published snapshot version the estimates were
     computed against; ``batched`` is how many patterns the micro-batch
-    that served this request coalesced (1 when the request ran alone).
+    that served this request coalesced (1 when the request ran alone, 0
+    when the whole request was answered from the result cache);
+    ``cached`` is how many of the request's patterns were cache hits.
+    Both are observability fields — the values never depend on them.
     """
 
     label: str
     version: int
     estimates: tuple[float, ...]
     batched: int = 1
+    cached: int = 0
 
     def to_payload(self) -> dict[str, Any]:
         return {
@@ -173,6 +177,7 @@ class EstimateResponse:
             "version": self.version,
             "estimates": list(self.estimates),
             "batched": self.batched,
+            "cached": self.cached,
         }
 
     @classmethod
@@ -185,6 +190,7 @@ class EstimateResponse:
                     float(v) for v in payload["estimates"]
                 ),
                 batched=int(payload.get("batched", 1)),
+                cached=int(payload.get("cached", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise BadRequestError(

@@ -6,6 +6,9 @@ front of the :class:`~repro.serve.store.LabelStore` and the
 
 * ``GET  /labels`` — catalog of published labels (name, version, kind,
   ``|PC|``, ``|D|``, estimator backend);
+* ``GET  /stats`` — serving telemetry: per-worker micro-batch counters,
+  result-cache occupancy and hit rate, and the store's
+  publish-generation counter;
 * ``GET  /labels/<name>`` — one label's catalog entry;
 * ``GET  /labels/<name>/card`` — the nutrition card (``?format=text|
   markdown|html``; subset labels only);
@@ -39,7 +42,7 @@ from repro.labeling.render import (
     render_label_markdown,
     render_label_text,
 )
-from repro.serve.batching import MicroBatcher
+from repro.serve.cache import ResultCache
 from repro.serve.protocol import (
     BadRequestError,
     ErrorResponse,
@@ -48,6 +51,7 @@ from repro.serve.protocol import (
     UnsupportedOperationError,
 )
 from repro.serve.store import LabelSnapshot, LabelStore
+from repro.serve.workers import WorkerGroup
 
 __all__ = ["LabelService"]
 
@@ -164,6 +168,9 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["labels"]:
                 self._send_json(200, {"labels": service.store.catalog()})
                 return
+            if parts == ["stats"]:
+                self._send_json(200, service.stats())
+                return
             if len(parts) == 2 and parts[0] == "labels":
                 snapshot = service.store.get(parts[1])
                 self._send_json(200, snapshot.describe())
@@ -214,20 +221,23 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_estimate(
         self, service: "LabelService", name: str, raw: bytes
     ) -> None:
-        # Resolve the snapshot once; the whole request — batching,
-        # estimation, the version in the response — uses this object, so
-        # a concurrent publish cannot tear the answer.
+        # Resolve the snapshot once; the whole request — cache lookup,
+        # batching, estimation, the version in the response — uses this
+        # object, so a concurrent publish cannot tear the answer (and
+        # cache keys carry this snapshot's version, never a newer one).
         snapshot = service.store.get(name)
         request = EstimateRequest.from_payload(
             name, self._parse_json_body(raw)
         )
-        ticket = service.batcher.submit(snapshot, request.patterns)
-        values = ticket.result(timeout=service.request_timeout)
+        result = service.workers.estimate(
+            snapshot, request.patterns, timeout=service.request_timeout
+        )
         response = EstimateResponse(
             label=name,
             version=snapshot.version,
-            estimates=tuple(values),
-            batched=ticket.batched,
+            estimates=tuple(result.values),
+            batched=result.batched,
+            cached=result.cached,
         )
         self._send_json(200, response.to_payload())
 
@@ -285,7 +295,7 @@ class _Server(ThreadingHTTPServer):
 
 
 class LabelService:
-    """The serving surface: a store, a batcher, and an HTTP frontend.
+    """The serving surface: a store, a worker group, and an HTTP frontend.
 
     Parameters
     ----------
@@ -295,14 +305,20 @@ class LabelService:
     host / port:
         Bind address; port 0 picks an ephemeral port (read it back from
         :attr:`port` / :attr:`url` after construction).
+    workers:
+        Micro-batcher worker count (see :class:`WorkerGroup`); 1 is the
+        classic single-batcher service.
+    cache_entries:
+        Bound of the version-keyed result cache consulted before any
+        ticket is enqueued; 0 (the default) disables caching.
     window / max_batch:
-        Micro-batcher knobs (see :class:`MicroBatcher`).
+        Per-worker micro-batcher knobs.
     request_timeout:
         Upper bound one HTTP estimate waits on its batch.
 
     Usable as a context manager; :meth:`start` serves in a background
     thread, :meth:`serve_forever` serves in the calling thread (the CLI
-    path).
+    path).  :meth:`stop` / :meth:`close` are idempotent.
     """
 
     def __init__(
@@ -311,13 +327,24 @@ class LabelService:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        workers: int = 1,
+        cache_entries: int = 0,
         window: float = 0.001,
         max_batch: int = 1024,
         request_timeout: float = 30.0,
         verbose: bool = False,
     ) -> None:
+        if cache_entries < 0:
+            raise ValueError(
+                f"cache_entries must be >= 0, got {cache_entries}"
+            )
         self.store = store if store is not None else LabelStore()
-        self.batcher = MicroBatcher(window=window, max_batch=max_batch)
+        self.workers = WorkerGroup(
+            workers=workers,
+            window=window,
+            max_batch=max_batch,
+            cache=ResultCache(cache_entries) if cache_entries else None,
+        )
         self.request_timeout = request_timeout
         self.verbose = verbose
         #: Streaming ingestors by label name; updates to these labels go
@@ -326,6 +353,39 @@ class LabelService:
         self._server = _Server((host, port), _Handler)
         self._server.service = self
         self._thread: threading.Thread | None = None
+        self._serving = False
+        self._stopped = False
+
+    @property
+    def batcher(self) -> WorkerGroup:
+        """The worker group, under the pre-scale-out attribute name.
+
+        Kept so single-batcher-era callers (``service.batcher.stats``,
+        ``service.batcher.submit``) keep working — the group exposes
+        the same submit/estimate/stats/close surface.
+        """
+        return self.workers
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The result cache, or ``None`` when caching is disabled."""
+        return self.workers.cache
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /stats`` payload: workers, cache, store generation."""
+        cache = self.workers.cache
+        return {
+            "workers": self.workers.describe(),
+            "cache": cache.describe() if cache is not None else None,
+            "store": {
+                "labels": self.store.names(),
+                "generation": self.store.generation,
+                "versions": {
+                    snapshot.name: snapshot.version
+                    for snapshot in self.store.snapshots()
+                },
+            },
+        }
 
     # -- addressing -------------------------------------------------------------
 
@@ -348,6 +408,7 @@ class LabelService:
         """Serve in a daemon thread; idempotent, returns self."""
         if self._thread is not None:
             return self
+        self._serving = True
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-label-service",
@@ -358,18 +419,29 @@ class LabelService:
 
     def serve_forever(self) -> None:
         """Serve in the calling thread until interrupted (CLI mode)."""
+        self._serving = True
         self._server.serve_forever()
 
     def stop(self) -> None:
-        """Shut down the HTTP server and drain the batcher."""
-        self._server.shutdown()
+        """Shut down the HTTP server and drain the workers; idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._serving:
+            # shutdown() blocks on serve_forever's exit handshake; on a
+            # service that never served it would wait forever.
+            self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        self.batcher.close()
+        self.workers.close()
         for ingestor in self.streams.values():
             ingestor.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Alias for :meth:`stop` (idempotent, like every ``close``)."""
+        self.stop()
 
     # -- streaming --------------------------------------------------------------
 

@@ -163,6 +163,18 @@ class LabelStore:
     def __init__(self) -> None:
         self._snapshots: dict[str, LabelSnapshot] = {}
         self._write_lock = threading.RLock()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Total publishes across every name since the store was built.
+
+        The store-wide publish counter: a result cache keyed by
+        per-label snapshot versions needs no invalidation hook, but
+        operators watching ``/stats`` want one number that moves on
+        *any* publish — this is it.
+        """
+        return self._generation
 
     # -- reader side (lock-free) ------------------------------------------------
 
@@ -247,6 +259,7 @@ class LabelStore:
                 pack=pack,
             )
             self._snapshots[name] = snapshot
+            self._generation += 1
         return snapshot
 
     def publish_pack(

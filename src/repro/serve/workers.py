@@ -1,0 +1,204 @@
+"""Horizontal serve scale-out: N micro-batcher workers + result cache.
+
+One :class:`~repro.serve.batching.MicroBatcher` is a single flush loop:
+every coalesced batch is assembled, dispatched, and scattered by one
+worker thread, which is the serving layer's throughput ceiling.  The
+:class:`WorkerGroup` runs N batchers side by side over the same
+lock-free :class:`~repro.serve.store.LabelStore` — readers need no
+coordination whatsoever (snapshots are immutable and resolved before
+admission), so the workers share *nothing*: each owns its flush loop
+and calls ``estimate_many`` independently.
+
+**Admission** hashes a request's pattern tuple to pick its worker.
+Hash affinity beats round-robin here for one reason: duplicate
+collapsing.  The batcher already answers N copies of a pattern with one
+kernel slot, but only when the copies ride the *same* batch — routing a
+pattern to a stable worker keeps repeats collapsing even across
+workers.  (The skew this could cause under a hot-pattern workload is
+exactly the traffic the result cache absorbs before admission ever
+happens.)
+
+**Caching** sits in front of the queue, not behind it: the group
+consults its (optional) :class:`~repro.serve.cache.ResultCache` per
+pattern *before* enqueueing a ticket, keyed by ``(label name, snapshot
+version, pattern)``.  A fully cached request never touches a worker; a
+partial hit enqueues only the missing patterns.  Answers are floats
+computed by the same ``estimate_many`` contract the uncached path uses,
+so a hit is byte-identical to a recomputation — and version-keyed
+entries mean a publish invalidates by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, NamedTuple, Sequence
+
+from repro.core.pattern import Pattern
+from repro.serve.batching import BatcherStats, EstimateTicket, MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.store import LabelSnapshot
+
+__all__ = ["WorkerGroup", "GroupEstimate"]
+
+
+class GroupEstimate(NamedTuple):
+    """One request's answers plus where they came from.
+
+    ``batched`` is the coalesced batch size of the flush that served
+    the request's cache misses (0 when every pattern hit the cache);
+    ``cached`` is how many of the request's patterns were cache hits.
+    (A ``NamedTuple``, not a dataclass: this object is built once per
+    request on the serving fast path.)
+    """
+
+    values: list[float]
+    batched: int = 0
+    cached: int = 0
+
+
+class WorkerGroup:
+    """N independent micro-batchers behind one submit/estimate surface.
+
+    Parameters
+    ----------
+    workers:
+        Batcher count; 1 reproduces the single-``MicroBatcher`` serving
+        path exactly.
+    window / max_batch:
+        Per-worker batcher knobs (see :class:`MicroBatcher`).
+    cache:
+        Optional :class:`ResultCache` consulted by :meth:`estimate`
+        before any ticket is enqueued; ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        window: float = 0.001,
+        max_batch: int = 1024,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = [
+            MicroBatcher(window=window, max_batch=max_batch)
+            for _ in range(workers)
+        ]
+        self.cache = cache
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    # -- admission --------------------------------------------------------------
+
+    def _pick(self, patterns: tuple[Pattern, ...]) -> MicroBatcher:
+        workers = self._workers
+        if len(workers) == 1:
+            return workers[0]
+        return workers[hash(patterns) % len(workers)]
+
+    def submit(
+        self, snapshot: LabelSnapshot, patterns: Sequence[Pattern]
+    ) -> EstimateTicket:
+        """Enqueue one request on its hash-affine worker (no cache)."""
+        patterns = tuple(patterns)
+        return self._pick(patterns).submit(snapshot, patterns)
+
+    def estimate(
+        self,
+        snapshot: LabelSnapshot,
+        patterns: Sequence[Pattern],
+        *,
+        timeout: float | None = 30.0,
+    ) -> GroupEstimate:
+        """Answer a request, cache first; blocking.
+
+        Per pattern: a cache hit short-circuits the workers entirely;
+        the misses ride one coalesced ticket and are offered back to
+        the cache on success.  The merged answers are in request order
+        and byte-identical to the uncached path.
+        """
+        patterns = tuple(patterns)
+        cache = self.cache
+        if cache is None:
+            ticket = self.submit(snapshot, patterns)
+            return GroupEstimate(
+                values=ticket.result(timeout), batched=ticket.batched
+            )
+        if len(patterns) == 1:
+            # The serving fast path: single-pattern requests dominate
+            # HTTP traffic, and a hit must cost one cache probe — no
+            # miss bookkeeping, no scatter/merge.
+            key = (snapshot.name, snapshot.version, patterns[0])
+            hit = cache.get(key)
+            if hit is not None:
+                return GroupEstimate([hit], 0, 1)
+            ticket = self._pick(patterns).submit(snapshot, patterns)
+            answers = ticket.result(timeout)
+            cache.put(key, answers[0])
+            return GroupEstimate(answers, ticket.batched, 0)
+        values: list[float | None] = [None] * len(patterns)
+        misses: list[tuple[int, Pattern, tuple]] = []
+        for position, pattern in enumerate(patterns):
+            key = (snapshot.name, snapshot.version, pattern)
+            hit = cache.get(key)
+            if hit is None:
+                misses.append((position, pattern, key))
+            else:
+                values[position] = hit
+        batched = 0
+        if misses:
+            ticket = self.submit(
+                snapshot, tuple(pattern for _, pattern, _ in misses)
+            )
+            answers = ticket.result(timeout)
+            batched = ticket.batched
+            for (position, _, key), answer in zip(misses, answers):
+                values[position] = answer
+                cache.put(key, answer)
+        return GroupEstimate(
+            values=values,  # type: ignore[arg-type] — every slot filled
+            batched=batched,
+            cached=len(patterns) - len(misses),
+        )
+
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def stats(self) -> BatcherStats:
+        """Counters summed across workers (``largest_batch`` is the max)."""
+        total = BatcherStats()
+        for worker in self._workers:
+            stats = worker.stats
+            total.requests += stats.requests
+            total.patterns += stats.patterns
+            total.flushes += stats.flushes
+            total.kernel_calls += stats.kernel_calls
+            total.collapsed_duplicates += stats.collapsed_duplicates
+            total.largest_batch = max(
+                total.largest_batch, stats.largest_batch
+            )
+        return total
+
+    def describe(self) -> dict[str, Any]:
+        """The ``/stats`` payload: per-worker batch counters + totals."""
+        return {
+            "count": self.n_workers,
+            "per_worker": [asdict(w.stats) for w in self._workers],
+            "totals": asdict(self.stats),
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self, *, timeout: float | None = 5.0) -> None:
+        """Drain and stop every worker; idempotent."""
+        for worker in self._workers:
+            worker.close(timeout=timeout)
+
+    def __enter__(self) -> "WorkerGroup":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

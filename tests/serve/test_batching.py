@@ -212,3 +212,54 @@ class TestMaxBatchBound:
             kernel_calls = batcher.stats.kernel_calls
         assert values == [snapshot.estimate(p) for p in patterns]
         assert kernel_calls >= 3  # 12 distinct patterns / max_batch 5
+
+
+class TestWorkerDeath:
+    """A dying worker thread must never leave callers hanging."""
+
+    class _Bomb:
+        """Snapshot stand-in whose kernel raises a BaseException —
+        the one class of failure that escapes _flush's per-group and
+        per-ticket isolation."""
+
+        def estimate_many(self, patterns):
+            raise KeyboardInterrupt("kernel interrupted mid-flush")
+
+    def test_crash_poisons_waiters_and_rejects_new_submits(
+        self, snapshot, monkeypatch
+    ):
+        # The worker re-raises after cleanup; keep its unhandled-
+        # exception traceback out of the test output.
+        monkeypatch.setattr(
+            threading, "excepthook", lambda args: None
+        )
+        batcher = MicroBatcher(window=0.05)
+        ticket = batcher.submit(
+            self._Bomb(), (Pattern({"gender": "Female"}),)
+        )
+        with pytest.raises(BatcherClosedError):
+            ticket.result(timeout=10)
+        batcher._worker.join(timeout=10)
+        assert not batcher._worker.is_alive()
+        # The batcher closed itself: new work is refused with the same
+        # typed error, and close() remains safe to call.
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(snapshot, (Pattern({"gender": "Female"}),))
+        batcher.close()
+        batcher.close()
+
+    def test_crash_poisons_not_yet_flushed_tickets(self, monkeypatch):
+        monkeypatch.setattr(
+            threading, "excepthook", lambda args: None
+        )
+        batcher = MicroBatcher(window=0.2)
+        doomed = batcher.submit(
+            self._Bomb(), (Pattern({"gender": "Female"}),)
+        )
+        with pytest.raises(BatcherClosedError):
+            doomed.result(timeout=10)
+        batcher._worker.join(timeout=10)
+        # A ticket that slipped into the pending queue before the crash
+        # was noticed must also fail fast, not hang forever.
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(self._Bomb(), (Pattern({"gender": "Male"}),))

@@ -396,3 +396,88 @@ class TestKeepAliveDiscipline:
                 {"pattern": {"gender": "Female"}},
             )
         assert payload["label"] == "my label"
+
+
+class TestScaleOutService:
+    """Multi-worker + result-cache configuration through LabelService."""
+
+    @pytest.fixture
+    def scaled(self, session):
+        with session.serve(
+            name="compas", workers=4, cache_entries=64, window=0.0
+        ) as service:
+            yield service
+
+    def test_stats_endpoint_shape(self, scaled):
+        status, payload = _get(scaled.url + "/stats")
+        assert status == 200
+        assert payload["workers"]["count"] == 4
+        assert len(payload["workers"]["per_worker"]) == 4
+        assert payload["cache"]["max_entries"] == 64
+        assert payload["store"]["labels"] == ["compas"]
+        assert payload["store"]["generation"] == 1
+        assert payload["store"]["versions"] == {"compas": 1}
+
+    def test_repeat_requests_hit_the_cache(self, scaled, session):
+        pattern = {"gender": "Female"}
+        expected = session.estimate(Pattern(pattern))
+        first = _post(
+            scaled.url + "/labels/compas/estimate", {"pattern": pattern}
+        )[1]
+        second = _post(
+            scaled.url + "/labels/compas/estimate", {"pattern": pattern}
+        )[1]
+        assert first["estimates"] == second["estimates"] == [expected]
+        assert first["cached"] == 0
+        assert second["cached"] == 1
+        _, stats = _get(scaled.url + "/stats")
+        assert stats["cache"]["hits"] >= 1
+        assert 0.0 < stats["cache"]["hit_rate"] <= 1.0
+
+    def test_update_bumps_generation_and_invalidates(self, scaled, session):
+        pattern = {"gender": "Female"}
+        url = scaled.url + "/labels/compas/estimate"
+        before = _post(url, {"pattern": pattern})[1]["estimates"][0]
+        _post(url, {"pattern": pattern})  # cached now
+        _post(
+            scaled.url + "/labels/compas/update",
+            {
+                "inserted": [
+                    {
+                        "gender": "Female",
+                        "age group": "under 20",
+                        "race": "Hispanic",
+                        "marital status": "single",
+                    }
+                ]
+                * 3
+            },
+        )
+        after = _post(url, {"pattern": pattern})[1]
+        assert after["cached"] == 0  # version bump → old entry unreachable
+        assert after["estimates"][0] == before + 3
+        _, stats = _get(scaled.url + "/stats")
+        assert stats["store"]["generation"] == 2
+        assert stats["store"]["versions"] == {"compas": 2}
+
+    def test_stats_without_cache_is_null(self, session):
+        with session.serve(name="compas") as service:
+            _, payload = _get(service.url + "/stats")
+            assert payload["cache"] is None
+            assert payload["workers"]["count"] == 1
+
+    def test_scaled_service_answers_are_byte_identical(self, scaled, session):
+        patterns = [
+            {"gender": "Female"},
+            {"age group": {">=": "20-39"}},
+            {"race": "Hispanic", "gender": "Male"},
+        ]
+        for _ in range(3):
+            for pattern in patterns:
+                _, payload = _post(
+                    scaled.url + "/labels/compas/estimate",
+                    {"pattern": pattern},
+                )
+                assert payload["estimates"] == [
+                    session.estimate(Pattern(pattern))
+                ]

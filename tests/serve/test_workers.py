@@ -1,0 +1,181 @@
+"""WorkerGroup: multi-worker parity, cache integration, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Pattern, build_label
+from repro.serve import (
+    BatcherClosedError,
+    LabelStore,
+    ResultCache,
+    WorkerGroup,
+)
+
+
+@pytest.fixture
+def snapshot(figure2_counter):
+    store = LabelStore()
+    return store.publish(
+        "compas", build_label(figure2_counter, ("age group", "gender"))
+    )
+
+
+def _mixed_traffic() -> list[Pattern]:
+    """Equality and range patterns, hot-skewed with a distinct tail."""
+    hot = [
+        Pattern({"gender": "Female"}),
+        Pattern({"age group": {">=": "20-39"}}),
+        Pattern({"gender": "Male", "age group": "under 20"}),
+    ]
+    tail = [
+        Pattern({"race": race, "gender": gender})
+        for race in ("Hispanic", "Caucasian", "African-American")
+        for gender in ("Female", "Male")
+    ] + [
+        Pattern({"marital status": {"<=": status}})
+        for status in ("divorced", "married", "single")
+    ]
+    return (hot * 10 + tail) * 4
+
+
+class TestParity:
+    def test_multi_worker_matches_serial_path(self, snapshot):
+        patterns = _mixed_traffic()
+        serial = [snapshot.estimate(p) for p in patterns]
+        with WorkerGroup(workers=4, window=0.0) as group:
+            result = group.estimate(snapshot, patterns)
+        assert result.values == serial
+        assert result.cached == 0
+
+    def test_concurrent_mixed_traffic_stress_byte_identical(self, snapshot):
+        """The scale-out acceptance bar: many client threads, mixed
+        equality/range traffic, 4 workers + cache — every response
+        byte-identical to the serial scalar path."""
+        patterns = _mixed_traffic()
+        serial = {p: snapshot.estimate(p) for p in set(patterns)}
+        mismatches: list[str] = []
+        barrier = threading.Barrier(8)
+
+        with WorkerGroup(
+            workers=4, window=0.001, cache=ResultCache(16)
+        ) as group:
+
+            def client(seed: int) -> None:
+                barrier.wait()
+                rotated = patterns[seed:] + patterns[:seed]
+                for pattern in rotated:
+                    got = group.estimate(snapshot, (pattern,)).values[0]
+                    if got != serial[pattern]:
+                        mismatches.append(
+                            f"{pattern}: {got} != {serial[pattern]}"
+                        )
+
+            threads = [
+                threading.Thread(target=client, args=(seed,))
+                for seed in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not mismatches, mismatches[0]
+            # Skewed traffic through a 16-entry cache must actually hit.
+            assert group.cache.stats.hits > 0
+            assert len(group.cache) <= 16
+
+
+class TestCacheIntegration:
+    def test_hits_short_circuit_the_workers(self, snapshot):
+        pattern = Pattern({"gender": "Female"})
+        with WorkerGroup(workers=2, cache=ResultCache(8)) as group:
+            first = group.estimate(snapshot, (pattern,))
+            assert (first.batched, first.cached) == (1, 0)
+            kernel_calls = group.stats.kernel_calls
+            second = group.estimate(snapshot, (pattern,))
+            assert (second.batched, second.cached) == (0, 1)
+            assert second.values == first.values
+            # Fully cached: no new kernel work happened.
+            assert group.stats.kernel_calls == kernel_calls
+
+    def test_partial_hit_enqueues_only_the_misses(self, snapshot):
+        hot = Pattern({"gender": "Female"})
+        cold = Pattern({"age group": "under 20"})
+        with WorkerGroup(workers=2, cache=ResultCache(8)) as group:
+            group.estimate(snapshot, (hot,))
+            mixed = group.estimate(snapshot, (hot, cold))
+            assert mixed.cached == 1
+            assert mixed.values == [
+                snapshot.estimate(hot),
+                snapshot.estimate(cold),
+            ]
+
+    def test_publish_invalidates_without_any_flush(self, figure2_counter):
+        """Update the label → the new snapshot's version changes every
+        cache key, so old-version entries are never served again."""
+        store = LabelStore()
+        label = build_label(figure2_counter, ("age group", "gender"))
+        v1 = store.publish("compas", label)
+        pattern = Pattern({"gender": "Female"})
+        with WorkerGroup(workers=2, cache=ResultCache(8)) as group:
+            before = group.estimate(snapshot=v1, patterns=(pattern,))
+            assert group.estimate(v1, (pattern,)).cached == 1
+            from repro import Dataset
+
+            inserted = Dataset.from_rows(
+                list(label.attribute_order),
+                [("Female", "under 20", "Hispanic", "single")] * 3,
+            )
+            v2 = store.update("compas", inserted=inserted)
+            assert v2.version == v1.version + 1
+            after = group.estimate(v2, (pattern,))
+            # The first v2 request is a miss (stale entry unreachable)
+            # and its answer reflects the inserted rows.
+            assert after.cached == 0
+            assert after.values[0] == before.values[0] + 3
+            # The superseded snapshot still answers from its own cache
+            # entry — in-flight readers are unaffected by the publish.
+            assert group.estimate(v1, (pattern,)).values == before.values
+
+
+class TestLifecycleAndStats:
+    def test_stats_aggregate_across_workers(self, snapshot):
+        patterns = [
+            Pattern({"gender": "Female"}),
+            Pattern({"gender": "Male"}),
+            Pattern({"age group": "under 20"}),
+            Pattern({"race": "Hispanic"}),
+        ]
+        with WorkerGroup(workers=4, window=0.0) as group:
+            for pattern in patterns * 8:
+                group.estimate(snapshot, (pattern,))
+            described = group.describe()
+        assert described["count"] == 4
+        assert len(described["per_worker"]) == 4
+        totals = described["totals"]
+        assert totals["requests"] == 32
+        assert totals["requests"] == sum(
+            w["requests"] for w in described["per_worker"]
+        )
+        # Hash affinity: the same pattern always lands on one worker.
+        with WorkerGroup(workers=4, window=0.0) as group:
+            for _ in range(16):
+                group.estimate(snapshot, (patterns[0],))
+            busy = [
+                w["requests"] for w in group.describe()["per_worker"]
+            ]
+        assert sorted(busy)[:3] == [0, 0, 0]
+
+    def test_close_is_idempotent_and_rejects_new_submits(self, snapshot):
+        group = WorkerGroup(workers=2)
+        group.estimate(snapshot, (Pattern({"gender": "Female"}),))
+        group.close()
+        group.close()
+        with pytest.raises(BatcherClosedError):
+            group.submit(snapshot, (Pattern({"gender": "Female"}),))
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerGroup(workers=0)

@@ -535,6 +535,46 @@ class TestExitCodes:
         )
         assert code == EXIT_UNAVAILABLE
 
+    def test_hung_server_times_out_as_unavailable(self):
+        """A socket that accepts the connection but never answers must
+        map --timeout onto the same exit code as connection-refused —
+        the caller's remedy (retry / check the server) is identical."""
+        import socket
+
+        from repro.cli import EXIT_UNAVAILABLE
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)  # connections complete; nothing answers
+            host, port = listener.getsockname()
+            code = self._code(
+                [
+                    "query",
+                    f"http://{host}:{port}",
+                    "g=F",
+                    "--timeout",
+                    "0.5",
+                ]
+            )
+            assert code == EXIT_UNAVAILABLE
+        finally:
+            listener.close()
+
+    def test_serve_scale_out_flags_validated(self, label_path):
+        from repro.cli import EXIT_USAGE
+
+        assert (
+            self._code(["serve", str(label_path), "--workers", "0"])
+            == EXIT_USAGE
+        )
+        assert (
+            self._code(
+                ["serve", str(label_path), "--cache-entries", "-1"]
+            )
+            == EXIT_USAGE
+        )
+
     def test_codes_are_distinct(self):
         from repro import cli
 
@@ -607,6 +647,31 @@ class TestServeAndQuery:
     def test_serve_publishes_under_file_stem(self, service):
         assert service.store.names() == ["label"]
         assert service.store.get("label").version == 1
+
+    def test_serve_scale_out_flags_build_workers_and_cache(
+        self, label_path, capsys
+    ):
+        from repro.cli import _service_from_args, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                str(label_path),
+                "--port",
+                "0",
+                "--workers",
+                "4",
+                "--cache-entries",
+                "64",
+            ]
+        )
+        service = _service_from_args(args)
+        try:
+            assert service.workers.n_workers == 4
+            assert service.cache is not None
+            assert service.cache.max_entries == 64
+        finally:
+            service.stop()
 
     def test_serve_rejects_duplicate_stems(self, label_path):
         from repro.cli import _service_from_args, build_parser
